@@ -1,0 +1,163 @@
+// Ablations of the design choices behind the hint scheme:
+//   * Threshold  — the Hybrid-EagerRNDV eager/rendezvous switch (§4.3 fixes
+//     it at 4 KB): sweep the threshold for a 16 KB workload;
+//   * Numa       — NUMA binding on/off at under-subscription (§5.2 binds
+//     only there);
+//   * Readers    — the HatKV reader-table sizing from the concurrency hint
+//     (§4.4): an undersized table turns into queueing delay;
+//   * Commit     — sync vs group commits for write bursts (§4.4 "commit
+//     strategies off the critical path").
+#include "common.h"
+
+#include "kv/hatkv.h"
+
+namespace {
+
+using namespace hatbench;
+
+// --- (a) eager/rendezvous threshold ---------------------------------------
+
+void threshold_bench(benchmark::State& state, uint32_t threshold) {
+  constexpr size_t kBytes = 16 << 10;
+  Testbed bed;
+  proto::ChannelConfig cfg;
+  cfg.rndv_threshold = threshold;
+  cfg.max_msg = 1 << 20;
+  auto ch = proto::make_channel(proto::ProtocolKind::kHybridEagerRndv,
+                                *bed.client_node(0), *bed.server,
+                                checksum_handler(*bed.server), cfg);
+  sim::Time total{};
+  bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch,
+                   sim::Time& total) -> Task<void> {
+    proto::Buffer payload(kBytes, std::byte{0x3c});
+    for (int i = 0; i < 32; ++i)
+      co_await ch.call(payload, uint32_t(kBytes));
+    total = bed.sim.now();
+    ch.shutdown();
+  }(bed, *ch, total));
+  bed.sim.run();
+  sim::Duration lat = total / 32;
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(lat));
+  state.counters["latency_us"] = sim::to_micros(lat);
+}
+
+// --- (b) NUMA binding -------------------------------------------------------
+
+void numa_bench(benchmark::State& state, bool bind) {
+  sim::Duration lat = measure_latency(proto::ProtocolKind::kDirectWriteImm,
+                                      512, sim::PollMode::kBusy, 64, bind);
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(lat));
+  state.counters["latency_us"] = sim::to_micros(lat);
+}
+
+// --- (c)/(d) HatKV backend hints --------------------------------------------
+
+sim::Duration run_kv_burst(uint32_t max_readers, bool sync_commits,
+                           double get_ratio) {
+  using namespace hatrpc;
+  sim::Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* sn = fabric.add_node();
+  kv::HatKVConfig cfg = kv::HatKVConfig::from_hints(hatkv::HatKV_hints());
+  cfg.max_readers = max_readers;
+  cfg.sync_commits = sync_commits;
+  kv::HatKVServer server(*sn, {}, cfg);
+  constexpr int kClients = 64;
+  std::vector<std::unique_ptr<core::HatConnection>> conns;
+  std::vector<verbs::Node*> cnodes;
+  for (int i = 0; i < 4; ++i) cnodes.push_back(fabric.add_node());
+  sim::WaitGroup wg(sim);
+  wg.add(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    conns.push_back(std::make_unique<core::HatConnection>(
+        *cnodes[size_t(c) % 4], server.server()));
+    sim.spawn([](core::HatConnection& conn, int c, double get_ratio,
+                 sim::WaitGroup& wg) -> Task<void> {
+      hatkv::HatKVClient client(conn);
+      sim::Rng rng(uint64_t(c) * 31 + 5);
+      std::string value(1000, 'v');
+      for (int i = 0; i < 30; ++i) {
+        if (rng.uniform01() < get_ratio) {
+          // Batched reads hold a reader slot for the whole storage scan.
+          std::vector<std::string> keys;
+          for (int k = 0; k < 10; ++k)
+            keys.push_back("k" + std::to_string(rng.bounded(512)));
+          co_await client.MultiGet(keys);
+        } else {
+          co_await client.Put("k" + std::to_string(rng.bounded(512)), value);
+        }
+      }
+      wg.done();
+    }(*conns.back(), c, get_ratio, wg));
+  }
+  sim::Time end{};
+  sim.spawn([](sim::Simulator& sim, sim::WaitGroup& wg, sim::Time& end,
+               kv::HatKVServer& server) -> Task<void> {
+    co_await wg.wait();
+    end = sim.now();
+    server.stop();
+  }(sim, wg, end, server));
+  sim.run();
+  return end;
+}
+
+void readers_bench(benchmark::State& state, uint32_t max_readers) {
+  sim::Duration span = run_kv_burst(max_readers, false, 0.95);
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(span));
+  state.counters["span_us"] = sim::to_micros(span);
+}
+
+void commit_bench(benchmark::State& state, bool sync) {
+  sim::Duration span = run_kv_burst(136, sync, 0.2);
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(span));
+  state.counters["span_us"] = sim::to_micros(span);
+}
+
+void register_all() {
+  for (uint32_t threshold : {1u << 10, 4u << 10, 16u << 10, 64u << 10}) {
+    std::string name =
+        "Ablation/Threshold16KBmsg/" + std::to_string(threshold >> 10) + "KB";
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [threshold](benchmark::State& s) {
+                                   threshold_bench(s, threshold);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (bool bind : {true, false}) {
+    std::string name = std::string("Ablation/NumaBinding/") +
+                       (bind ? "bound" : "unbound");
+    benchmark::RegisterBenchmark(name.c_str(), [bind](benchmark::State& s) {
+      numa_bench(s, bind);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+  }
+  for (uint32_t readers : {4u, 16u, 136u}) {
+    std::string name =
+        "Ablation/ReaderTable64clients/" + std::to_string(readers);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [readers](benchmark::State& s) {
+                                   readers_bench(s, readers);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (bool sync : {false, true}) {
+    std::string name = std::string("Ablation/CommitStrategy/") +
+                       (sync ? "sync" : "group");
+    benchmark::RegisterBenchmark(name.c_str(), [sync](benchmark::State& s) {
+      commit_bench(s, sync);
+    })->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

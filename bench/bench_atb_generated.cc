@@ -1,0 +1,152 @@
+// ATB end-to-end on generated skeletons: unlike the Fig-4/11 channel-level
+// microbenchmarks, this binary exercises the COMPLETE stack the paper's
+// ATB uses — hatrpc-gen output (atb.hatrpc) -> Thrift serialization ->
+// envelope -> hint-planned RDMA channels — and reports full-stack latency
+// and mixed-workload throughput. One row per scenario; manual time is
+// simulated.
+#include <benchmark/benchmark.h>
+
+#include "atb_gen.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace hatrpc;
+using sim::Task;
+using namespace std::chrono_literals;
+
+class AtbHandler : public atb::AtbIf {
+ public:
+  explicit AtbHandler(verbs::Node& node) : node_(node) {}
+
+  Task<std::string> Ping(const std::string& payload) override {
+    co_await node_.cpu().compute(1us +
+                                 sim::transfer_time(payload.size(), 20.0));
+    co_return payload;
+  }
+
+  Task<std::string> Stream(const std::string& payload) override {
+    co_await node_.cpu().compute(1us +
+                                 sim::transfer_time(payload.size(), 20.0));
+    co_return payload;
+  }
+
+ private:
+  verbs::Node& node_;
+};
+
+struct AtbCluster {
+  sim::Simulator sim;
+  verbs::Fabric fabric{sim};
+  verbs::Node* server_node = fabric.add_node();
+  core::HatServer server{*server_node, atb::Atb_hints(), {}};
+  AtbHandler handler{*server_node};
+
+  AtbCluster() { atb::register_Atb(server.dispatcher(), handler); }
+};
+
+void latency_bench(benchmark::State& state, size_t bytes) {
+  AtbCluster c;
+  core::HatConnection conn(*c.fabric.add_node(), c.server);
+  sim::Duration lat{};
+  c.sim.spawn([](AtbCluster& c, core::HatConnection& conn, size_t bytes,
+                 sim::Duration& lat) -> Task<void> {
+    atb::AtbClient client(conn);
+    std::string payload(bytes, 'p');
+    co_await client.Ping(payload);  // warm-up (channel creation)
+    sim::Time t0 = c.sim.now();
+    for (int i = 0; i < 64; ++i) co_await client.Ping(payload);
+    lat = (c.sim.now() - t0) / 64;
+    c.server.stop();
+  }(c, conn, bytes, lat));
+  c.sim.run();
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(lat));
+  state.counters["latency_us"] = sim::to_micros(lat);
+}
+
+void mix_bench(benchmark::State& state, int clients) {
+  AtbCluster c;
+  std::vector<std::unique_ptr<core::HatConnection>> conns;
+  std::vector<verbs::Node*> cnodes;
+  for (int i = 0; i < 9; ++i) cnodes.push_back(c.fabric.add_node());
+  sim::WaitGroup wg(c.sim);
+  wg.add(size_t(clients));
+  struct Totals {
+    sim::Duration ping_total{};
+    uint64_t pings = 0;
+    uint64_t streams = 0;
+  } totals;
+  for (int i = 0; i < clients; ++i) {
+    conns.push_back(std::make_unique<core::HatConnection>(
+        *cnodes[size_t(i) % 9], c.server));
+    c.sim.spawn([](AtbCluster& c, core::HatConnection& conn, int seed,
+                   Totals& totals, sim::WaitGroup& wg) -> Task<void> {
+      atb::AtbClient client(conn);
+      sim::Rng rng(uint64_t(seed) + 11);
+      std::string small(512, 's');
+      std::string large(128 << 10, 'l');
+      for (int op = 0; op < 20; ++op) {
+        if (rng.chance(0.5)) {
+          sim::Time t0 = c.sim.now();
+          co_await client.Ping(small);
+          totals.ping_total += c.sim.now() - t0;
+          ++totals.pings;
+        } else {
+          co_await client.Stream(large);
+          ++totals.streams;
+        }
+      }
+      wg.done();
+    }(c, *conns.back(), i, totals, wg));
+  }
+  sim::Time end{};
+  c.sim.spawn([](AtbCluster& c, sim::WaitGroup& wg,
+                 sim::Time& end) -> Task<void> {
+    co_await wg.wait();
+    end = c.sim.now();
+    c.server.stop();
+  }(c, wg, end));
+  c.sim.run();
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(end));
+  state.counters["ping_lat_us"] = totals.pings
+      ? sim::to_micros(totals.ping_total / int64_t(totals.pings))
+      : 0;
+  state.counters["stream_kops"] =
+      sim::to_seconds(end) > 0
+          ? double(totals.streams) / sim::to_seconds(end) / 1e3
+          : 0;
+}
+
+void register_all() {
+  for (size_t bytes : {size_t(64), size_t(512), size_t(4096)}) {
+    std::string name = "ATB_e2e/Ping/" + std::to_string(bytes) + "B";
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [bytes](benchmark::State& s) {
+                                   latency_bench(s, bytes);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (int clients : {4, 16, 64}) {
+    std::string name = "ATB_e2e/Mix/c" + std::to_string(clients);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [clients](benchmark::State& s) {
+                                   mix_bench(s, clients);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4 — RPC-like communication latency of the nine RDMA protocols
+// (plus the hybrid baseline), for busy and event CQ polling, across the
+// payload ladder. One benchmark row per (protocol, size, polling); the
+// reported manual time is the simulated per-call latency.
+#include "common.h"
+
+namespace {
+
+using namespace hatbench;
+
+constexpr proto::ProtocolKind kProtocols[] = {
+    proto::ProtocolKind::kEagerSendRecv,
+    proto::ProtocolKind::kDirectWriteSend,
+    proto::ProtocolKind::kChainedWriteSend,
+    proto::ProtocolKind::kWriteRndv,
+    proto::ProtocolKind::kReadRndv,
+    proto::ProtocolKind::kDirectWriteImm,
+    proto::ProtocolKind::kPilaf,
+    proto::ProtocolKind::kFarm,
+    proto::ProtocolKind::kRfp,
+    proto::ProtocolKind::kHybridEagerRndv,
+};
+
+void latency_bench(benchmark::State& state, proto::ProtocolKind kind,
+                   size_t bytes, sim::PollMode poll) {
+  sim::Duration lat{};
+  for (auto _ : state) {
+    lat = measure_latency(kind, bytes, poll);
+    state.SetIterationTime(sim::to_seconds(lat));
+  }
+  state.counters["latency_us"] = sim::to_micros(lat);
+}
+
+void register_all() {
+  for (auto kind : kProtocols) {
+    for (size_t bytes : latency_sizes()) {
+      for (auto poll : {sim::PollMode::kBusy, sim::PollMode::kEvent}) {
+        std::string name = "Fig04/" + std::string(proto::to_string(kind)) +
+                           "/" + std::to_string(bytes) + "B/" +
+                           poll_name(poll);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, bytes, poll](benchmark::State& s) {
+              latency_bench(s, kind, bytes, poll);
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5 — multi-client aggregate throughput of the RDMA protocols for
+// 512 B and 128 KB payloads under under-/full-/over-subscription, busy vs
+// event polling. The manual time is the whole scenario's simulated span;
+// the `mops` counter is the figure's y-axis.
+#include "common.h"
+
+namespace {
+
+using namespace hatbench;
+
+constexpr proto::ProtocolKind kProtocols[] = {
+    proto::ProtocolKind::kEagerSendRecv,
+    proto::ProtocolKind::kDirectWriteSend,
+    proto::ProtocolKind::kChainedWriteSend,
+    proto::ProtocolKind::kWriteRndv,
+    proto::ProtocolKind::kReadRndv,
+    proto::ProtocolKind::kDirectWriteImm,
+    proto::ProtocolKind::kPilaf,
+    proto::ProtocolKind::kFarm,
+    proto::ProtocolKind::kRfp,
+    proto::ProtocolKind::kHybridEagerRndv,
+};
+
+void throughput_bench(benchmark::State& state, proto::ProtocolKind kind,
+                      size_t bytes, int clients, sim::PollMode poll) {
+  // Fewer per-client iterations at scale keeps total call counts sane.
+  int iters = clients >= 128 ? 10 : (clients >= 28 ? 20 : 40);
+  ThroughputResult r;
+  for (auto _ : state) {
+    r = measure_throughput(kind, bytes, clients, poll, iters,
+                           /*numa_bind=*/true);
+    state.SetIterationTime(
+        sim::to_seconds(r.mean_latency * int64_t(clients) * iters));
+  }
+  state.counters["mops"] = r.mops;
+  state.counters["clients"] = clients;
+}
+
+void register_all() {
+  for (size_t bytes : {size_t(512), size_t(128 << 10)}) {
+    for (auto kind : kProtocols) {
+      for (int clients : client_counts()) {
+        for (auto poll : {sim::PollMode::kBusy, sim::PollMode::kEvent}) {
+          std::string name = "Fig05/" + std::to_string(bytes) + "B/" +
+                             std::string(proto::to_string(kind)) + "/c" +
+                             std::to_string(clients) + "/" + poll_name(poll);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [kind, bytes, clients, poll](benchmark::State& s) {
+                throughput_bench(s, kind, bytes, clients, poll);
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

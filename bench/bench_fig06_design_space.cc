@@ -1,0 +1,56 @@
+// Figure 6 — the hint -> design-space mapping. Not a measurement: prints
+// the selected (protocol, polling) for every cell of the
+// (performance-goal x concurrency-regime x payload-class) grid, i.e. the
+// table the selection algorithm of §4.3 implements.
+#include <cstdio>
+
+#include "hint/selection.h"
+
+using namespace hatrpc;
+
+int main() {
+  hint::SelectionParams params;
+  struct Cell {
+    const char* label;
+    uint32_t concurrency;
+  };
+  const Cell regimes[] = {{"under-subscription", 8},
+                          {"full-subscription", 24},
+                          {"over-subscription", 128}};
+  const std::pair<const char*, uint32_t> payloads[] = {{"small(512B)", 512},
+                                                       {"large(128KB)",
+                                                        128 << 10}};
+  const std::pair<const char*, hint::PerfGoal> goals[] = {
+      {"latency", hint::PerfGoal::kLatency},
+      {"throughput", hint::PerfGoal::kThroughput},
+      {"res_util", hint::PerfGoal::kResUtil}};
+
+  std::printf("Figure 6: design space for hints and RDMA protocols\n");
+  std::printf("%-12s %-20s %-14s -> %-20s %-6s/%-6s %s\n", "perf_goal",
+              "concurrency", "payload", "protocol", "c_poll", "s_poll",
+              "numa");
+  for (auto [gname, goal] : goals) {
+    for (const Cell& regime : regimes) {
+      for (auto [pname, bytes] : payloads) {
+        hint::Plan plan = hint::select_plan_raw(goal, regime.concurrency,
+                                                bytes, true, params);
+        std::printf("%-12s %-20s %-14s -> %-20s %-6s/%-6s %s\n", gname,
+                    regime.label, pname,
+                    std::string(proto::to_string(plan.protocol)).c_str(),
+                    plan.client_poll == sim::PollMode::kBusy ? "busy"
+                                                             : "event",
+                    plan.server_poll == sim::PollMode::kBusy ? "busy"
+                                                             : "event",
+                    plan.numa_bind ? "bind" : "-");
+      }
+    }
+  }
+  std::printf("\n(unhinted payload -> %s: pre-known buffers cannot be "
+              "sized without payload knowledge)\n",
+              std::string(proto::to_string(
+                  hint::select_plan_raw(hint::PerfGoal::kThroughput, 8, 0,
+                                        false, params)
+                      .protocol))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 16 — YCSB workload B (47.5/2.5/47.5/2.5, read-intensive) on
+// HatKV with 128 clients; same six-system comparison as Fig. 15.
+#include "ycsb_bench.h"
+
+int main(int argc, char** argv) {
+  hatrpc::ycsb::WorkloadSpec spec = hatrpc::ycsb::WorkloadSpec::workload_b();
+  spec.record_count = 2000;
+  hatbench::register_ycsb("Fig16_YCSB_B", spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

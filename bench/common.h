@@ -1,0 +1,172 @@
+// Shared harness for the figure benchmarks.
+//
+// All timing is SIMULATED time: each scenario builds a fresh deterministic
+// simulation, runs it to completion, and reports virtual durations through
+// google-benchmark's manual-time mode (so the printed "Time" column is
+// virtual microseconds, reproducible to the nanosecond across runs).
+//
+// Topology mirrors the paper's testbed (§5.1): one server node and up to
+// nine client nodes of 28 cores each, connected by the simulated EDR
+// fabric. Clients are spread round-robin over the client nodes; NUMA
+// binding is applied only when a scenario says so.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hint/selection.h"
+#include "proto/channel.h"
+#include "sim/rng.h"
+
+namespace hatbench {
+
+using namespace hatrpc;
+using sim::Task;
+using namespace std::chrono_literals;
+
+constexpr int kClientNodes = 9;  // paper: 10-node cluster, 1 server
+
+/// The payload ladder of Figs. 4 and 11.
+inline const std::vector<size_t>& latency_sizes() {
+  static const std::vector<size_t> sizes{4,    64,    512,   4096,
+                                         16384, 65536, 262144, 524288};
+  return sizes;
+}
+
+/// Client-count ladder of Figs. 5 and 12-14 (under / full / over
+/// subscription splits at 16 and 28).
+inline const std::vector<int>& client_counts() {
+  static const std::vector<int> counts{1, 4, 16, 28, 64, 128, 256, 512};
+  return counts;
+}
+
+struct Testbed {
+  sim::Simulator sim;
+  verbs::Fabric fabric{sim};
+  verbs::Node* server = nullptr;
+  std::vector<verbs::Node*> client_nodes;
+
+  Testbed() {
+    server = fabric.add_node();
+    for (int i = 0; i < kClientNodes; ++i)
+      client_nodes.push_back(fabric.add_node());
+  }
+
+  verbs::Node* client_node(int client_index) {
+    return client_nodes[size_t(client_index) % client_nodes.size()];
+  }
+};
+
+/// Echo-with-checksum handler (the ATB server work model: Thrift processor
+/// dispatch + a checksum whose cost grows with payload, §5.3).
+inline proto::Handler checksum_handler(verbs::Node& server,
+                                       bool echo_payload = true) {
+  return [&server, echo_payload](proto::View req) -> Task<proto::Buffer> {
+    co_await server.cpu().compute(1000ns +
+                                  sim::transfer_time(req.size(), 20.0));
+    if (echo_payload) co_return proto::Buffer(req.begin(), req.end());
+    co_return proto::Buffer(8);
+  };
+}
+
+/// Single-client mean RPC latency over `iters` calls.
+inline sim::Duration measure_latency(proto::ProtocolKind kind, size_t bytes,
+                                     sim::PollMode poll, int iters = 64,
+                                     bool numa_local = true) {
+  Testbed bed;
+  proto::ChannelConfig cfg;
+  cfg.client_poll = poll;
+  cfg.server_poll = poll;
+  cfg.max_msg = std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2);
+  cfg.client_numa_local = numa_local;
+  cfg.server_numa_local = numa_local;
+  auto ch = proto::make_channel(kind, *bed.client_node(0), *bed.server,
+                                checksum_handler(*bed.server), cfg);
+  sim::Time total{};
+  bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch, size_t bytes,
+                   int iters, sim::Time& total) -> Task<void> {
+    proto::Buffer payload(bytes, std::byte{0x2a});
+    // Warm-up call (connection/buffer effects).
+    co_await ch.call(payload, uint32_t(bytes));
+    sim::Time t0 = bed.sim.now();
+    for (int i = 0; i < iters; ++i)
+      co_await ch.call(payload, uint32_t(bytes));
+    total = bed.sim.now() - t0;
+    ch.shutdown();
+  }(bed, *ch, bytes, iters, total));
+  bed.sim.run();
+  return total / iters;
+}
+
+struct ThroughputResult {
+  double mops = 0;            // aggregate million ops/s
+  sim::Duration mean_latency{};
+};
+
+/// Multi-client closed-loop throughput: `clients` concurrent clients, each
+/// issuing `iters` calls on its own connection.
+inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
+                                           size_t bytes, int clients,
+                                           sim::PollMode poll, int iters = 30,
+                                           bool numa_bind = false) {
+  Testbed bed;
+  proto::ChannelConfig cfg;
+  cfg.client_poll = poll;
+  cfg.server_poll = poll;
+  cfg.max_msg = std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2);
+  // NUMA binding is beneficial (and applied) only under-subscription.
+  bool numa_local = numa_bind && clients <= 16;
+  cfg.client_numa_local = numa_local;
+  cfg.server_numa_local = numa_local;
+
+  std::vector<std::unique_ptr<proto::RpcChannel>> channels;
+  for (int c = 0; c < clients; ++c)
+    channels.push_back(proto::make_channel(kind, *bed.client_node(c),
+                                           *bed.server,
+                                           checksum_handler(*bed.server),
+                                           cfg));
+  sim::WaitGroup wg(bed.sim);
+  wg.add(size_t(clients));
+  for (int c = 0; c < clients; ++c) {
+    bed.sim.spawn([](proto::RpcChannel& ch, size_t bytes, int iters,
+                     sim::WaitGroup& wg) -> Task<void> {
+      proto::Buffer payload(bytes, std::byte{0x5a});
+      for (int i = 0; i < iters; ++i)
+        co_await ch.call(payload, uint32_t(bytes));
+      wg.done();
+    }(*channels[size_t(c)], bytes, iters, wg));
+  }
+  sim::Time end{};
+  bed.sim.spawn([](Testbed& bed, sim::WaitGroup& wg, sim::Time& end,
+                   std::vector<std::unique_ptr<proto::RpcChannel>>& channels)
+                    -> Task<void> {
+    co_await wg.wait();
+    end = bed.sim.now();
+    for (auto& ch : channels) ch->shutdown();
+  }(bed, wg, end, channels));
+  bed.sim.run();
+
+  ThroughputResult r;
+  double secs = sim::to_seconds(end);
+  uint64_t total_calls = uint64_t(clients) * uint64_t(iters);
+  r.mops = secs > 0 ? double(total_calls) / secs / 1e6 : 0;
+  r.mean_latency = end / int64_t(total_calls ? total_calls : 1);
+  return r;
+}
+
+/// The plan HatRPC derives for the given hint triple (used by the ATB
+/// benchmarks to place the "HatRPC" series).
+inline hint::Plan hatrpc_plan(hint::PerfGoal goal, uint32_t clients,
+                              uint32_t payload) {
+  return hint::select_plan_raw(goal, clients, payload, /*numa=*/true,
+                               hint::SelectionParams{});
+}
+
+inline std::string poll_name(sim::PollMode m) {
+  return m == sim::PollMode::kBusy ? "busy" : "event";
+}
+
+}  // namespace hatbench

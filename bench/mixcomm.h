@@ -1,0 +1,148 @@
+// Shared implementation of the ATB Mix-Comm benchmark (Figs. 13 and 14):
+// every client issues a 50/50 random mix of a latency-hinted RPC and a
+// throughput-hinted RPC (checksum server work scaling with payload, §5.3).
+// HatRPC resolves a separate plan per function (optimization isolation:
+// two channels per client); the baselines push both RPC types through one
+// fixed protocol. Reported: mean latency of the latency calls and
+// aggregate throughput of the throughput calls.
+#pragma once
+
+#include "common.h"
+
+namespace hatbench {
+
+struct MixResult {
+  sim::Duration latency_fn_mean{};
+  double throughput_fn_kops = 0;
+};
+
+inline MixResult measure_mixcomm(size_t bytes, int clients,
+                                 std::optional<proto::ProtocolKind> fixed,
+                                 int iters = 30) {
+  Testbed bed;
+  hint::Plan lat_plan = hatrpc_plan(hint::PerfGoal::kLatency,
+                                    uint32_t(clients), uint32_t(bytes));
+  hint::Plan thr_plan = hatrpc_plan(hint::PerfGoal::kThroughput,
+                                    uint32_t(clients), uint32_t(bytes));
+
+  auto make = [&](verbs::Node* cn, const hint::Plan& plan) {
+    proto::ChannelConfig cfg;
+    cfg.max_msg = std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2);
+    if (fixed) {
+      cfg.client_poll = sim::PollMode::kBusy;
+      cfg.server_poll = sim::PollMode::kBusy;
+      return proto::make_channel(*fixed, *cn, *bed.server,
+                                 checksum_handler(*bed.server), cfg);
+    }
+    cfg.client_poll = plan.client_poll;
+    cfg.server_poll = plan.server_poll;
+    bool numa = plan.numa_bind && clients <= 16;
+    cfg.client_numa_local = numa;
+    cfg.server_numa_local = numa;
+    return proto::make_channel(plan.protocol, *cn, *bed.server,
+                               checksum_handler(*bed.server), cfg);
+  };
+
+  struct ClientChannels {
+    std::unique_ptr<proto::RpcChannel> lat;
+    std::unique_ptr<proto::RpcChannel> thr;  // == lat for baselines
+  };
+  // Like HatConnection, channels are shared when two functions resolve to
+  // the same plan (same protocol + polling).
+  bool plans_equal = lat_plan.protocol == thr_plan.protocol &&
+                     lat_plan.client_poll == thr_plan.client_poll &&
+                     lat_plan.server_poll == thr_plan.server_poll;
+  std::vector<ClientChannels> chans;
+  for (int c = 0; c < clients; ++c) {
+    ClientChannels cc;
+    cc.lat = make(bed.client_node(c), lat_plan);
+    cc.thr = (fixed || plans_equal) ? nullptr
+                                    : make(bed.client_node(c), thr_plan);
+    chans.push_back(std::move(cc));
+  }
+
+  struct Totals {
+    sim::Duration lat_total{};
+    uint64_t lat_calls = 0;
+    uint64_t thr_calls = 0;
+  } totals;
+
+  sim::WaitGroup wg(bed.sim);
+  wg.add(size_t(clients));
+  for (int c = 0; c < clients; ++c) {
+    bed.sim.spawn([](Testbed& bed, ClientChannels& cc, size_t bytes,
+                     int iters, int seed, Totals& totals,
+                     sim::WaitGroup& wg) -> Task<void> {
+      sim::Rng rng(uint64_t(seed) * 7919 + 17);
+      proto::Buffer payload(bytes, std::byte{0x11});
+      proto::RpcChannel& thr_ch = cc.thr ? *cc.thr : *cc.lat;
+      for (int i = 0; i < iters; ++i) {
+        if (rng.chance(0.5)) {
+          sim::Time t0 = bed.sim.now();
+          co_await cc.lat->call(payload, uint32_t(bytes));
+          totals.lat_total += bed.sim.now() - t0;
+          ++totals.lat_calls;
+        } else {
+          co_await thr_ch.call(payload, uint32_t(bytes));
+          ++totals.thr_calls;
+        }
+      }
+      wg.done();
+    }(bed, chans[size_t(c)], bytes, iters, c, totals, wg));
+  }
+  sim::Time end{};
+  bed.sim.spawn([](Testbed& bed, sim::WaitGroup& wg, sim::Time& end,
+                   std::vector<ClientChannels>& chans) -> Task<void> {
+    co_await wg.wait();
+    end = bed.sim.now();
+    for (auto& cc : chans) {
+      cc.lat->shutdown();
+      if (cc.thr) cc.thr->shutdown();
+    }
+  }(bed, wg, end, chans));
+  bed.sim.run();
+
+  MixResult r;
+  if (totals.lat_calls)
+    r.latency_fn_mean = totals.lat_total / int64_t(totals.lat_calls);
+  double secs = sim::to_seconds(end);
+  r.throughput_fn_kops =
+      secs > 0 ? double(totals.thr_calls) / secs / 1e3 : 0;
+  return r;
+}
+
+inline void register_mixcomm(const char* fig, size_t bytes) {
+  static const std::pair<const char*,
+                         std::optional<proto::ProtocolKind>> kSeries[] = {
+      {"HatRPC", std::nullopt},
+      {"Hybrid-EagerRNDV", proto::ProtocolKind::kHybridEagerRndv},
+      {"Direct-Write-Send", proto::ProtocolKind::kDirectWriteSend},
+      {"RFP", proto::ProtocolKind::kRfp},
+      {"Direct-WriteIMM", proto::ProtocolKind::kDirectWriteImm},
+  };
+  for (auto& [label, fixed] : kSeries) {
+    for (int clients : client_counts()) {
+      std::string name = std::string(fig) + "/" + label + "/c" +
+                         std::to_string(clients);
+      auto fixed_copy = fixed;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [bytes, clients, fixed_copy](benchmark::State& state) {
+            int iters = clients >= 128 ? 10 : 30;
+            MixResult r;
+            for (auto _ : state) {
+              r = measure_mixcomm(bytes, clients, fixed_copy, iters);
+              state.SetIterationTime(
+                  sim::to_seconds(r.latency_fn_mean) + 1e-9);
+            }
+            state.counters["lat_us"] = sim::to_micros(r.latency_fn_mean);
+            state.counters["thr_kops"] = r.throughput_fn_kops;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace hatbench

@@ -1,0 +1,214 @@
+// Shared implementation of the YCSB-on-HatKV comparison (Figs. 15 and 16):
+// six configurations — HatRPC-Function, HatRPC-Service, and the emulated
+// AR-gRPC / HERD / Pilaf / RFP comparators — all sharing the SAME mdblite
+// backend and dispatcher (the paper's "same backend implementation to
+// avoid unfair comparison"), differing only in the communication path.
+// Topology per §5.4: 1 server node, 128 clients over 4 client nodes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "kv/hatkv.h"
+#include "ycsb/ycsb.h"
+
+namespace hatbench {
+
+using namespace hatrpc;
+using sim::Task;
+using namespace std::chrono_literals;
+
+struct YcsbSetup {
+  const char* label;
+  bool engine;  // true: HatConnection (hint-driven); false: fixed protocol
+  bool function_hints;                 // engine only
+  proto::ProtocolKind fixed_protocol;  // comparator only
+};
+
+inline const std::vector<YcsbSetup>& ycsb_setups() {
+  static const std::vector<YcsbSetup> setups{
+      {"HatRPC-Function", true, true, proto::ProtocolKind::kDirectWriteImm},
+      {"HatRPC-Service", true, false, proto::ProtocolKind::kDirectWriteImm},
+      {"AR-gRPC", false, false, proto::ProtocolKind::kArGrpc},
+      {"HERD", false, false, proto::ProtocolKind::kHerd},
+      {"Pilaf", false, false, proto::ProtocolKind::kPilaf},
+      {"RFP", false, false, proto::ProtocolKind::kRfp},
+  };
+  return setups;
+}
+
+/// HatCaller over one fixed protocol channel (the comparator emulations),
+/// charging the same serialization costs as the engine path.
+class FixedCaller : public core::HatCaller {
+ public:
+  FixedCaller(verbs::Node& client, verbs::Node& server,
+              proto::Handler processor, proto::ProtocolKind kind) {
+    proto::ChannelConfig cfg;
+    cfg.client_poll = sim::PollMode::kEvent;  // 128 clients: scalable mode
+    cfg.server_poll = sim::PollMode::kEvent;
+    cfg.max_msg = 64 << 10;
+    channel_ = proto::make_channel(kind, client, server,
+                                   std::move(processor), cfg);
+    cpu_ = &client.cpu();
+  }
+
+  Task<core::Buffer> call(std::string method,
+                          core::View payload) override {
+    core::Buffer env = core::HatDispatcher::make_call(method, payload, 0);
+    co_await cpu_->compute(2us + sim::transfer_time(env.size(), 1.0));
+    // Response sizing pre-knowledge mirrors what each system's client
+    // would configure: ~1KB single ops, ~11KB batched ops.
+    uint32_t hint = method.starts_with("Multi") ? 11 << 10 : 1200;
+    core::Buffer reply = co_await channel_->call(env, hint);
+    co_await cpu_->compute(2us + sim::transfer_time(reply.size(), 1.0));
+    co_return core::HatDispatcher::parse_reply(reply, method);
+  }
+
+  void shutdown() { channel_->shutdown(); }
+
+ private:
+  std::unique_ptr<proto::RpcChannel> channel_;
+  sim::Cpu* cpu_ = nullptr;
+};
+
+struct YcsbRunResult {
+  ycsb::StatsCollector stats;
+  sim::Duration span{};
+};
+
+inline hint::ServiceHints service_only_hints() {
+  hint::ServiceHints h;
+  h.service().add(hint::Side::kShared, hint::Key::kConcurrency,
+                  hint::parse_value(hint::Key::kConcurrency, "128"));
+  h.service().add(hint::Side::kShared, hint::Key::kPerfGoal,
+                  hint::parse_value(hint::Key::kPerfGoal, "throughput"));
+  return h;
+}
+
+inline YcsbRunResult run_ycsb(const YcsbSetup& setup,
+                              ycsb::WorkloadSpec spec, int clients,
+                              int ops_per_client) {
+  sim::Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* server_node = fabric.add_node();
+  std::vector<verbs::Node*> client_nodes;
+  for (int i = 0; i < 4; ++i) client_nodes.push_back(fabric.add_node());
+
+  hint::ServiceHints hints = setup.engine && setup.function_hints
+                                 ? hatkv::HatKV_hints()
+                                 : service_only_hints();
+  // Full-Thrift-stack software costs (the paper's server runs the complete
+  // Apache Thrift processor; YCSB clients add comparable work): multi-us
+  // per-message serialization keeps the system communication/CPU-bound,
+  // like the paper's testbed, rather than storage-bound.
+  core::EngineConfig ecfg;
+  ecfg.serialize_fixed = 2us;
+  ecfg.serialize_gbps = 1.0;
+  core::HatServer server(*server_node, std::move(hints), ecfg);
+  kv::HatKVHandler handler(
+      *server_node, kv::HatKVConfig::from_hints(hatkv::HatKV_hints()));
+  hatkv::register_HatKV(server.dispatcher(), handler);
+
+  std::vector<std::unique_ptr<core::HatConnection>> conns;
+  std::vector<std::unique_ptr<FixedCaller>> fixed;
+  std::vector<core::HatCaller*> callers;
+  for (int c = 0; c < clients; ++c) {
+    verbs::Node* cn = client_nodes[size_t(c) % client_nodes.size()];
+    if (setup.engine) {
+      conns.push_back(std::make_unique<core::HatConnection>(*cn, server));
+      callers.push_back(conns.back().get());
+    } else {
+      fixed.push_back(std::make_unique<FixedCaller>(
+          *cn, *server_node, server.processor(), setup.fixed_protocol));
+      callers.push_back(fixed.back().get());
+    }
+  }
+
+  YcsbRunResult result;
+  sim::WaitGroup wg(sim);
+  wg.add(size_t(clients));
+  for (int c = 0; c < clients; ++c) {
+    sim.spawn([](sim::Simulator& sim, core::HatCaller* caller,
+                 ycsb::WorkloadSpec spec, int c, int clients,
+                 int ops_per_client, ycsb::StatsCollector& stats,
+                 sim::WaitGroup& wg) -> Task<void> {
+      hatkv::HatKVClient client(*caller);
+      ycsb::WorkloadGenerator gen(spec, uint64_t(c) * 101 + 7);
+      sim::Rng vrng(uint64_t(c) * 13 + 1);
+      // Load phase: each client loads its stripe of the keyspace.
+      for (uint64_t k = uint64_t(c); k < spec.record_count;
+           k += uint64_t(clients))
+        co_await client.Put(gen.key_of(k), gen.make_value(vrng));
+      // Run phase.
+      for (int i = 0; i < ops_per_client; ++i) {
+        ycsb::Op op = gen.next();
+        sim::Time t0 = sim.now();
+        switch (op.type) {
+          case ycsb::OpType::kGet:
+            co_await client.Get(op.keys[0]);
+            break;
+          case ycsb::OpType::kPut:
+            co_await client.Put(op.keys[0], op.values[0]);
+            break;
+          case ycsb::OpType::kMultiGet:
+            co_await client.MultiGet(op.keys);
+            break;
+          case ycsb::OpType::kMultiPut: {
+            std::vector<hatkv::KVPair> pairs(op.keys.size());
+            for (size_t j = 0; j < op.keys.size(); ++j) {
+              pairs[j].key = op.keys[j];
+              pairs[j].value = op.values[j];
+            }
+            co_await client.MultiPut(pairs);
+            break;
+          }
+        }
+        stats.record(op.type, sim.now() - t0);
+      }
+      wg.done();
+    }(sim, callers[size_t(c)], spec, c, clients, ops_per_client,
+      result.stats, wg));
+  }
+  sim::Time end{};
+  sim.spawn([](sim::Simulator& sim, sim::WaitGroup& wg, sim::Time& end,
+               core::HatServer& server,
+               std::vector<std::unique_ptr<FixedCaller>>& fixed)
+                -> Task<void> {
+    co_await wg.wait();
+    end = sim.now();
+    server.stop();
+    for (auto& f : fixed) f->shutdown();
+  }(sim, wg, end, server, fixed));
+  sim.run();
+  result.span = end;
+  return result;
+}
+
+inline void register_ycsb(const char* fig, ycsb::WorkloadSpec spec) {
+  for (const YcsbSetup& setup : ycsb_setups()) {
+    std::string name = std::string(fig) + "/" + setup.label;
+    const YcsbSetup* sp = &setup;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [sp, spec](benchmark::State& state) {
+          YcsbRunResult r;
+          for (auto _ : state) {
+            r = run_ycsb(*sp, spec, /*clients=*/128, /*ops=*/25);
+            state.SetIterationTime(sim::to_seconds(r.span));
+          }
+          state.counters["total_kops"] =
+              r.stats.total_throughput_kops(r.span);
+          for (ycsb::OpType t : ycsb::kAllOps) {
+            std::string op(ycsb::to_string(t));
+            state.counters[op + "_kops"] =
+                r.stats.throughput_kops(t, r.span);
+            state.counters[op + "_lat_us"] =
+                sim::to_micros(r.stats.mean_latency(t));
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace hatbench

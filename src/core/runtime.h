@@ -1,0 +1,182 @@
+// Byte-level RPC runtime interfaces that generated code targets.
+//
+// A generated client stub serializes its argument struct, then issues
+// HatCaller::call(method, payload); a generated processor deserializes,
+// invokes the user's handler implementation, and serializes the result.
+// The envelope is a standard Thrift message (name, type, seqid) so the
+// same bytes flow over TSocket and TRdma unchanged.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/task.h"
+#include "thrift/buffer.h"
+#include "thrift/protocol.h"
+#include "thrift/transport.h"
+
+namespace hatrpc::core {
+
+using thrift::Buffer;
+using thrift::View;
+
+/// Client-side generic call interface (implemented by HatConnection and by
+/// the plain socket client).
+class HatCaller {
+ public:
+  virtual ~HatCaller() = default;
+  /// `method` is taken by value: coroutine implementations move it into
+  /// their frame, so callers may pass temporaries safely.
+  virtual sim::Task<Buffer> call(std::string method, View payload) = 0;
+};
+
+/// Server-side method table: method name -> handler over serialized args.
+/// process() parses the Thrift message envelope, dispatches, and wraps the
+/// result (or a TApplicationException) in a reply envelope.
+class HatDispatcher {
+ public:
+  /// Takes the serialized args struct; returns the serialized result struct.
+  using MethodFn = std::function<sim::Task<Buffer>(View args)>;
+
+  void register_method(std::string name, MethodFn fn) {
+    methods_[std::move(name)] = std::move(fn);
+  }
+
+  bool has_method(const std::string& name) const {
+    return methods_.count(name) > 0;
+  }
+
+  /// Full envelope in -> full envelope out.
+  sim::Task<Buffer> process(View request) {
+    thrift::TMemoryBuffer in = thrift::TMemoryBuffer::wrap(request);
+    thrift::TBinaryProtocol ip(in);
+    auto head = ip.readMessageBegin();
+
+    thrift::TMemoryBuffer out;
+    thrift::TBinaryProtocol op(out);
+    auto it = methods_.find(head.name);
+    if (it == methods_.end()) {
+      op.writeMessageBegin(head.name, thrift::TMessageType::kException,
+                           head.seqid);
+      write_application_exception(op, 1 /*UNKNOWN_METHOD*/,
+                                  "unknown method: " + head.name);
+      co_return out.take();
+    }
+    size_t consumed = request.size() - in.readable();
+    // Undeclared exceptions escaping a handler become INTERNAL_ERROR
+    // replies (Apache Thrift behaviour) rather than tearing down the
+    // server's serve loop.
+    try {
+      Buffer result = co_await it->second(request.subspan(consumed));
+      op.writeMessageBegin(head.name, thrift::TMessageType::kReply,
+                           head.seqid);
+      out.write(result.data(), result.size());
+    } catch (const std::exception& e) {
+      out.reset();
+      op.writeMessageBegin(head.name, thrift::TMessageType::kException,
+                           head.seqid);
+      write_application_exception(op, 6 /*INTERNAL_ERROR*/, e.what());
+    }
+    co_return out.take();
+  }
+
+  /// Builds the call envelope around serialized args.
+  static Buffer make_call(const std::string& method, View args,
+                          int32_t seqid) {
+    thrift::TMemoryBuffer buf;
+    thrift::TBinaryProtocol p(buf);
+    p.writeMessageBegin(method, thrift::TMessageType::kCall, seqid);
+    buf.write(args.data(), args.size());
+    return buf.take();
+  }
+
+  /// Strips the reply envelope; throws TApplicationException on error
+  /// replies. Returns the serialized result struct bytes.
+  static Buffer parse_reply(View reply, const std::string& method) {
+    thrift::TMemoryBuffer buf = thrift::TMemoryBuffer::wrap(reply);
+    thrift::TBinaryProtocol p(buf);
+    auto head = p.readMessageBegin();
+    if (head.type == thrift::TMessageType::kException) {
+      throw read_application_exception(p);
+    }
+    if (head.name != method)
+      throw thrift::TApplicationException(
+          thrift::TApplicationException::Kind::kWrongMethodName,
+          "reply for '" + head.name + "', expected '" + method + "'");
+    size_t consumed = reply.size() - buf.readable();
+    View rest = reply.subspan(consumed);
+    return Buffer(rest.begin(), rest.end());
+  }
+
+ private:
+  static void write_application_exception(thrift::TProtocol& p, int32_t type,
+                                          const std::string& what) {
+    p.writeStructBegin("TApplicationException");
+    p.writeFieldBegin(thrift::TType::kString, 1);
+    p.writeString(what);
+    p.writeFieldBegin(thrift::TType::kI32, 2);
+    p.writeI32(type);
+    p.writeFieldStop();
+    p.writeStructEnd();
+  }
+
+  static thrift::TApplicationException read_application_exception(
+      thrift::TProtocol& p) {
+    std::string what = "unknown";
+    int32_t type = 0;
+    p.readStructBegin();
+    while (true) {
+      auto f = p.readFieldBegin();
+      if (f.type == thrift::TType::kStop) break;
+      if (f.id == 1 && f.type == thrift::TType::kString) what = p.readString();
+      else if (f.id == 2 && f.type == thrift::TType::kI32) type = p.readI32();
+      else p.skip(f.type);
+    }
+    p.readStructEnd();
+    return thrift::TApplicationException(
+        static_cast<thrift::TApplicationException::Kind>(type), what);
+  }
+
+  std::map<std::string, MethodFn> methods_;
+};
+
+/// Service multiplexing (Thrift's TMultiplexedProtocol/TMultiplexedProcessor
+/// pair, the fourth protocol of the paper's Fig. 2 row): several services
+/// share one connection by prefixing method names with "<service>:".
+constexpr char kMultiplexSeparator = ':';
+
+/// Client side: scopes every call to one service on a shared caller.
+class MultiplexedCaller : public HatCaller {
+ public:
+  MultiplexedCaller(HatCaller& inner, std::string service)
+      : inner_(inner), prefix_(std::move(service) + kMultiplexSeparator) {}
+
+  sim::Task<Buffer> call(std::string method, View payload) override {
+    return inner_.call(prefix_ + method, payload);
+  }
+
+ private:
+  HatCaller& inner_;
+  std::string prefix_;
+};
+
+/// Server side: a registration view that prefixes method names, so the
+/// generated register_<Service>() helpers can bind multiple services into
+/// one shared HatDispatcher. (Not a dispatcher itself — processing stays
+/// with the shared inner dispatcher.)
+class MultiplexedDispatcher {
+ public:
+  MultiplexedDispatcher(HatDispatcher& inner, std::string service)
+      : inner_(inner), prefix_(std::move(service) + kMultiplexSeparator) {}
+
+  void register_method(std::string name, HatDispatcher::MethodFn fn) {
+    inner_.register_method(prefix_ + name, std::move(fn));
+  }
+
+ private:
+  HatDispatcher& inner_;
+  std::string prefix_;
+};
+
+}  // namespace hatrpc::core

@@ -1,0 +1,123 @@
+#include "hint/hint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace hatrpc::hint {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+int64_t parse_size(std::string_view s) {
+  int64_t mult = 1;
+  std::string_view digits = s;
+  if (!s.empty()) {
+    char suffix = static_cast<char>(std::tolower(s.back()));
+    if (suffix == 'k') mult = 1024;
+    if (suffix == 'm') mult = 1024 * 1024;
+    if (mult != 1) digits = s.substr(0, s.size() - 1);
+  }
+  int64_t v = 0;
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size() || v < 0)
+    throw HintError("bad numeric hint value: " + std::string(s));
+  return v * mult;
+}
+
+}  // namespace
+
+std::optional<Key> parse_key(std::string_view name) {
+  std::string n = lower(name);
+  if (n == "perf_goal") return Key::kPerfGoal;
+  if (n == "concurrency") return Key::kConcurrency;
+  if (n == "payload_size") return Key::kPayloadSize;
+  if (n == "numa_binding") return Key::kNumaBinding;
+  if (n == "transport") return Key::kTransport;
+  if (n == "polling") return Key::kPolling;
+  if (n == "priority") return Key::kPriority;
+  return std::nullopt;
+}
+
+std::string_view to_string(Key k) {
+  switch (k) {
+    case Key::kPerfGoal: return "perf_goal";
+    case Key::kConcurrency: return "concurrency";
+    case Key::kPayloadSize: return "payload_size";
+    case Key::kNumaBinding: return "numa_binding";
+    case Key::kTransport: return "transport";
+    case Key::kPolling: return "polling";
+    case Key::kPriority: return "priority";
+  }
+  return "?";
+}
+
+std::string_view to_string(PerfGoal g) {
+  switch (g) {
+    case PerfGoal::kLatency: return "latency";
+    case PerfGoal::kThroughput: return "throughput";
+    case PerfGoal::kResUtil: return "res_util";
+  }
+  return "?";
+}
+
+std::string_view to_string(Side s) {
+  switch (s) {
+    case Side::kShared: return "hint";
+    case Side::kServer: return "s_hint";
+    case Side::kClient: return "c_hint";
+  }
+  return "?";
+}
+
+Value parse_value(Key key, std::string_view value) {
+  Value v;
+  v.raw = std::string(value);
+  std::string lv = lower(value);
+  switch (key) {
+    case Key::kPerfGoal:
+      if (lv == "latency") v.goal = PerfGoal::kLatency;
+      else if (lv == "throughput") v.goal = PerfGoal::kThroughput;
+      else if (lv == "res_util") v.goal = PerfGoal::kResUtil;
+      else throw HintError("perf_goal must be latency|throughput|res_util, "
+                           "got '" + std::string(value) + "'");
+      return v;
+    case Key::kConcurrency:
+      v.num = parse_size(value);
+      if (v.num < 1) throw HintError("concurrency must be >= 1");
+      return v;
+    case Key::kPayloadSize:
+      v.num = parse_size(value);
+      return v;
+    case Key::kNumaBinding:
+      if (lv == "true" || lv == "1") v.flag = true;
+      else if (lv == "false" || lv == "0") v.flag = false;
+      else throw HintError("numa_binding must be true|false");
+      return v;
+    case Key::kTransport:
+      if (lv == "rdma") v.transport = Transport::kRdma;
+      else if (lv == "tcp") v.transport = Transport::kTcp;
+      else throw HintError("transport must be rdma|tcp");
+      return v;
+    case Key::kPolling:
+      if (lv == "busy") v.flag = true;
+      else if (lv == "event") v.flag = false;
+      else throw HintError("polling must be busy|event");
+      return v;
+    case Key::kPriority:
+      if (lv == "high") v.priority = Priority::kHigh;
+      else if (lv == "low") v.priority = Priority::kLow;
+      else throw HintError("priority must be high|low");
+      return v;
+  }
+  throw HintError("unknown hint key");
+}
+
+}  // namespace hatrpc::hint

@@ -1,0 +1,144 @@
+// The hierarchical hint scheme of paper §4.1 (Fig. 1 / Fig. 7).
+//
+// Hints are key=value pairs attached at two vertical levels (service,
+// function) and three lateral groups ('hint' = shared, 's_hint' = server
+// side, 'c_hint' = client side). Resolution for one RPC function from one
+// side's perspective walks, highest priority first:
+//
+//     function side-specific  >  function shared
+//   > service  side-specific  >  service  shared
+//
+// i.e. function-level hints override same-key service-level hints, and a
+// side-specific group overrides the shared group at the same level —
+// giving both heterogeneity across functions and server/client asymmetry
+// with full optimization isolation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hatrpc::hint {
+
+enum class Key : uint8_t {
+  kPerfGoal,     // latency | throughput | res_util
+  kConcurrency,  // expected concurrent clients (positive integer)
+  kPayloadSize,  // expected payload bytes (suffix k/m accepted)
+  kNumaBinding,  // true | false — bind driving threads to the NIC socket
+  kTransport,    // rdma | tcp — hybrid transports (§3.3, §5.5)
+  kPolling,      // busy | event — explicit override of the derived choice
+  kPriority,     // high | low — e.g. heartbeats marked low (§4.1)
+};
+
+enum class PerfGoal : uint8_t { kLatency, kThroughput, kResUtil };
+enum class Transport : uint8_t { kRdma, kTcp };
+enum class Priority : uint8_t { kHigh, kLow };
+
+/// Which lateral group a hint belongs to ('hint' / 's_hint' / 'c_hint').
+enum class Side : uint8_t { kShared, kServer, kClient };
+
+/// Which end is asking during resolution.
+enum class Perspective : uint8_t { kServer, kClient };
+
+class HintError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A validated hint value. Construction from IDL text happens through
+/// parse(), which rejects unknown keys and out-of-domain values — the
+/// compiler's "check" step (§4.2).
+struct Value {
+  std::string raw;
+  // Exactly one of these is meaningful, fixed by the key's type.
+  int64_t num = 0;
+  PerfGoal goal = PerfGoal::kLatency;
+  Transport transport = Transport::kRdma;
+  Priority priority = Priority::kHigh;
+  bool flag = false;
+};
+
+std::optional<Key> parse_key(std::string_view name);
+std::string_view to_string(Key k);
+std::string_view to_string(PerfGoal g);
+std::string_view to_string(Side s);
+
+/// Validates and parses `value` for `key`; throws HintError on bad input.
+Value parse_value(Key key, std::string_view value);
+
+/// One scope's hints for one lateral group.
+using HintMap = std::map<Key, Value>;
+
+/// All three lateral groups of one vertical scope (a service or function).
+struct HintGroup {
+  HintMap shared;
+  HintMap server;
+  HintMap client;
+
+  HintMap& side(Side s) {
+    switch (s) {
+      case Side::kShared: return shared;
+      case Side::kServer: return server;
+      case Side::kClient: return client;
+    }
+    throw HintError("bad side");
+  }
+  const HintMap& side(Side s) const {
+    return const_cast<HintGroup*>(this)->side(s);
+  }
+
+  /// Adds a hint, rejecting duplicate keys in the same group (the
+  /// compiler's merge step collapses groups of the same side first).
+  void add(Side s, Key k, Value v) {
+    auto [it, inserted] = side(s).emplace(k, std::move(v));
+    if (!inserted)
+      throw HintError(std::string("duplicate hint '") +
+                      std::string(to_string(k)) + "' in " +
+                      std::string(to_string(s)) + " group");
+  }
+
+  bool empty() const {
+    return shared.empty() && server.empty() && client.empty();
+  }
+};
+
+/// The full hint hierarchy of one service.
+class ServiceHints {
+ public:
+  HintGroup& service() { return service_; }
+  const HintGroup& service() const { return service_; }
+
+  HintGroup& function(const std::string& name) { return functions_[name]; }
+  const std::map<std::string, HintGroup>& functions() const {
+    return functions_;
+  }
+
+  /// Resolves `key` for `function` from `view`'s perspective, applying the
+  /// override chain documented at the top of this header.
+  const Value* lookup(const std::string& function, Key key,
+                      Perspective view) const {
+    Side specific =
+        view == Perspective::kServer ? Side::kServer : Side::kClient;
+    auto fit = functions_.find(function);
+    if (fit != functions_.end()) {
+      if (const Value* v = find(fit->second.side(specific), key)) return v;
+      if (const Value* v = find(fit->second.shared, key)) return v;
+    }
+    if (const Value* v = find(service_.side(specific), key)) return v;
+    return find(service_.shared, key);
+  }
+
+ private:
+  static const Value* find(const HintMap& m, Key k) {
+    auto it = m.find(k);
+    return it == m.end() ? nullptr : &it->second;
+  }
+
+  HintGroup service_;
+  std::map<std::string, HintGroup> functions_;
+};
+
+}  // namespace hatrpc::hint

@@ -1,0 +1,47 @@
+// The Figure-6 design-space mapping: resolved hints -> an execution plan
+// (RDMA protocol, polling discipline per side, NUMA placement, transport).
+// This is the protocol-selection algorithm of §4.3, derived from the §3.2
+// characterization.
+#pragma once
+
+#include "hint/hint.h"
+#include "proto/channel.h"
+
+namespace hatrpc::hint {
+
+/// Cluster facts the mapping needs (paper testbed defaults).
+struct SelectionParams {
+  uint32_t numa_node_cores = 16;  // under-subscription bound (Fig. 5/12)
+  uint32_t server_cores = 28;     // full-subscription bound
+  uint32_t small_msg_max = 4096;  // eager/rendezvous switch (§4.3, 4 KB)
+};
+
+/// The per-function execution plan the RDMA engine caches (§4.3: "passing
+/// the pointer and caching the RPC function type").
+struct Plan {
+  proto::ProtocolKind protocol = proto::ProtocolKind::kHybridEagerRndv;
+  sim::PollMode client_poll = sim::PollMode::kBusy;
+  sim::PollMode server_poll = sim::PollMode::kBusy;
+  bool numa_bind = false;          // bind client threads under-subscription
+  Transport transport = Transport::kRdma;
+  uint32_t expected_payload = 0;   // plumbed to READ-sized fetches
+
+  bool operator==(const Plan&) const = default;
+};
+
+enum class Subscription : uint8_t { kUnder, kFull, kOver };
+
+Subscription classify_subscription(uint32_t concurrency,
+                                   const SelectionParams& p);
+
+/// Maps one function's resolved hints to a plan.
+Plan select_plan(const ServiceHints& hints, const std::string& function,
+                 const SelectionParams& params);
+
+/// Core mapping on already-extracted knobs (exposed for tests and for the
+/// Fig. 6 design-space printer).
+Plan select_plan_raw(PerfGoal goal, uint32_t concurrency,
+                     uint32_t payload_bytes, bool numa_hint,
+                     const SelectionParams& params);
+
+}  // namespace hatrpc::hint

@@ -1,0 +1,90 @@
+// Abstract syntax tree for HatRPC IDL documents — Thrift's IDL extended
+// with the hint grammar of Fig. 7. Hint-bearing nodes (services and
+// functions) carry raw key=value pairs; the checker pass (check.h)
+// validates them against the hint schema and builds hint::ServiceHints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hint/hint.h"
+
+namespace hatrpc::idl {
+
+struct TypeRef {
+  enum class Kind : uint8_t {
+    kVoid, kBool, kByte, kI16, kI32, kI64, kDouble, kString, kBinary,
+    kNamed,  // struct / enum / typedef reference
+    kList, kSet, kMap,
+  };
+  Kind kind = Kind::kVoid;
+  std::string name;            // for kNamed
+  std::vector<TypeRef> args;   // element type(s) for containers
+
+  bool is_container() const {
+    return kind == Kind::kList || kind == Kind::kSet || kind == Kind::kMap;
+  }
+};
+
+struct Field {
+  int16_t id = 0;
+  bool optional = false;
+  TypeRef type;
+  std::string name;
+  std::optional<std::string> default_raw;
+};
+
+struct StructDef {
+  std::string name;
+  bool is_exception = false;
+  std::vector<Field> fields;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::pair<std::string, int32_t>> values;
+};
+
+struct ConstDef {
+  std::string name;
+  TypeRef type;
+  std::string value_raw;
+  bool is_string_literal = false;
+};
+
+/// One `key = value` from a HintGroup, before validation.
+struct RawHint {
+  hint::Side side = hint::Side::kShared;
+  std::string key;
+  std::string value;
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;
+  bool oneway = false;
+  TypeRef ret;
+  std::vector<Field> args;
+  std::vector<Field> throws;
+  std::vector<RawHint> hints;  // Fig. 7 FunctionHint
+};
+
+struct ServiceDef {
+  std::string name;
+  std::string extends;
+  std::vector<RawHint> hints;  // Fig. 7 service-level HintGroups
+  std::vector<FunctionDef> functions;
+};
+
+struct Program {
+  std::string cpp_namespace;  // from `namespace cpp x.y`
+  std::vector<std::string> includes;
+  std::vector<ConstDef> consts;
+  std::vector<EnumDef> enums;
+  std::vector<StructDef> structs;
+  std::vector<ServiceDef> services;
+};
+
+}  // namespace hatrpc::idl

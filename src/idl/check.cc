@@ -1,0 +1,50 @@
+#include "idl/check.h"
+
+namespace hatrpc::idl {
+
+namespace {
+
+void check_hints(const std::vector<RawHint>& raw, hint::HintGroup& into,
+                 const std::string& scope, bool strict, CheckResult& result) {
+  for (const RawHint& rh : raw) {
+    auto fail = [&](const std::string& why) {
+      result.diagnostics.push_back(
+          {strict ? Diagnostic::Severity::kError
+                  : Diagnostic::Severity::kWarning,
+           scope + ": dropping hint '" + rh.key + "=" + rh.value + "': " +
+               why,
+           rh.line});
+    };
+    auto key = hint::parse_key(rh.key);
+    if (!key) {
+      fail("unknown hint key");
+      continue;
+    }
+    try {
+      hint::Value v = hint::parse_value(*key, rh.value);
+      into.add(rh.side, *key, std::move(v));
+    } catch (const hint::HintError& e) {
+      fail(e.what());
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check(const Program& prog, bool strict) {
+  CheckResult result;
+  for (const ServiceDef& svc : prog.services) {
+    CheckedService cs;
+    cs.name = svc.name;
+    check_hints(svc.hints, cs.hints.service(), "service " + svc.name, strict,
+                result);
+    for (const FunctionDef& fn : svc.functions) {
+      check_hints(fn.hints, cs.hints.function(fn.name),
+                  svc.name + "." + fn.name, strict, result);
+    }
+    result.services.push_back(std::move(cs));
+  }
+  return result;
+}
+
+}  // namespace hatrpc::idl

@@ -1,0 +1,43 @@
+// The compiler's check/merge pass (paper §4.2): validates every hint
+// key=value pair against the hint schema, filters out hints with undefined
+// keys or unsupported values (collecting diagnostics), and merges the
+// survivors into the hierarchical hint::ServiceHints map that the code
+// generator embeds in its output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "idl/ast.h"
+
+namespace hatrpc::idl {
+
+struct Diagnostic {
+  enum class Severity { kWarning, kError };
+  Severity severity;
+  std::string message;
+  int line;
+};
+
+struct CheckedService {
+  std::string name;
+  hint::ServiceHints hints;
+};
+
+struct CheckResult {
+  std::vector<CheckedService> services;
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_errors() const {
+    for (const auto& d : diagnostics)
+      if (d.severity == Diagnostic::Severity::kError) return true;
+    return false;
+  }
+};
+
+/// Validates and merges hints for every service in the program. In strict
+/// mode invalid hints are errors; otherwise they are filtered with a
+/// warning (the paper's behaviour).
+CheckResult check(const Program& prog, bool strict = false);
+
+}  // namespace hatrpc::idl

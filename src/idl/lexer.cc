@@ -1,0 +1,136 @@
+#include "idl/lexer.h"
+
+#include <cctype>
+
+namespace hatrpc::idl {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Comments: //, #, /* */.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      int start_line = line, start_col = col;
+      advance(2);
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/'))
+        advance();
+      if (i + 1 >= src.size())
+        throw LexError("unterminated block comment", start_line, start_col);
+      advance(2);
+      continue;
+    }
+    // String literals (single or double quoted, Thrift-style).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line, start_col = col;
+      advance();
+      std::string text;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          advance();
+          switch (src[i]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += src[i];
+          }
+        } else {
+          text += src[i];
+        }
+        advance();
+      }
+      if (i >= src.size())
+        throw LexError("unterminated string literal", start_line, start_col);
+      advance();  // closing quote
+      out.push_back({Tok::kString, std::move(text), start_line, start_col});
+      continue;
+    }
+    // Numbers, including suffixed forms (128k) and negatives.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      int start_line = line, start_col = col;
+      std::string text;
+      if (c == '-') {
+        text += '-';
+        advance();
+      }
+      bool has_alpha = false;
+      bool seen_dot = false;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              (src[i] == '.' && !seen_dot && i + 1 < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i + 1]))))) {
+        if (src[i] == '.') seen_dot = true;
+        has_alpha |=
+            std::isalpha(static_cast<unsigned char>(src[i])) != 0;
+        text += src[i];
+        advance();
+      }
+      out.push_back({has_alpha ? Tok::kIdent : Tok::kInt, std::move(text),
+                     start_line, start_col});
+      continue;
+    }
+    // Identifiers / contextual keywords.
+    if (ident_start(c)) {
+      int start_line = line, start_col = col;
+      std::string text;
+      while (i < src.size() && ident_char(src[i])) {
+        text += src[i];
+        advance();
+      }
+      out.push_back({Tok::kIdent, std::move(text), start_line, start_col});
+      continue;
+    }
+    // Punctuation.
+    if (std::string_view("{}()[]<>,;:=*").find(c) != std::string_view::npos) {
+      out.push_back({Tok::kSymbol, std::string(1, c), line, col});
+      advance();
+      continue;
+    }
+    throw LexError(std::string("unexpected character '") + c + "'", line,
+                   col);
+  }
+  out.push_back({Tok::kEof, "", line, col});
+  return out;
+}
+
+}  // namespace hatrpc::idl

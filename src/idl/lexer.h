@@ -1,0 +1,49 @@
+// Lexical analysis for the HatRPC IDL (the flex-scanner counterpart of
+// paper §4.2). Produces the token stream the recursive-descent parser
+// consumes. Handles Thrift comments (//, #, /* */), string literals,
+// integers, and suffixed numerics like `128k` used in hint values.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hatrpc::idl {
+
+enum class Tok : uint8_t {
+  kIdent,    // identifiers and contextual keywords
+  kInt,      // decimal integer literal
+  kString,   // quoted string literal (quotes stripped)
+  kSymbol,   // single-character punctuation: { } ( ) [ ] < > , ; : = .
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  int line = 1;
+  int col = 1;
+
+  bool is_symbol(char c) const {
+    return kind == Tok::kSymbol && text.size() == 1 && text[0] == c;
+  }
+  bool is_ident(std::string_view s) const {
+    return kind == Tok::kIdent && text == s;
+  }
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line, int col)
+      : std::runtime_error(what + " at line " + std::to_string(line) +
+                           ", col " + std::to_string(col)),
+        line(line), col(col) {}
+  int line;
+  int col;
+};
+
+/// Tokenizes a whole IDL document; the final token is kEof.
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace hatrpc::idl

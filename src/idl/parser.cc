@@ -1,0 +1,281 @@
+#include "idl/parser.h"
+
+#include <charconv>
+#include <map>
+
+namespace hatrpc::idl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  Program run() {
+    Program prog;
+    while (!at_eof()) {
+      const Token& t = peek();
+      if (t.is_ident("include")) {
+        next();
+        prog.includes.push_back(expect(Tok::kString, "include path").text);
+      } else if (t.is_ident("namespace")) {
+        next();
+        std::string lang = expect(Tok::kIdent, "namespace language").text;
+        std::string ns = expect(Tok::kIdent, "namespace value").text;
+        if (lang == "cpp" || lang == "*") prog.cpp_namespace = ns;
+      } else if (t.is_ident("const")) {
+        prog.consts.push_back(parse_const());
+      } else if (t.is_ident("typedef")) {
+        next();
+        TypeRef ty = parse_type();
+        std::string name = expect(Tok::kIdent, "typedef name").text;
+        typedefs_[name] = ty;
+        eat_list_separator();
+      } else if (t.is_ident("enum")) {
+        prog.enums.push_back(parse_enum());
+      } else if (t.is_ident("struct") || t.is_ident("exception")) {
+        prog.structs.push_back(parse_struct());
+      } else if (t.is_ident("service")) {
+        prog.services.push_back(parse_service());
+      } else {
+        throw ParseError("expected a definition", t);
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek(size_t k = 0) const {
+    return toks_[std::min(pos_ + k, toks_.size() - 1)];
+  }
+  const Token& next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool at_eof() const { return peek().kind == Tok::kEof; }
+
+  const Token& expect(Tok kind, const char* what) {
+    if (peek().kind != kind)
+      throw ParseError(std::string("expected ") + what, peek());
+    return next();
+  }
+
+  void expect_symbol(char c) {
+    if (!peek().is_symbol(c))
+      throw ParseError(std::string("expected '") + c + "'", peek());
+    next();
+  }
+
+  bool accept_symbol(char c) {
+    if (peek().is_symbol(c)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_ident(std::string_view s) {
+    if (peek().is_ident(s)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  void eat_list_separator() {
+    if (peek().is_symbol(',') || peek().is_symbol(';')) next();
+  }
+
+  // --- types ---------------------------------------------------------------
+
+  TypeRef parse_type() {
+    const Token& t = expect(Tok::kIdent, "type");
+    using K = TypeRef::Kind;
+    static const std::map<std::string, K> base{
+        {"void", K::kVoid},   {"bool", K::kBool},     {"byte", K::kByte},
+        {"i8", K::kByte},     {"i16", K::kI16},       {"i32", K::kI32},
+        {"i64", K::kI64},     {"double", K::kDouble}, {"string", K::kString},
+        {"binary", K::kBinary}};
+    if (auto it = base.find(t.text); it != base.end())
+      return TypeRef{it->second, {}, {}};
+    if (t.text == "list" || t.text == "set") {
+      TypeRef ty{t.text == "list" ? K::kList : K::kSet, {}, {}};
+      expect_symbol('<');
+      ty.args.push_back(parse_type());
+      expect_symbol('>');
+      return ty;
+    }
+    if (t.text == "map") {
+      TypeRef ty{K::kMap, {}, {}};
+      expect_symbol('<');
+      ty.args.push_back(parse_type());
+      expect_symbol(',');
+      ty.args.push_back(parse_type());
+      expect_symbol('>');
+      return ty;
+    }
+    // typedef resolution, then named type
+    if (auto it = typedefs_.find(t.text); it != typedefs_.end())
+      return it->second;
+    return TypeRef{K::kNamed, t.text, {}};
+  }
+
+  // --- definitions -----------------------------------------------------------
+
+  ConstDef parse_const() {
+    next();  // 'const'
+    ConstDef c;
+    c.type = parse_type();
+    c.name = expect(Tok::kIdent, "const name").text;
+    expect_symbol('=');
+    c.is_string_literal = peek().kind == Tok::kString;
+    c.value_raw = next().text;  // scalar literal only
+    eat_list_separator();
+    return c;
+  }
+
+  EnumDef parse_enum() {
+    next();  // 'enum'
+    EnumDef e;
+    e.name = expect(Tok::kIdent, "enum name").text;
+    expect_symbol('{');
+    int32_t auto_value = 0;
+    while (!accept_symbol('}')) {
+      std::string name = expect(Tok::kIdent, "enum value name").text;
+      int32_t value = auto_value;
+      if (accept_symbol('=')) {
+        const Token& v = expect(Tok::kInt, "enum value");
+        std::from_chars(v.text.data(), v.text.data() + v.text.size(), value);
+      }
+      auto_value = value + 1;
+      e.values.emplace_back(std::move(name), value);
+      eat_list_separator();
+    }
+    return e;
+  }
+
+  StructDef parse_struct() {
+    StructDef s;
+    s.is_exception = peek().is_ident("exception");
+    next();  // 'struct' / 'exception'
+    s.name = expect(Tok::kIdent, "struct name").text;
+    expect_symbol('{');
+    int16_t auto_id = 1;
+    while (!accept_symbol('}')) {
+      s.fields.push_back(parse_field(auto_id));
+      auto_id = static_cast<int16_t>(s.fields.back().id + 1);
+    }
+    return s;
+  }
+
+  Field parse_field(int16_t auto_id) {
+    Field f;
+    f.id = auto_id;
+    if (peek().kind == Tok::kInt) {
+      const Token& idt = next();
+      int id = 0;
+      std::from_chars(idt.text.data(), idt.text.data() + idt.text.size(), id);
+      f.id = static_cast<int16_t>(id);
+      expect_symbol(':');
+    }
+    if (accept_ident("optional")) f.optional = true;
+    else accept_ident("required");
+    f.type = parse_type();
+    f.name = expect(Tok::kIdent, "field name").text;
+    if (accept_symbol('=')) {
+      // Default values may span tokens (e.g. `Consistency::EVENTUAL`);
+      // join everything up to the next separator / scope close.
+      std::string raw;
+      while (!at_eof() && !peek().is_symbol(',') && !peek().is_symbol(';') &&
+             !peek().is_symbol('}') && !peek().is_symbol(')')) {
+        raw += next().text;
+      }
+      f.default_raw = raw;
+    }
+    eat_list_separator();
+    return f;
+  }
+
+  // --- hints (Fig. 7) ----------------------------------------------------------
+
+  bool at_hint_group() const {
+    return (peek().is_ident("hint") || peek().is_ident("s_hint") ||
+            peek().is_ident("c_hint")) &&
+           peek(1).is_symbol(':');
+  }
+
+  void parse_hint_group(std::vector<RawHint>& out) {
+    const Token& kw = next();
+    hint::Side side = hint::Side::kShared;
+    if (kw.text == "s_hint") side = hint::Side::kServer;
+    else if (kw.text == "c_hint") side = hint::Side::kClient;
+    expect_symbol(':');
+    // HintList := Hint (',' Hint)*  terminated by ';'
+    while (true) {
+      RawHint h;
+      h.side = side;
+      h.line = peek().line;
+      h.key = expect(Tok::kIdent, "hint key").text;
+      expect_symbol('=');
+      const Token& v = peek();
+      if (v.kind != Tok::kIdent && v.kind != Tok::kInt &&
+          v.kind != Tok::kString)
+        throw ParseError("expected hint value", v);
+      h.value = next().text;
+      out.push_back(std::move(h));
+      if (accept_symbol(',')) continue;
+      expect_symbol(';');
+      break;
+    }
+  }
+
+  // --- services -------------------------------------------------------------
+
+  ServiceDef parse_service() {
+    next();  // 'service'
+    ServiceDef s;
+    s.name = expect(Tok::kIdent, "service name").text;
+    if (accept_ident("extends"))
+      s.extends = expect(Tok::kIdent, "base service").text;
+    expect_symbol('{');
+    while (at_hint_group()) parse_hint_group(s.hints);
+    while (!accept_symbol('}')) s.functions.push_back(parse_function());
+    return s;
+  }
+
+  FunctionDef parse_function() {
+    FunctionDef f;
+    if (accept_ident("oneway")) f.oneway = true;
+    f.ret = parse_type();
+    f.name = expect(Tok::kIdent, "function name").text;
+    expect_symbol('(');
+    int16_t auto_id = 1;
+    while (!accept_symbol(')')) {
+      f.args.push_back(parse_field(auto_id));
+      auto_id = static_cast<int16_t>(f.args.back().id + 1);
+    }
+    if (accept_ident("throws")) {
+      expect_symbol('(');
+      int16_t throw_id = 1;
+      while (!accept_symbol(')')) {
+        f.throws.push_back(parse_field(throw_id));
+        throw_id = static_cast<int16_t>(f.throws.back().id + 1);
+      }
+    }
+    eat_list_separator();
+    // FunctionHint := '[' HintGroup* ']'
+    if (accept_symbol('[')) {
+      while (at_hint_group()) parse_hint_group(f.hints);
+      expect_symbol(']');
+      eat_list_separator();
+    }
+    return f;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::map<std::string, TypeRef> typedefs_;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(source).run(); }
+
+}  // namespace hatrpc::idl

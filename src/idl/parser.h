@@ -1,0 +1,34 @@
+// Recursive-descent parser for the HatRPC IDL (the Bison-parser
+// counterpart of paper §4.2), implementing the Fig. 7 grammar:
+//
+//   Service      := 'service' Identifier ('extends' Identifier)?
+//                   '{' HintGroup* Function* '}'
+//   Function     := 'oneway'? FunctionType Identifier '(' Field* ')'
+//                   Throws? ListSeparator? FunctionHint?
+//   FunctionHint := '[' HintGroup* ']'
+//   HintGroup    := ('hint' | 'c_hint' | 's_hint') ':' HintList ';'
+//   HintList     := Hint (',' Hint)*
+//   Hint         := key '=' value
+//
+// plus the standard Thrift constructs (namespace, include, const, typedef,
+// enum, struct, exception).
+#pragma once
+
+#include "idl/ast.h"
+#include "idl/lexer.h"
+
+namespace hatrpc::idl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, const Token& at)
+      : std::runtime_error(what + " at line " + std::to_string(at.line) +
+                           " (near '" + (at.kind == Tok::kEof ? "<eof>"
+                                                              : at.text) +
+                           "')") {}
+};
+
+/// Parses a whole document. Throws ParseError / LexError on bad input.
+Program parse(std::string_view source);
+
+}  // namespace hatrpc::idl

@@ -1,0 +1,98 @@
+// hatrpc-gen: the HatRPC IDL compiler CLI.
+//
+//   hatrpc-gen <input.hatrpc> -o <output.h> [--strict] [--dump-hints]
+//
+// Parses the IDL (Fig. 7 grammar), checks/merges hints (warnings for
+// filtered hints go to stderr), and emits the C++ header with client stubs,
+// server skeletons, and the hierarchical hint map.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "hint/selection.h"
+#include "idl/codegen.h"
+#include "idl/parser.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: hatrpc-gen <input.hatrpc> -o <output.h> "
+               "[--strict] [--dump-hints]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  bool strict = false, dump_hints = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) output = argv[++i];
+    else if (arg == "--strict") strict = true;
+    else if (arg == "--dump-hints") dump_hints = true;
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else input = arg;
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "hatrpc-gen: cannot open " << input << "\n";
+    return 1;
+  }
+  std::ostringstream src;
+  src << in.rdbuf();
+
+  try {
+    hatrpc::idl::Program prog = hatrpc::idl::parse(src.str());
+    hatrpc::idl::CheckResult checked = hatrpc::idl::check(prog, strict);
+    for (const auto& d : checked.diagnostics) {
+      std::cerr << input << ":" << d.line << ": "
+                << (d.severity == hatrpc::idl::Diagnostic::Severity::kError
+                        ? "error: "
+                        : "warning: ")
+                << d.message << "\n";
+    }
+    if (checked.has_errors()) return 1;
+
+    if (dump_hints) {
+      for (const auto& cs : checked.services) {
+        std::cout << "service " << cs.name << ":\n";
+        for (const auto& [fn, group] : cs.hints.functions()) {
+          hatrpc::hint::Plan plan = hatrpc::hint::select_plan(
+              cs.hints, fn, hatrpc::hint::SelectionParams{});
+          std::cout << "  " << fn << " -> "
+                    << hatrpc::proto::to_string(plan.protocol) << " (client "
+                    << (plan.client_poll == hatrpc::sim::PollMode::kBusy
+                            ? "busy"
+                            : "event")
+                    << ", server "
+                    << (plan.server_poll == hatrpc::sim::PollMode::kBusy
+                            ? "busy"
+                            : "event")
+                    << (plan.transport == hatrpc::hint::Transport::kTcp
+                            ? ", tcp"
+                            : "")
+                    << ")\n";
+        }
+      }
+    }
+
+    std::string code = hatrpc::idl::generate_cpp(prog, checked);
+    if (output.empty()) {
+      std::cout << code;
+    } else {
+      std::ofstream out(output);
+      if (!out) {
+        std::cerr << "hatrpc-gen: cannot write " << output << "\n";
+        return 1;
+      }
+      out << code;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "hatrpc-gen: " << input << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

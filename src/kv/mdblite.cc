@@ -1,0 +1,588 @@
+#include "kv/mdblite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hatrpc::kv {
+
+namespace {
+constexpr size_t kPageHeader = 32;
+constexpr size_t kCellHeader = 16;
+constexpr const char* kWriterActive = "mdblite: writer already active";
+constexpr const char* kReadersFull = "mdblite: reader table full";
+}  // namespace
+
+/// In-memory page. Cells are structured (keys/values vectors) with byte
+/// accounting against the configured page size, which preserves LMDB's
+/// split/merge/occupancy behaviour without byte-level cell packing.
+struct Page {
+  PageId id = 0;
+  bool leaf = true;
+  bool overflow = false;
+  uint64_t born_txn = 0;
+  std::vector<std::string> keys;
+  std::vector<std::string> values;   // leaf only; parallel to keys
+  std::vector<uint8_t> ovf_flags;    // leaf: values[i] is an overflow ref
+  std::vector<PageId> children;      // branch only; keys.size() + 1
+  std::string ovf_data;              // overflow page payload
+
+  size_t used(size_t /*page_size*/) const {
+    size_t bytes = 0;
+    for (const auto& k : keys) bytes += k.size() + kCellHeader;
+    if (leaf) {
+      for (size_t i = 0; i < values.size(); ++i)
+        bytes += ovf_flags[i] ? sizeof(PageId) : values[i].size();
+    } else {
+      bytes += children.size() * sizeof(PageId);
+    }
+    return bytes;
+  }
+};
+
+namespace {
+
+PageId decode_ovf(const std::string& v) {
+  PageId id;
+  std::memcpy(&id, v.data(), sizeof id);
+  return id;
+}
+
+std::string encode_ovf(PageId id) {
+  return std::string(reinterpret_cast<const char*>(&id), sizeof id);
+}
+
+}  // namespace
+
+// ===========================================================================
+// Env
+// ===========================================================================
+
+Env::Env(EnvOptions opts) : opts_(opts) {
+  reader_txns_.assign(opts_.max_readers, 0);
+}
+
+Env::~Env() = default;
+
+Page* Env::page(PageId id) {
+  assert(id < pages_.size());
+  return pages_[id].get();
+}
+
+Page* Env::alloc_page(bool leaf, uint64_t txn_id) {
+  PageId id;
+  if (!reusable_.empty()) {
+    id = reusable_.back();
+    reusable_.pop_back();
+    *pages_[id] = Page{};
+    ++stats_.reclaimed;
+  } else {
+    id = pages_.size();
+    pages_.push_back(std::make_unique<Page>());
+  }
+  Page* p = pages_[id].get();
+  p->id = id;
+  p->leaf = leaf;
+  p->born_txn = txn_id;
+  return p;
+}
+
+void Env::free_page(PageId id, uint64_t txn_id) {
+  freelist_.push_back({id, txn_id});
+}
+
+uint64_t Env::oldest_reader_txn() const {
+  uint64_t oldest = ~uint64_t{0};
+  for (uint64_t t : reader_txns_)
+    if (t != 0) oldest = std::min(oldest, t);
+  return oldest;
+}
+
+void Env::reclaim() {
+  // A page freed by commit T is still referenced by readers whose snapshot
+  // predates T (reader slots store snapshot_txn + 1, so "needs it" means
+  // slot value <= T). Recycle only when every live reader started at or
+  // after T.
+  uint64_t oldest = oldest_reader_txn();
+  std::erase_if(freelist_, [&](const FreedPage& f) {
+    if (oldest == ~uint64_t{0} || f.txn_id < oldest) {
+      reusable_.push_back(f.id);
+      return true;
+    }
+    return false;
+  });
+}
+
+uint64_t Env::last_txn_id() const { return metas_[newest_meta_].txn_id; }
+
+size_t Env::live_pages() const {
+  return pages_.size() - reusable_.size() - freelist_.size();
+}
+
+Txn Env::begin(bool write) {
+  if (write) {
+    if (writer_active_) throw std::runtime_error(kWriterActive);
+    writer_active_ = true;
+    return Txn(*this, true, -1);
+  }
+  for (uint32_t i = 0; i < opts_.max_readers; ++i) {
+    if (reader_txns_[i] == 0) {
+      reader_txns_[i] = metas_[newest_meta_].txn_id + 1;  // 0 is "free"
+      ++active_readers_;
+      return Txn(*this, false, static_cast<int>(i));
+    }
+  }
+  throw std::runtime_error(kReadersFull);
+}
+
+// ===========================================================================
+// Txn
+// ===========================================================================
+
+Txn::Txn(Env& env, bool write, int reader_slot)
+    : env_(&env), write_(write), reader_slot_(reader_slot) {
+  const Env::MetaPage& meta = env.metas_[env.newest_meta_];
+  dbs_ = meta.dbs;  // snapshot of every database's root
+  txn_id_ = meta.txn_id + 1;  // readers remember "as of" id; writer gets next
+}
+
+Txn::DbState& Txn::state(std::string_view db) {
+  return dbs_[std::string(db)];
+}
+
+const Txn::DbState* Txn::state_if_exists(std::string_view db) const {
+  auto it = dbs_.find(std::string(db));
+  return it == dbs_.end() ? nullptr : &it->second;
+}
+
+Txn::Txn(Txn&& o) noexcept { *this = std::move(o); }
+
+Txn& Txn::operator=(Txn&& o) noexcept {
+  if (this != &o) {
+    if (env_ && !done_) abort();
+    env_ = std::exchange(o.env_, nullptr);
+    write_ = o.write_;
+    done_ = o.done_;
+    reader_slot_ = o.reader_slot_;
+    txn_id_ = o.txn_id_;
+    dbs_ = std::move(o.dbs_);
+    pages_touched_ = o.pages_touched_;
+    dirty_ = std::move(o.dirty_);
+    freed_ = std::move(o.freed_);
+    o.done_ = true;
+  }
+  return *this;
+}
+
+Txn::~Txn() {
+  if (env_ && !done_) abort();
+}
+
+void Txn::finish() {
+  done_ = true;
+  if (write_) {
+    env_->writer_active_ = false;
+  } else if (reader_slot_ >= 0) {
+    env_->reader_txns_[reader_slot_] = 0;
+    --env_->active_readers_;
+    env_->reclaim();
+  }
+}
+
+void Txn::abort() {
+  if (done_) return;
+  if (write_) {
+    // Dirty pages were never published; recycle them immediately.
+    for (PageId id : dirty_) env_->reusable_.push_back(id);
+    ++env_->stats_.aborts;
+  }
+  finish();
+}
+
+CommitInfo Txn::commit() {
+  if (done_) throw std::logic_error("mdblite: txn already finished");
+  if (!write_) {
+    finish();
+    return CommitInfo{txn_id_, 0};
+  }
+  Env::MetaPage& meta = env_->metas_[1 - env_->newest_meta_];
+  meta.dbs = dbs_;
+  meta.txn_id = txn_id_;
+  env_->newest_meta_ = 1 - env_->newest_meta_;
+  for (PageId id : freed_) env_->free_page(id, txn_id_);
+  env_->stats_.page_writes += dirty_.size();
+  ++env_->stats_.commits;
+  uint64_t written = dirty_.size();
+  finish();
+  env_->reclaim();
+  return CommitInfo{txn_id_, written};
+}
+
+size_t Txn::entry_count() const { return entry_count(""); }
+
+size_t Txn::entry_count(std::string_view db) const {
+  const DbState* st = state_if_exists(db);
+  return st ? st->entries : 0;
+}
+
+Page* Txn::readable(PageId id) {
+  ++pages_touched_;
+  ++env_->stats_.page_reads;
+  return env_->page(id);
+}
+
+Page* Txn::shadow(PageId id) {
+  Page* old = env_->page(id);
+  if (old->born_txn == txn_id_) return old;  // already ours
+  Page* fresh = env_->alloc_page(old->leaf, txn_id_);
+  PageId fid = fresh->id;
+  *fresh = *old;
+  fresh->id = fid;
+  fresh->born_txn = txn_id_;
+  dirty_.push_back(fid);
+  freed_.push_back(id);
+  ++pages_touched_;
+  return fresh;
+}
+
+namespace {
+
+// Routing: branch keys[i] is the smallest key of children[i+1].
+size_t route(const Page& p, std::string_view key) {
+  return static_cast<size_t>(
+      std::upper_bound(p.keys.begin(), p.keys.end(), key) - p.keys.begin());
+}
+
+size_t leaf_pos(const Page& p, std::string_view key, bool& exact) {
+  auto it = std::lower_bound(p.keys.begin(), p.keys.end(), key);
+  exact = it != p.keys.end() && *it == key;
+  return static_cast<size_t>(it - p.keys.begin());
+}
+
+}  // namespace
+
+std::optional<std::string> Txn::get(std::string_view key) {
+  return get("", key);
+}
+
+std::optional<std::string> Txn::get(std::string_view db,
+                                    std::string_view key) {
+  if (done_) throw std::logic_error("mdblite: txn finished");
+  return get_in(state(db), key);
+}
+
+std::optional<std::string> Txn::get_in(DbState& st, std::string_view key) {
+  if (st.root == kNoPage) return std::nullopt;
+  Page* p = readable(st.root);
+  while (!p->leaf) p = readable(p->children[route(*p, key)]);
+  bool exact;
+  size_t i = leaf_pos(*p, key, exact);
+  if (!exact) return std::nullopt;
+  if (p->ovf_flags[i]) {
+    Page* ovf = readable(decode_ovf(p->values[i]));
+    return ovf->ovf_data;
+  }
+  return p->values[i];
+}
+
+void Txn::put(std::string_view key, std::string_view value) {
+  put("", key, value);
+}
+
+void Txn::put(std::string_view db, std::string_view key,
+              std::string_view value) {
+  if (done_ || !write_)
+    throw std::logic_error("mdblite: put needs an active write txn");
+  put_in(state(db), key, value);
+}
+
+void Txn::put_in(DbState& st, std::string_view key, std::string_view value) {
+  const size_t psize = env_->opts_.page_size;
+  const size_t capacity = psize - kPageHeader;
+  const bool big = value.size() > psize / 4;
+
+  auto store_value = [&](Page* leaf, size_t i) {
+    if (big) {
+      Page* ovf = env_->alloc_page(true, txn_id_);
+      ovf->overflow = true;
+      ovf->ovf_data = std::string(value);
+      dirty_.push_back(ovf->id);
+      env_->stats_.page_writes += value.size() / psize;  // chain accounting
+      leaf->values[i] = encode_ovf(ovf->id);
+      leaf->ovf_flags[i] = 1;
+    } else {
+      leaf->values[i] = std::string(value);
+      leaf->ovf_flags[i] = 0;
+    }
+  };
+
+  auto free_value = [&](Page* leaf, size_t i) {
+    if (leaf->ovf_flags[i]) freed_.push_back(decode_ovf(leaf->values[i]));
+  };
+
+  if (st.root == kNoPage) {
+    Page* leaf = env_->alloc_page(true, txn_id_);
+    dirty_.push_back(leaf->id);
+    leaf->keys.emplace_back(key);
+    leaf->values.emplace_back();
+    leaf->ovf_flags.push_back(0);
+    store_value(leaf, 0);
+    st.root = leaf->id;
+    st.entries = 1;
+    return;
+  }
+
+  struct SplitInfo {
+    bool split = false;
+    std::string sep;
+    PageId right = kNoPage;
+  };
+
+  // Recursive COW insert.
+  auto insert_rec = [&](auto&& self, PageId id) -> std::pair<PageId, SplitInfo> {
+    Page* p = shadow(id);
+    SplitInfo si;
+    if (p->leaf) {
+      bool exact;
+      size_t i = leaf_pos(*p, key, exact);
+      if (exact) {
+        free_value(p, i);
+        store_value(p, i);
+      } else {
+        p->keys.insert(p->keys.begin() + i, std::string(key));
+        p->values.insert(p->values.begin() + i, std::string());
+        p->ovf_flags.insert(p->ovf_flags.begin() + i, 0);
+        store_value(p, i);
+        ++st.entries;
+      }
+      if (p->used(psize) > capacity && p->keys.size() > 1) {
+        size_t mid = p->keys.size() / 2;
+        Page* right = env_->alloc_page(true, txn_id_);
+        dirty_.push_back(right->id);
+        right->keys.assign(p->keys.begin() + mid, p->keys.end());
+        right->values.assign(p->values.begin() + mid, p->values.end());
+        right->ovf_flags.assign(p->ovf_flags.begin() + mid,
+                                p->ovf_flags.end());
+        p->keys.resize(mid);
+        p->values.resize(mid);
+        p->ovf_flags.resize(mid);
+        si = {true, right->keys.front(), right->id};
+      }
+      return {p->id, si};
+    }
+    size_t idx = route(*p, key);
+    auto [child_id, child_split] = self(self, p->children[idx]);
+    p->children[idx] = child_id;
+    if (child_split.split) {
+      p->keys.insert(p->keys.begin() + idx, child_split.sep);
+      p->children.insert(p->children.begin() + idx + 1, child_split.right);
+      if (p->used(psize) > capacity && p->keys.size() > 1) {
+        size_t mid = p->keys.size() / 2;
+        Page* right = env_->alloc_page(false, txn_id_);
+        dirty_.push_back(right->id);
+        std::string up = p->keys[mid];
+        right->keys.assign(p->keys.begin() + mid + 1, p->keys.end());
+        right->children.assign(p->children.begin() + mid + 1,
+                               p->children.end());
+        p->keys.resize(mid);
+        p->children.resize(mid + 1);
+        si = {true, std::move(up), right->id};
+      }
+    }
+    return {p->id, si};
+  };
+
+  auto [new_root, split] = insert_rec(insert_rec, st.root);
+  st.root = new_root;
+  if (split.split) {
+    Page* nr = env_->alloc_page(false, txn_id_);
+    dirty_.push_back(nr->id);
+    nr->keys.push_back(split.sep);
+    nr->children = {st.root, split.right};
+    st.root = nr->id;
+  }
+}
+
+bool Txn::del(std::string_view key) { return del("", key); }
+
+bool Txn::del(std::string_view db, std::string_view key) {
+  if (done_ || !write_)
+    throw std::logic_error("mdblite: del needs an active write txn");
+  return del_in(state(db), key);
+}
+
+bool Txn::del_in(DbState& st, std::string_view key) {
+  if (st.root == kNoPage) return false;
+  const size_t psize = env_->opts_.page_size;
+  const size_t capacity = psize - kPageHeader;
+
+  bool removed = false;
+  auto del_rec = [&](auto&& self, PageId id) -> PageId {
+    Page* p = shadow(id);
+    if (p->leaf) {
+      bool exact;
+      size_t i = leaf_pos(*p, key, exact);
+      if (exact) {
+        if (p->ovf_flags[i]) freed_.push_back(decode_ovf(p->values[i]));
+        p->keys.erase(p->keys.begin() + i);
+        p->values.erase(p->values.begin() + i);
+        p->ovf_flags.erase(p->ovf_flags.begin() + i);
+        removed = true;
+        --st.entries;
+      }
+      return p->id;
+    }
+    size_t idx = route(*p, key);
+    p->children[idx] = self(self, p->children[idx]);
+    // Rebalance: merge an under-filled child into a sibling when the
+    // combination fits (merge-only policy; under-filled pages are legal).
+    // Peek with read-only pages FIRST — shadowing a page we end up not
+    // modifying would push a still-referenced page onto the freelist.
+    Page* child = env_->page(p->children[idx]);
+    if (child->used(psize) < capacity / 4 && p->children.size() > 1) {
+      size_t li = idx > 0 ? idx - 1 : idx;  // merge (li, li+1)
+      Page* lpeek = env_->page(p->children[li]);
+      Page* rpeek = env_->page(p->children[li + 1]);
+      if (lpeek->leaf == rpeek->leaf &&
+          lpeek->used(psize) + rpeek->used(psize) <= capacity) {
+        Page* left = shadow(p->children[li]);
+        p->children[li] = left->id;
+        Page* right = shadow(p->children[li + 1]);
+        if (left->leaf) {
+          left->keys.insert(left->keys.end(), right->keys.begin(),
+                            right->keys.end());
+          left->values.insert(left->values.end(), right->values.begin(),
+                              right->values.end());
+          left->ovf_flags.insert(left->ovf_flags.end(),
+                                 right->ovf_flags.begin(),
+                                 right->ovf_flags.end());
+        } else {
+          left->keys.push_back(p->keys[li]);  // pull the separator down
+          left->keys.insert(left->keys.end(), right->keys.begin(),
+                            right->keys.end());
+          left->children.insert(left->children.end(), right->children.begin(),
+                                right->children.end());
+        }
+        // `right` is our own shadow (never published): recycle directly.
+        std::erase(dirty_, right->id);
+        env_->reusable_.push_back(right->id);
+        p->keys.erase(p->keys.begin() + li);
+        p->children.erase(p->children.begin() + li + 1);
+        p->children[li] = left->id;
+      }
+    }
+    return p->id;
+  };
+
+  st.root = del_rec(del_rec, st.root);
+  // Collapse a root branch with a single child.
+  Page* r = env_->page(st.root);
+  while (!r->leaf && r->children.size() == 1) {
+    PageId only = r->children[0];
+    std::erase(dirty_, r->id);
+    env_->reusable_.push_back(r->id);
+    st.root = only;
+    r = env_->page(st.root);
+  }
+  if (r->leaf && r->keys.empty()) {
+    std::erase(dirty_, r->id);
+    env_->reusable_.push_back(r->id);
+    st.root = kNoPage;
+  }
+  return removed;
+}
+
+// ===========================================================================
+// Cursor
+// ===========================================================================
+
+Cursor::Cursor(Txn& txn, std::string_view db) : txn_(txn) {
+  const Txn::DbState* st = txn.state_if_exists(db);
+  root_ = st ? st->root : kNoPage;
+}
+
+void Cursor::descend_left(PageId id) {
+  Page* p = txn_.readable(id);
+  stack_.push_back({id, 0});
+  while (!p->leaf) {
+    p = txn_.readable(p->children[0]);
+    stack_.push_back({p->id, 0});
+  }
+  valid_ = !p->keys.empty();
+}
+
+bool Cursor::first() {
+  stack_.clear();
+  valid_ = false;
+  if (root_ == kNoPage) return false;
+  descend_left(root_);
+  return valid_;
+}
+
+bool Cursor::seek(std::string_view key) {
+  stack_.clear();
+  valid_ = false;
+  if (root_ == kNoPage) return false;
+  Page* p = txn_.readable(root_);
+  stack_.push_back({p->id, 0});
+  while (!p->leaf) {
+    size_t idx = route(*p, key);
+    stack_.back().index = idx;
+    p = txn_.readable(p->children[idx]);
+    stack_.push_back({p->id, 0});
+  }
+  bool exact;
+  size_t i = leaf_pos(*p, key, exact);
+  stack_.back().index = i;
+  if (i < p->keys.size()) {
+    valid_ = true;
+    return true;
+  }
+  return next();  // key is past this leaf; advance
+}
+
+bool Cursor::next() {
+  if (stack_.empty()) return false;
+  if (valid_) ++stack_.back().index;
+  // Climb until a branch frame has a next child (or we are a valid leaf).
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    Page* p = txn_.env_->page(f.page);
+    if (p->leaf) {
+      if (f.index < p->keys.size()) {
+        valid_ = true;
+        return true;
+      }
+      stack_.pop_back();
+    } else {
+      if (f.index + 1 < p->children.size()) {
+        ++f.index;
+        descend_left(p->children[f.index]);
+        if (valid_) return true;
+      } else {
+        stack_.pop_back();
+      }
+    }
+  }
+  valid_ = false;
+  return false;
+}
+
+const std::string& Cursor::key() const {
+  const Frame& f = stack_.back();
+  return txn_.env_->page(f.page)->keys[f.index];
+}
+
+const std::string& Cursor::value() const {
+  const Frame& f = stack_.back();
+  Page* p = txn_.env_->page(f.page);
+  if (p->ovf_flags[f.index]) {
+    value_cache_ = txn_.env_->page(decode_ovf(p->values[f.index]))->ovf_data;
+    return value_cache_;
+  }
+  return p->values[f.index];
+}
+
+}  // namespace hatrpc::kv

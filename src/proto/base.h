@@ -1,0 +1,99 @@
+// Shared scaffolding for protocol implementations: connected endpoints
+// (QPs + CQs on both nodes), MR accounting, copy charging, and serve-loop
+// lifecycle. Each protocol subclass implements call() and serve().
+//
+// Software-copy charging policy (kept consistent across protocols so the
+// comparison is fair — see DESIGN.md):
+//   * eager-style slot staging IS charged on both sides (bounded slots force
+//     a user<->slot copy; this is eager's intrinsic cost);
+//   * rendezvous / direct / READ-based payload paths are zero-copy (the
+//     "user buffer" is the channel's pre-registered payload region);
+//   * server-bypass protocols (Pilaf/FaRM/RFP) charge the server-side copy
+//     of the response into the exported region the client READs from;
+//   * HERD's SEND response is eager-style and charged like eager.
+#pragma once
+
+#include <memory>
+
+#include "proto/channel.h"
+#include "proto/wire.h"
+#include "sim/sync.h"
+
+namespace hatrpc::proto {
+
+class ChannelBase : public RpcChannel {
+ public:
+  ProtocolKind kind() const override { return kind_; }
+
+  void shutdown() override {
+    stop_ = true;
+    c_scq_->close();
+    c_rcq_->close();
+    s_scq_->close();
+    s_rcq_->close();
+    extra_shutdown();
+  }
+
+ protected:
+  ChannelBase(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
+              Handler handler, ChannelConfig cfg)
+      : kind_(kind), cl_(client), sv_(server), handler_(std::move(handler)),
+        cfg_(cfg), cost_(client.fabric().cost()),
+        sim_(client.fabric().simulator()) {
+    c_scq_ = cl_.create_cq();
+    c_rcq_ = cl_.create_cq();
+    s_scq_ = sv_.create_cq();
+    s_rcq_ = sv_.create_cq();
+    cqp_ = cl_.create_qp(*c_scq_, *c_rcq_);
+    sqp_ = sv_.create_qp(*s_scq_, *s_rcq_);
+    cqp_->numa_local = cfg_.client_numa_local;
+    sqp_->numa_local = cfg_.server_numa_local;
+    verbs::Fabric::connect(*cqp_, *sqp_);
+  }
+
+  /// Spawns the protocol's server loop(s); called by the factory after the
+  /// subclass is fully constructed.
+  virtual void start() { sim_.spawn(serve()); }
+  virtual sim::Task<void> serve() = 0;
+  virtual void extra_shutdown() {}
+
+  verbs::MemoryRegion* alloc_client_mr(size_t n) {
+    stats_.client_registered += n;
+    return cl_.pd().alloc_mr(n);
+  }
+  verbs::MemoryRegion* alloc_server_mr(size_t n) {
+    stats_.server_registered += n;
+    return sv_.pd().alloc_mr(n);
+  }
+
+  /// Eager-style staging copy at the client / server (see policy above).
+  sim::Task<void> charge_client_copy(size_t bytes) {
+    return cl_.cpu().compute(
+        cost_.copy_time(bytes, cfg_.client_numa_local));
+  }
+  sim::Task<void> charge_server_copy(size_t bytes) {
+    return sv_.cpu().compute(
+        cost_.copy_time(bytes, cfg_.server_numa_local));
+  }
+
+  ProtocolKind kind_;
+  verbs::Node& cl_;
+  verbs::Node& sv_;
+  Handler handler_;
+  ChannelConfig cfg_;
+  const verbs::CostModel& cost_;
+  sim::Simulator& sim_;
+  verbs::CompletionQueue* c_scq_;
+  verbs::CompletionQueue* c_rcq_;
+  verbs::CompletionQueue* s_scq_;
+  verbs::CompletionQueue* s_rcq_;
+  verbs::QueuePair* cqp_;
+  verbs::QueuePair* sqp_;
+  bool stop_ = false;
+
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
+};
+
+}  // namespace hatrpc::proto

@@ -1,0 +1,115 @@
+// Uniform RPC-channel interface implemented by every RDMA protocol of the
+// paper's Figure 3 (plus the comparator emulations of §5.4). A channel is
+// one client<->server connection: call() carries one request and returns
+// the response; the server side runs a serve loop invoking a user handler.
+//
+// Channels are REAL: request/response bytes move through registered memory
+// via the simulated verbs layer, and every protocol-specific cost (copies,
+// doorbells, control messages, memory polling) is charged where it occurs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sim/task.h"
+#include "verbs/verbs.h"
+
+namespace hatrpc::proto {
+
+using Buffer = std::vector<std::byte>;
+using View = std::span<const std::byte>;
+
+/// Server-side request processor. Runs on the server node; implementations
+/// charge their own compute via the node's Cpu.
+using Handler = std::function<sim::Task<Buffer>(View)>;
+
+/// The protocols of Fig. 3 plus the baseline/comparator emulations.
+enum class ProtocolKind : uint8_t {
+  kEagerSendRecv,    // Fig 3a
+  kDirectWriteSend,  // Fig 3b
+  kChainedWriteSend, // Fig 3c
+  kWriteRndv,        // Fig 3d
+  kReadRndv,         // Fig 3e
+  kDirectWriteImm,   // Fig 3f
+  kPilaf,            // Fig 3g: 2 metadata READs + 1 payload READ
+  kFarm,             // Fig 3h: 1 metadata READ + 1 payload READ
+  kRfp,              // Fig 3i: WRITE request, READ response
+  kHerd,             // comparator: WRITE request, SEND response
+  kHybridEagerRndv,  // baseline: eager <=4KB, Write-RNDV above
+  kArGrpc,           // comparator: eager <=4KB, Read-RNDV above
+};
+
+std::string_view to_string(ProtocolKind k);
+
+struct ChannelConfig {
+  sim::PollMode client_poll = sim::PollMode::kBusy;
+  sim::PollMode server_poll = sim::PollMode::kBusy;
+  /// Size of the pre-known per-connection message buffers used by the
+  /// Direct-*/server-bypass protocols (and the rendezvous buffer pool).
+  uint32_t max_msg = 256 << 10;
+  /// Eager circular-buffer geometry (paper §4.3: slot = 4KB threshold).
+  uint32_t eager_slot = 4096;
+  uint32_t eager_slots = 16;
+  /// Hybrid protocols switch from eager to rendezvous above this.
+  uint32_t rndv_threshold = 4096;
+  /// NUMA placement of the driving threads relative to their NICs.
+  bool client_numa_local = true;
+  bool server_numa_local = true;
+};
+
+/// Per-channel operation counters, used by tests to pin down each
+/// protocol's verbs footprint and by the res_util hint evaluation.
+struct ChannelStats {
+  uint64_t calls = 0;
+  uint64_t sends = 0;       // two-sided SENDs issued (both directions)
+  uint64_t writes = 0;      // one-sided WRITEs
+  uint64_t write_imms = 0;  // WRITE_WITH_IMMs
+  uint64_t reads = 0;       // one-sided READs
+  uint64_t read_retries = 0;  // extra READs spent polling for readiness
+  size_t client_registered = 0;  // bytes of MR pinned at the client
+  size_t server_registered = 0;  // bytes of MR pinned at the server
+};
+
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+
+  /// Issues one RPC: sends `req`, returns the server handler's response.
+  /// `resp_size_hint` bounds the expected response (protocols that fetch
+  /// the response with RDMA READ size their read from it; 0 = max_msg).
+  virtual sim::Task<Buffer> call(View req, uint32_t resp_size_hint) = 0;
+  sim::Task<Buffer> call(View req) { return call(req, 0); }
+
+  /// Stops the server-side serve loop(s) so the simulation can drain.
+  virtual void shutdown() = 0;
+
+  virtual ProtocolKind kind() const = 0;
+  virtual ChannelStats stats() const { return stats_; }
+
+ protected:
+  ChannelStats stats_;
+};
+
+/// Creates a connected channel of the given protocol between two nodes and
+/// spawns its server loop with `handler`. The returned channel is ready for
+/// call() from a client-side task.
+std::unique_ptr<RpcChannel> make_channel(ProtocolKind kind,
+                                         verbs::Node& client,
+                                         verbs::Node& server, Handler handler,
+                                         ChannelConfig cfg);
+
+/// Convenience helpers for moving bytes in and out of Buffers.
+inline Buffer to_buffer(std::string_view s) {
+  auto p = reinterpret_cast<const std::byte*>(s.data());
+  return Buffer(p, p + s.size());
+}
+inline std::string_view as_string(View b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace hatrpc::proto

@@ -1,0 +1,140 @@
+// One-directional eager message pipe over SEND/RECV circular buffers
+// (Fig. 3a). Messages larger than one slot are segmented across the ring;
+// the receiver reassembles. Each segment pays the eager bookkeeping CPU and
+// a staging copy on both sides — eager's intrinsic cost that makes it a
+// small-message protocol. Used by Eager-SendRecv (both directions), the
+// hybrid baselines (below-threshold path), and HERD (response direction).
+#pragma once
+
+#include <optional>
+
+#include "proto/channel.h"
+#include "proto/wire.h"
+#include "sim/sync.h"
+
+namespace hatrpc::proto {
+
+class EagerPipe {
+ public:
+  /// Sender stages into `send_ring` on `src`; receiver assembles from
+  /// `recv_ring` on `dst`, with recvs pre-posted on dst's QP.
+  EagerPipe(verbs::Node& src, verbs::QueuePair* src_qp,
+            verbs::CompletionQueue* src_scq, verbs::Node& dst,
+            verbs::QueuePair* dst_qp, verbs::CompletionQueue* dst_rcq,
+            const ChannelConfig& cfg, bool src_numa_local, bool dst_numa_local,
+            ChannelStats* stats)
+      : src_(src), src_qp_(src_qp), src_scq_(src_scq), dst_(dst),
+        dst_qp_(dst_qp), dst_rcq_(dst_rcq), cfg_(cfg),
+        src_numa_(src_numa_local), dst_numa_(dst_numa_local), stats_(stats),
+        cost_(src.fabric().cost()) {
+    send_ring_ = src_.pd().alloc_mr(ring_bytes());
+    recv_ring_ = dst_.pd().alloc_mr(ring_bytes());
+    for (uint32_t i = 0; i < cfg_.eager_slots; ++i) post_recv_slot(i);
+  }
+
+  size_t ring_bytes() const {
+    return static_cast<size_t>(cfg_.eager_slot) * cfg_.eager_slots;
+  }
+
+  /// Sends one (possibly segmented) message. Single outstanding message per
+  /// pipe; slot reuse is gated on send completions (polled with the
+  /// sender's discipline).
+  sim::Task<void> send(View msg, sim::PollMode sender_poll) {
+    const uint32_t slot = cfg_.eager_slot;
+    const uint32_t nslots = cfg_.eager_slots;
+    size_t off = 0;
+    uint32_t seg = 0;
+    bool first = true;
+    // Lazily reclaim completions from previous messages (no charge when
+    // they are already visible — ibv_poll_cq batch semantics).
+    while (outstanding_ > 0 && src_scq_->try_poll()) --outstanding_;
+    while (first || off < msg.size()) {
+      uint32_t idx = seg % nslots;
+      std::byte* s = send_ring_->data() + static_cast<size_t>(idx) * slot;
+      uint32_t hdr = first ? 4u : 0u;
+      uint32_t take = static_cast<uint32_t>(
+          std::min<size_t>(slot - hdr, msg.size() - off));
+      // Slot reuse: the ring is full, wait for the oldest send to complete.
+      while (outstanding_ >= nslots) {
+        verbs::Wc wc = co_await src_scq_->wait(sender_poll);
+        if (!wc.success) co_return;
+        --outstanding_;
+      }
+      co_await src_.cpu().compute(cost_.eager_match_cpu +
+                                  cost_.copy_time(take, src_numa_));
+      if (first) put_u32(s, static_cast<uint32_t>(msg.size()));
+      if (take > 0) std::memcpy(s + hdr, msg.data() + off, take);
+      co_await src_qp_->post_send(verbs::SendWr{
+          .wr_id = idx,
+          .opcode = verbs::Opcode::kSend,
+          .local = {s, hdr + take},
+          .signaled = true});
+      ++stats_->sends;
+      ++outstanding_;
+      off += take;
+      ++seg;
+      first = false;
+    }
+  }
+
+  /// Receives one message; nullopt when the CQ is closed (shutdown).
+  sim::Task<std::optional<Buffer>> recv(sim::PollMode mode) {
+    Buffer out;
+    size_t total = 0;
+    bool first = true;
+    std::optional<verbs::Wc> pending;
+    while (first || out.size() < total) {
+      verbs::Wc wc;
+      if (pending) {
+        wc = *pending;
+        pending.reset();
+      } else {
+        wc = co_await dst_rcq_->wait(mode);
+        if (!wc.success) co_return std::nullopt;
+      }
+      uint32_t idx = static_cast<uint32_t>(wc.wr_id);
+      const std::byte* s =
+          recv_ring_->data() + static_cast<size_t>(idx) * cfg_.eager_slot;
+      uint32_t hdr = first ? 4u : 0u;
+      if (first) {
+        total = get_u32(s);
+        out.reserve(total);
+        first = false;
+      }
+      uint32_t take = wc.byte_len - hdr;
+      co_await dst_.cpu().compute(cost_.eager_match_cpu +
+                                  cost_.copy_time(take, dst_numa_));
+      out.insert(out.end(), s + hdr, s + hdr + take);
+      post_recv_slot(idx);
+      // Batch-drain CQEs that are already visible (ibv_poll_cq semantics) —
+      // this is what keeps event-mode pickups per batch, not per segment.
+      if (out.size() < total) pending = dst_rcq_->try_poll();
+    }
+    co_return out;
+  }
+
+ private:
+  void post_recv_slot(uint32_t idx) {
+    dst_qp_->post_recv(verbs::RecvWr{
+        .wr_id = idx,
+        .buf = {recv_ring_->data() + static_cast<size_t>(idx) * cfg_.eager_slot,
+                cfg_.eager_slot}});
+  }
+
+  verbs::Node& src_;
+  verbs::QueuePair* src_qp_;
+  verbs::CompletionQueue* src_scq_;
+  verbs::Node& dst_;
+  verbs::QueuePair* dst_qp_;
+  verbs::CompletionQueue* dst_rcq_;
+  ChannelConfig cfg_;
+  bool src_numa_;
+  bool dst_numa_;
+  ChannelStats* stats_;
+  const verbs::CostModel& cost_;
+  verbs::MemoryRegion* send_ring_;
+  verbs::MemoryRegion* recv_ring_;
+  uint32_t outstanding_ = 0;
+};
+
+}  // namespace hatrpc::proto

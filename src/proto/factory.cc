@@ -1,0 +1,73 @@
+#include <stdexcept>
+
+#include "proto/bypass.h"
+#include "proto/channel.h"
+#include "proto/direct.h"
+#include "proto/eager.h"
+#include "proto/hybrid.h"
+#include "proto/rendezvous.h"
+
+namespace hatrpc::proto {
+
+std::string_view to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kEagerSendRecv: return "Eager-SendRecv";
+    case ProtocolKind::kDirectWriteSend: return "Direct-Write-Send";
+    case ProtocolKind::kChainedWriteSend: return "Chained-Write-Send";
+    case ProtocolKind::kWriteRndv: return "Write-RNDV";
+    case ProtocolKind::kReadRndv: return "Read-RNDV";
+    case ProtocolKind::kDirectWriteImm: return "Direct-WriteIMM";
+    case ProtocolKind::kPilaf: return "Pilaf";
+    case ProtocolKind::kFarm: return "FaRM";
+    case ProtocolKind::kRfp: return "RFP";
+    case ProtocolKind::kHerd: return "HERD";
+    case ProtocolKind::kHybridEagerRndv: return "Hybrid-EagerRNDV";
+    case ProtocolKind::kArGrpc: return "AR-gRPC";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RpcChannel> make_channel(ProtocolKind kind,
+                                         verbs::Node& client,
+                                         verbs::Node& server, Handler handler,
+                                         ChannelConfig cfg) {
+  auto start = [](auto ch) -> std::unique_ptr<RpcChannel> {
+    ch->start();
+    return ch;
+  };
+  switch (kind) {
+    case ProtocolKind::kEagerSendRecv:
+      return start(std::make_unique<EagerChannel>(client, server,
+                                                  std::move(handler), cfg));
+    case ProtocolKind::kDirectWriteSend:
+    case ProtocolKind::kChainedWriteSend:
+    case ProtocolKind::kDirectWriteImm:
+      return start(std::make_unique<DirectChannel>(kind, client, server,
+                                                   std::move(handler), cfg));
+    case ProtocolKind::kWriteRndv:
+    case ProtocolKind::kReadRndv:
+      return start(std::make_unique<RendezvousChannel>(
+          kind, client, server, std::move(handler), cfg));
+    case ProtocolKind::kPilaf:
+    case ProtocolKind::kFarm:
+    case ProtocolKind::kRfp:
+    case ProtocolKind::kHerd:
+      return start(std::make_unique<BypassChannel>(kind, client, server,
+                                                   std::move(handler), cfg));
+    case ProtocolKind::kHybridEagerRndv:
+    case ProtocolKind::kArGrpc: {
+      auto eager = make_channel(ProtocolKind::kEagerSendRecv, client, server,
+                                handler, cfg);
+      auto rndv = make_channel(kind == ProtocolKind::kArGrpc
+                                   ? ProtocolKind::kReadRndv
+                                   : ProtocolKind::kWriteRndv,
+                               client, server, std::move(handler), cfg);
+      return std::make_unique<HybridChannel>(kind, std::move(eager),
+                                             std::move(rndv),
+                                             cfg.rndv_threshold);
+    }
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+
+}  // namespace hatrpc::proto

@@ -1,0 +1,63 @@
+// Adaptive two-protocol channels: eager below the rendezvous threshold
+// (4 KB, paper §4.3), rendezvous above.
+//   Hybrid-EagerRNDV — the paper's vanilla baseline (eager + Write-RNDV);
+//   AR-gRPC          — the §5.4 comparator (eager + Read-RNDV).
+// The decision uses max(request size, response-size hint), reproducing the
+// "extra control messages just above the switching point" behaviour the
+// paper attributes to AR-gRPC.
+#pragma once
+
+#include <memory>
+
+#include "proto/channel.h"
+
+namespace hatrpc::proto {
+
+class HybridChannel : public RpcChannel {
+ public:
+  HybridChannel(ProtocolKind kind, std::unique_ptr<RpcChannel> eager,
+                std::unique_ptr<RpcChannel> rndv, uint32_t threshold)
+      : kind_(kind), eager_(std::move(eager)), rndv_(std::move(rndv)),
+        threshold_(threshold) {}
+
+  sim::Task<Buffer> call(View req, uint32_t resp_size_hint) override {
+    ++stats_.calls;
+    size_t decisive = std::max<size_t>(req.size(), resp_size_hint);
+    if (decisive <= threshold_)
+      co_return co_await eager_->call(req, resp_size_hint);
+    co_return co_await rndv_->call(req, resp_size_hint);
+  }
+
+  void shutdown() override {
+    eager_->shutdown();
+    rndv_->shutdown();
+  }
+
+  ProtocolKind kind() const override { return kind_; }
+
+  ChannelStats stats() const override {
+    ChannelStats s = stats_;
+    for (const RpcChannel* c : {eager_.get(), rndv_.get()}) {
+      ChannelStats cs = c->stats();
+      s.sends += cs.sends;
+      s.writes += cs.writes;
+      s.write_imms += cs.write_imms;
+      s.reads += cs.reads;
+      s.read_retries += cs.read_retries;
+      s.client_registered += cs.client_registered;
+      s.server_registered += cs.server_registered;
+    }
+    return s;
+  }
+
+  RpcChannel& eager_path() { return *eager_; }
+  RpcChannel& rndv_path() { return *rndv_; }
+
+ private:
+  ProtocolKind kind_;
+  std::unique_ptr<RpcChannel> eager_;
+  std::unique_ptr<RpcChannel> rndv_;
+  uint32_t threshold_;
+};
+
+}  // namespace hatrpc::proto

@@ -1,0 +1,25 @@
+// Little-endian scalar packing for protocol control blocks and headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace hatrpc::proto {
+
+inline void put_u32(std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void put_u64(std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+inline uint32_t get_u32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t get_u64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace hatrpc::proto

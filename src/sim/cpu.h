@@ -1,0 +1,124 @@
+// CPU contention model for a simulated node.
+//
+// A node owns a fixed number of cores. Two kinds of demand compete for them:
+//   * computations — handler work, serialization, per-op software overheads,
+//     modelled by `compute(work)` which stretches the work by the current
+//     over-subscription factor (processor sharing) and charges a context
+//     switch when the node is over-subscribed;
+//   * busy pollers — threads spinning on a completion queue. Each registered
+//     busy poller permanently occupies a core while active. Under
+//     over-subscription a busy poller only sees its completion after waiting
+//     for its next time slice, which is what makes busy polling collapse at
+//     high client counts (paper Fig. 5) without that behaviour being
+//     hard-coded anywhere.
+//
+// Event-polling pickups instead pay a fixed interrupt/wake-up latency plus a
+// mild scheduling delay driven only by *running* work, so they scale.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace hatrpc::sim {
+
+enum class PollMode : uint8_t { kBusy, kEvent };
+
+class Cpu {
+ public:
+  struct Params {
+    int cores = 28;                    // Xeon Gold 6132 (paper testbed)
+    Duration timeslice = 5us;          // scheduler quantum share
+    Duration ctx_switch = 2us;         // charged when over-subscribed
+    Duration busy_check = 50ns;        // spin loop reaction time
+    Duration interrupt_wakeup = 3us;   // event-polling wake-up (paper §3.2)
+  };
+
+  Cpu(Simulator& sim, Params p) : sim_(sim), p_(p) {}
+  explicit Cpu(Simulator& sim);  // defined below (GCC NSDMI quirk)
+
+  Simulator& simulator() { return sim_; }
+  const Params& params() const { return p_; }
+  int cores() const { return p_.cores; }
+
+  /// Demand / cores, floored at 1.0. Busy pollers and active computations
+  /// both count as demand.
+  double oversubscription() const {
+    double demand = static_cast<double>(busy_pollers_ + active_);
+    return std::max(1.0, demand / static_cast<double>(p_.cores));
+  }
+
+  bool oversubscribed() const { return busy_pollers_ + active_ > p_.cores; }
+
+  /// Runs `work` of CPU time, stretched by contention.
+  Task<void> compute(Duration work) {
+    ++active_;
+    double f = oversubscription();
+    Duration d = scale(work, f);
+    if (f > 1.0) d += p_.ctx_switch;
+    co_await sim_.sleep(d);
+    --active_;
+  }
+
+  /// Latency between a completion becoming visible and the polling thread
+  /// acting on it.
+  Duration pickup_delay(PollMode mode) const {
+    if (mode == PollMode::kBusy) {
+      // A spinning thread reacts within its check interval while it holds a
+      // core; once over-subscribed it must first be rescheduled, which costs
+      // (f - 1) quanta on average.
+      double f = oversubscription();
+      Duration d = p_.busy_check;
+      if (f > 1.0) d += scale(p_.timeslice, f - 1.0) + p_.ctx_switch;
+      return d;
+    }
+    // Event polling: interrupt + wake-up, plus queueing behind running work
+    // only (sleeping waiters do not consume cores).
+    double f = std::max(
+        1.0, static_cast<double>(active_) / static_cast<double>(p_.cores));
+    return scale(p_.interrupt_wakeup, f);
+  }
+
+  /// RAII registration of a spinning thread. Hold while busy-polling a CQ.
+  class BusyGuard {
+   public:
+    explicit BusyGuard(Cpu& cpu) : cpu_(&cpu) { ++cpu_->busy_pollers_; }
+    BusyGuard(BusyGuard&& o) noexcept : cpu_(std::exchange(o.cpu_, nullptr)) {}
+    BusyGuard& operator=(BusyGuard&& o) noexcept {
+      if (this != &o) {
+        reset();
+        cpu_ = std::exchange(o.cpu_, nullptr);
+      }
+      return *this;
+    }
+    BusyGuard(const BusyGuard&) = delete;
+    BusyGuard& operator=(const BusyGuard&) = delete;
+    ~BusyGuard() { reset(); }
+
+   private:
+    void reset() {
+      if (cpu_) --cpu_->busy_pollers_;
+      cpu_ = nullptr;
+    }
+    Cpu* cpu_;
+  };
+
+  BusyGuard busy_guard() { return BusyGuard(*this); }
+
+  int busy_pollers() const { return busy_pollers_; }
+  int active_computations() const { return active_; }
+
+ private:
+  friend class BusyGuard;
+  Simulator& sim_;
+  Params p_;
+  int busy_pollers_ = 0;
+  int active_ = 0;
+};
+
+inline Cpu::Cpu(Simulator& sim) : Cpu(sim, Params{}) {}
+
+}  // namespace hatrpc::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+namespace hatrpc::sim {
+
+Simulator::Detached Simulator::run_root(Simulator* s, Task<void> t) {
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    if (!s->first_error_) s->first_error_ = std::current_exception();
+  }
+  --s->live_;
+}
+
+void Simulator::spawn(Task<void> t) {
+  ++live_;
+  run_root(this, std::move(t));
+}
+
+void Simulator::drain(bool bounded, Time deadline) {
+  while (!queue_.empty()) {
+    if (bounded && queue_.top().t > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.h.resume();
+  }
+  if (bounded && now_ < deadline && queue_.empty()) now_ = deadline;
+  if (first_error_) {
+    auto e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+Time Simulator::run() {
+  drain(/*bounded=*/false, Time{0});
+  return now_;
+}
+
+Time Simulator::run_until(Time deadline) {
+  drain(/*bounded=*/true, deadline);
+  return now_;
+}
+
+}  // namespace hatrpc::sim

@@ -1,0 +1,107 @@
+// Discrete-event simulator: a virtual clock plus an event queue of
+// coroutine resumptions. Single-threaded and fully deterministic — events
+// at equal times run in FIFO schedule order.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace hatrpc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Queues `h` to resume at absolute virtual time `t` (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h) {
+    assert(t >= now_);
+    queue_.push(Event{t, seq_++, h});
+  }
+
+  void schedule_after(Duration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + (d.count() > 0 ? d : Duration{0}), h);
+  }
+
+  /// Awaitable that suspends the current coroutine for `d` of virtual time.
+  auto sleep(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_after(d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Suspends until absolute virtual time `t` (no-op if already past).
+  auto sleep_until(Time t) { return sleep(t > now_ ? t - now_ : Duration{0}); }
+
+  /// Reschedules the caller at the current time, letting same-time events run.
+  auto yield() { return sleep(Duration{0}); }
+
+  /// Launches a root task. It starts running immediately (at the current
+  /// virtual time) until its first suspension. Exceptions escaping a spawned
+  /// task are captured and rethrown by run().
+  void spawn(Task<void> t);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  /// Rethrows the first exception that escaped any spawned task.
+  Time run();
+
+  /// Runs until the event queue drains or virtual time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  Time run_until(Time deadline);
+
+  /// Number of spawned root tasks that have not yet completed. Nonzero after
+  /// run() returns means tasks are deadlocked on conditions that never fire.
+  size_t live_tasks() const { return live_; }
+
+  /// Total events processed (determinism/regression checks).
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time t;
+    uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() { return {}; }
+      std::suspend_never initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() noexcept { std::terminate(); }
+    };
+  };
+  static Detached run_root(Simulator* s, Task<void> t);
+
+  void drain(bool bounded, Time deadline);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_{0};
+  uint64_t seq_ = 0;
+  uint64_t processed_ = 0;
+  size_t live_ = 0;
+  std::exception_ptr first_error_{};
+};
+
+}  // namespace hatrpc::sim

@@ -1,0 +1,217 @@
+// Awaitable synchronization primitives for simulated tasks: wait queues,
+// one-shot events, counting semaphores, MPSC/MPMC channels, wait groups,
+// and a mutex. All are single-(host-)threaded; "blocking" means suspending
+// the coroutine until another task signals it via the simulator queue.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace hatrpc::sim {
+
+/// FIFO queue of suspended coroutines. Building block for everything else.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator& sim) : sim_(sim) {}
+
+  /// Suspends the caller until notify_one()/notify_all() reaches it.
+  auto wait() {
+    struct Awaiter {
+      WaitQueue& q;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { q.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Resumes the oldest waiter (scheduled at the current virtual time).
+  void notify_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule_at(sim_.now(), h);
+  }
+
+  void notify_all() {
+    while (!waiters_.empty()) notify_one();
+  }
+
+  size_t waiting() const { return waiters_.size(); }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot event: waiters resume once set() is called; waits after set()
+/// complete immediately.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : q_(sim) {}
+
+  Task<void> wait() {
+    while (!set_) co_await q_.wait();
+  }
+
+  void set() {
+    set_ = true;
+    q_.notify_all();
+  }
+
+  bool is_set() const { return set_; }
+
+ private:
+  WaitQueue q_;
+  bool set_ = false;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, size_t permits) : q_(sim), permits_(permits) {}
+
+  Task<void> acquire() {
+    while (permits_ == 0) co_await q_.wait();
+    --permits_;
+  }
+
+  bool try_acquire() {
+    if (permits_ == 0) return false;
+    --permits_;
+    return true;
+  }
+
+  void release(size_t n = 1) {
+    permits_ += n;
+    for (size_t i = 0; i < n; ++i) q_.notify_one();
+  }
+
+  size_t available() const { return permits_; }
+
+ private:
+  WaitQueue q_;
+  size_t permits_;
+};
+
+/// Unbounded multi-producer / multi-consumer channel. pop() on a closed,
+/// empty channel returns nullopt.
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : q_(sim) {}
+
+  void push(T v) {
+    items_.push_back(std::move(v));
+    q_.notify_one();
+  }
+
+  Task<std::optional<T>> pop() {
+    while (items_.empty()) {
+      if (closed_) co_return std::nullopt;
+      co_await q_.wait();
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    co_return v;
+  }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  void close() {
+    closed_ = true;
+    q_.notify_all();
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+
+ private:
+  WaitQueue q_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Golang-style wait group for joining a dynamic set of tasks.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : q_(sim) {}
+
+  void add(size_t n = 1) { count_ += n; }
+
+  void done() {
+    if (--count_ == 0) q_.notify_all();
+  }
+
+  Task<void> wait() {
+    while (count_ != 0) co_await q_.wait();
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  WaitQueue q_;
+  size_t count_ = 0;
+};
+
+/// Non-reentrant mutex for tasks.
+class Mutex {
+ public:
+  explicit Mutex(Simulator& sim) : q_(sim) {}
+
+  Task<void> lock() {
+    while (locked_) co_await q_.wait();
+    locked_ = true;
+  }
+
+  void unlock() {
+    locked_ = false;
+    q_.notify_one();
+  }
+
+  bool locked() const { return locked_; }
+
+  /// RAII helper: `auto g = co_await mu.scoped();`
+  class Guard {
+   public:
+    explicit Guard(Mutex& m) : m_(&m) {}
+    Guard(Guard&& o) noexcept : m_(std::exchange(o.m_, nullptr)) {}
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        reset();
+        m_ = std::exchange(o.m_, nullptr);
+      }
+      return *this;
+    }
+    ~Guard() { reset(); }
+
+   private:
+    void reset() {
+      if (m_) m_->unlock();
+      m_ = nullptr;
+    }
+    Mutex* m_;
+  };
+
+  Task<Guard> scoped() {
+    co_await lock();
+    co_return Guard{*this};
+  }
+
+ private:
+  WaitQueue q_;
+  bool locked_ = false;
+};
+
+}  // namespace hatrpc::sim

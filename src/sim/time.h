@@ -1,0 +1,41 @@
+// Virtual-time units for the discrete-event simulator.
+//
+// All simulated clocks count nanoseconds since simulation start. We reuse
+// std::chrono so call sites can write `5us` / `1ms` literals, and add the
+// scaling helpers the cost model needs (durations scaled by contention
+// factors, byte counts converted at a bandwidth).
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+namespace hatrpc::sim {
+
+using Duration = std::chrono::nanoseconds;
+using Time = Duration;  // offset from simulation start
+
+using namespace std::chrono_literals;
+
+/// Scales a duration by a (possibly fractional) factor, rounding to ns.
+constexpr Duration scale(Duration d, double factor) {
+  return Duration(static_cast<int64_t>(std::llround(
+      static_cast<double>(d.count()) * factor)));
+}
+
+/// Time to move `bytes` at `gbytes_per_sec` (decimal GB/s).
+constexpr Duration transfer_time(uint64_t bytes, double gbytes_per_sec) {
+  return Duration(static_cast<int64_t>(
+      std::llround(static_cast<double>(bytes) / gbytes_per_sec)));
+}
+
+/// Seconds as a double, for throughput reporting.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+
+constexpr double to_micros(Duration d) {
+  return static_cast<double>(d.count()) * 1e-3;
+}
+
+}  // namespace hatrpc::sim

@@ -1,0 +1,62 @@
+// TMemoryBuffer: the synchronous byte buffer the serialization protocols
+// operate on. Serialization is CPU work, not I/O, so it stays synchronous;
+// the async boundary (simulated transports) is at message granularity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "thrift/ttypes.h"
+
+namespace hatrpc::thrift {
+
+class TMemoryBuffer {
+ public:
+  TMemoryBuffer() = default;
+
+  /// Read-only view over existing bytes (zero-copy deserialization entry).
+  static TMemoryBuffer wrap(std::span<const std::byte> bytes) {
+    TMemoryBuffer b;
+    b.buf_.assign(bytes.begin(), bytes.end());
+    return b;
+  }
+
+  void write(const void* p, size_t n) {
+    const std::byte* s = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), s, s + n);
+  }
+
+  void read(void* p, size_t n) {
+    if (rpos_ + n > buf_.size())
+      throw TTransportException(TTransportException::Kind::kEndOfFile,
+                                "TMemoryBuffer underflow");
+    std::memcpy(p, buf_.data() + rpos_, n);
+    rpos_ += n;
+  }
+
+  std::string read_string(size_t n) {
+    std::string s(n, '\0');
+    read(s.data(), n);
+    return s;
+  }
+
+  size_t readable() const { return buf_.size() - rpos_; }
+  std::span<const std::byte> view() const { return {buf_.data(), buf_.size()}; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+  void reset() {
+    buf_.clear();
+    rpos_ = 0;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  size_t rpos_ = 0;
+};
+
+}  // namespace hatrpc::thrift

@@ -1,0 +1,456 @@
+#include "thrift/json_protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace hatrpc::thrift {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view TJSONProtocol::type_tag(TType t) {
+  switch (t) {
+    case TType::kBool: return "tf";
+    case TType::kByte: return "i8";
+    case TType::kI16: return "i16";
+    case TType::kI32: return "i32";
+    case TType::kI64: return "i64";
+    case TType::kDouble: return "dbl";
+    case TType::kString: return "str";
+    case TType::kStruct: return "rec";
+    case TType::kMap: return "map";
+    case TType::kList: return "lst";
+    case TType::kSet: return "set";
+    default:
+      throw TProtocolException(TProtocolException::Kind::kInvalidData,
+                               "json: bad TType");
+  }
+}
+
+TType TJSONProtocol::tag_type(std::string_view tag) {
+  if (tag == "tf") return TType::kBool;
+  if (tag == "i8") return TType::kByte;
+  if (tag == "i16") return TType::kI16;
+  if (tag == "i32") return TType::kI32;
+  if (tag == "i64") return TType::kI64;
+  if (tag == "dbl") return TType::kDouble;
+  if (tag == "str") return TType::kString;
+  if (tag == "rec") return TType::kStruct;
+  if (tag == "map") return TType::kMap;
+  if (tag == "lst") return TType::kList;
+  if (tag == "set") return TType::kSet;
+  throw TProtocolException(TProtocolException::Kind::kInvalidData,
+                           "json: unknown type tag '" + std::string(tag) +
+                               "'");
+}
+
+// ===========================================================================
+// Writing
+// ===========================================================================
+
+void TJSONProtocol::wraw(std::string_view s) { buf_.write(s.data(), s.size()); }
+
+void TJSONProtocol::wpush(bool in_object) {
+  wstack_.push_back({in_object, 0});
+}
+
+void TJSONProtocol::wpop() { wstack_.pop_back(); }
+
+void TJSONProtocol::rpush(bool in_object) {
+  rstack_.push_back({in_object, 0});
+}
+
+void TJSONProtocol::rpop() { rstack_.pop_back(); }
+
+void TJSONProtocol::wsep() {
+  if (wstack_.empty()) return;
+  Ctx& c = wstack_.back();
+  if (c.emitted > 0) {
+    // Object contexts alternate  key : value , key : value ...
+    if (c.object) wraw(c.emitted % 2 == 1 ? ":" : ",");
+    else wraw(",");
+  }
+  ++c.emitted;
+}
+
+void TJSONProtocol::wstring(std::string_view s) {
+  wsep();
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += '"';
+  wraw(out);
+}
+
+void TJSONProtocol::wnumber(int64_t v) {
+  // JSON object keys must be strings: quote numerics in the key slot.
+  bool key_slot = !wstack_.empty() && wstack_.back().object &&
+                  wstack_.back().emitted % 2 == 0;
+  wsep();
+  if (key_slot) wraw("\"" + std::to_string(v) + "\"");
+  else wraw(std::to_string(v));
+}
+
+void TJSONProtocol::writeMessageBegin(std::string_view name,
+                                      TMessageType type, int32_t seqid) {
+  wsep();
+  wraw("[");
+  wpush(false);
+  wnumber(kVersion);
+  wstring(name);
+  wnumber(static_cast<int64_t>(type));
+  wnumber(seqid);
+}
+
+void TJSONProtocol::writeMessageEnd() {
+  wpop();
+  wraw("]");
+}
+
+void TJSONProtocol::writeStructBegin(std::string_view) {
+  wsep();
+  wraw("{");
+  wpush(true);
+}
+
+void TJSONProtocol::writeStructEnd() {
+  wpop();
+  wraw("}");
+}
+
+void TJSONProtocol::writeFieldBegin(TType type, int16_t id) {
+  wstring(std::to_string(id));  // object key
+  wsep();                       // the ':'
+  wraw("{");
+  wpush(true);
+  wstring(type_tag(type));  // inner key; value follows via writeXxx
+}
+
+void TJSONProtocol::writeFieldEnd() {
+  wpop();
+  wraw("}");
+}
+
+void TJSONProtocol::writeMapBegin(TType key, TType val, uint32_t size) {
+  wsep();
+  wraw("[");
+  wpush(false);
+  wstring(type_tag(key));
+  wstring(type_tag(val));
+  wnumber(size);
+  wsep();
+  wraw("{");
+  wpush(true);
+}
+
+void TJSONProtocol::writeMapEnd() {
+  wpop();
+  wraw("}");
+  wpop();
+  wraw("]");
+}
+
+void TJSONProtocol::writeListBegin(TType elem, uint32_t size) {
+  wsep();
+  wraw("[");
+  wpush(false);
+  wstring(type_tag(elem));
+  wnumber(size);
+}
+
+void TJSONProtocol::writeListEnd() {
+  wpop();
+  wraw("]");
+}
+
+void TJSONProtocol::writeSetBegin(TType elem, uint32_t size) {
+  writeListBegin(elem, size);
+}
+
+void TJSONProtocol::writeSetEnd() { writeListEnd(); }
+
+void TJSONProtocol::writeBool(bool v) { wnumber(v ? 1 : 0); }
+void TJSONProtocol::writeByte(int8_t v) { wnumber(v); }
+void TJSONProtocol::writeI16(int16_t v) { wnumber(v); }
+void TJSONProtocol::writeI32(int32_t v) { wnumber(v); }
+void TJSONProtocol::writeI64(int64_t v) { wnumber(v); }
+
+void TJSONProtocol::writeDouble(double v) {
+  if (std::isnan(v)) {
+    wstring("NaN");
+  } else if (std::isinf(v)) {
+    wstring(v > 0 ? "Infinity" : "-Infinity");
+  } else {
+    wsep();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    wraw(buf);
+  }
+}
+
+void TJSONProtocol::writeString(std::string_view v) { wstring(v); }
+
+// ===========================================================================
+// Reading
+// ===========================================================================
+
+char TJSONProtocol::rpeek() {
+  // One-character pushback emulates peeking on TMemoryBuffer. At the end
+  // of the buffer, peeking returns NUL (terminates number scans cleanly).
+  if (!has_pushback_) {
+    if (buf_.readable() == 0) return '\0';
+    buf_.read(&pushback_, 1);
+    has_pushback_ = true;
+  }
+  return pushback_;
+}
+
+char TJSONProtocol::rget() {
+  if (has_pushback_) {
+    has_pushback_ = false;
+    return pushback_;
+  }
+  char c;
+  buf_.read(&c, 1);
+  return c;
+}
+
+void TJSONProtocol::rexpect(char want) {
+  char c = rget();
+  if (c != want)
+    throw TProtocolException(TProtocolException::Kind::kInvalidData,
+                             std::string("json: expected '") + want +
+                                 "', got '" + c + "'");
+}
+
+void TJSONProtocol::rsep() {
+  if (rstack_.empty()) return;
+  Ctx& c = rstack_.back();
+  if (c.emitted > 0) rexpect(c.object && c.emitted % 2 == 1 ? ':' : ',');
+  ++c.emitted;
+}
+
+std::string TJSONProtocol::rstring_raw() {
+  rexpect('"');
+  std::string out;
+  while (true) {
+    char ch = rget();
+    if (ch == '"') break;
+    if (ch == '\\') {
+      char esc = rget();
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          char hex[5] = {};
+          for (int i = 0; i < 4; ++i) hex[i] = rget();
+          out += static_cast<char>(std::strtol(hex, nullptr, 16));
+          break;
+        }
+        default: out += esc;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string TJSONProtocol::rstring() {
+  rsep();
+  rexpect('"');
+  std::string out;
+  while (true) {
+    char ch = rget();
+    if (ch == '"') break;
+    if (ch == '\\') {
+      char esc = rget();
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          char hex[5] = {};
+          for (int i = 0; i < 4; ++i) hex[i] = rget();
+          out += static_cast<char>(std::strtol(hex, nullptr, 16));
+          break;
+        }
+        default: out += esc;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+int64_t TJSONProtocol::rnumber() {
+  bool key_slot = !rstack_.empty() && rstack_.back().object &&
+                  rstack_.back().emitted % 2 == 0;
+  rsep();
+  if (key_slot) rexpect('"');
+  std::string digits;
+  while (true) {
+    char c = rpeek();
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+        c == 'e' || c == 'E') {
+      digits += rget();
+    } else {
+      break;
+    }
+  }
+  if (key_slot) rexpect('"');
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+double TJSONProtocol::rdouble_value() {
+  bool key_slot = !rstack_.empty() && rstack_.back().object &&
+                  rstack_.back().emitted % 2 == 0;
+  (void)key_slot;
+  rsep();
+  char c = rpeek();
+  if (c == '"') {
+    std::string s = rstring_raw();
+    if (s == "NaN") return std::nan("");
+    if (s == "Infinity") return std::numeric_limits<double>::infinity();
+    if (s == "-Infinity") return -std::numeric_limits<double>::infinity();
+    throw TProtocolException(TProtocolException::Kind::kInvalidData,
+                             "json: bad double string");
+  }
+  std::string digits;
+  while (true) {
+    char ch = rpeek();
+    if ((ch >= '0' && ch <= '9') || ch == '-' || ch == '+' || ch == '.' ||
+        ch == 'e' || ch == 'E') {
+      digits += rget();
+    } else {
+      break;
+    }
+  }
+  return std::strtod(digits.c_str(), nullptr);
+}
+
+TProtocol::MessageHead TJSONProtocol::readMessageBegin() {
+  rsep();
+  rexpect('[');
+  rpush(false);
+  if (rnumber() != kVersion)
+    throw TProtocolException(TProtocolException::Kind::kBadVersion,
+                             "json: bad version");
+  MessageHead h;
+  h.name = rstring();
+  h.type = static_cast<TMessageType>(rnumber());
+  h.seqid = static_cast<int32_t>(rnumber());
+  return h;
+}
+
+void TJSONProtocol::readMessageEnd() {
+  rpop();
+  rexpect(']');
+}
+
+void TJSONProtocol::readStructBegin() {
+  rsep();
+  rexpect('{');
+  rpush(true);
+}
+
+void TJSONProtocol::readStructEnd() {
+  rpop();
+  rexpect('}');
+}
+
+TProtocol::FieldHead TJSONProtocol::readFieldBegin() {
+  // Either '}' (field stop) or  ,? "<id>" : {"<tag>": <value>}
+  char c = rpeek();
+  if (c == '}') return {TType::kStop, 0};
+  if (rstack_.back().emitted > 0) rexpect(',');
+  rstack_.back().emitted = 2;  // key + value slots handled manually here
+  std::string id = rstring_raw();
+  rexpect(':');
+  rexpect('{');
+  rpush(true);
+  std::string tag = rstring();
+  return {tag_type(tag), static_cast<int16_t>(std::stoi(id))};
+}
+
+void TJSONProtocol::readFieldEnd() {
+  rpop();
+  rexpect('}');
+}
+
+TProtocol::MapHead TJSONProtocol::readMapBegin() {
+  rsep();
+  rexpect('[');
+  rpush(false);
+  TType k = tag_type(rstring());
+  TType v = tag_type(rstring());
+  uint32_t size = static_cast<uint32_t>(rnumber());
+  rsep();
+  rexpect('{');
+  rpush(true);
+  return {k, v, size};
+}
+
+void TJSONProtocol::readMapEnd() {
+  rpop();
+  rexpect('}');
+  rpop();
+  rexpect(']');
+}
+
+TProtocol::ListHead TJSONProtocol::readListBegin() {
+  rsep();
+  rexpect('[');
+  rpush(false);
+  TType e = tag_type(rstring());
+  uint32_t size = static_cast<uint32_t>(rnumber());
+  return {e, size};
+}
+
+void TJSONProtocol::readListEnd() {
+  rpop();
+  rexpect(']');
+}
+
+TProtocol::ListHead TJSONProtocol::readSetBegin() { return readListBegin(); }
+void TJSONProtocol::readSetEnd() { readListEnd(); }
+
+bool TJSONProtocol::readBool() { return rnumber() != 0; }
+int8_t TJSONProtocol::readByte() { return static_cast<int8_t>(rnumber()); }
+int16_t TJSONProtocol::readI16() { return static_cast<int16_t>(rnumber()); }
+int32_t TJSONProtocol::readI32() { return static_cast<int32_t>(rnumber()); }
+int64_t TJSONProtocol::readI64() { return rnumber(); }
+double TJSONProtocol::readDouble() { return rdouble_value(); }
+std::string TJSONProtocol::readString() { return rstring(); }
+
+}  // namespace hatrpc::thrift

@@ -1,0 +1,103 @@
+// TJSONProtocol — Apache Thrift's JSON wire protocol (the third encoding
+// in the paper's Fig. 2 protocol row). Wire format follows upstream:
+//   * message: [version, "name", type, seqid, <payload>]
+//   * struct:  {"<field-id>":{"<type-tag>":<value>}, ...}
+//   * map:     ["<ktag>","<vtag>",size,{<key>:<value>,...}]
+//   * list/set: ["<etag>",size,<elem>,...]
+//   * bool as 1/0; doubles as numbers (with "Infinity"/"NaN" strings);
+//   * binary/string as JSON strings with escaping.
+#pragma once
+
+#include "thrift/protocol.h"
+
+namespace hatrpc::thrift {
+
+class TJSONProtocol final : public TProtocol {
+ public:
+  explicit TJSONProtocol(TMemoryBuffer& buf) : TProtocol(buf) {
+    // Implicit root contexts: top-level values are ","-separated, and the
+    // writer/reader keep independent state so one protocol object can
+    // serialize and then deserialize (like the byte-oriented protocols).
+    wstack_.push_back({});
+    rstack_.push_back({});
+  }
+
+  void writeMessageBegin(std::string_view name, TMessageType type,
+                         int32_t seqid) override;
+  void writeMessageEnd() override;
+  void writeStructBegin(std::string_view) override;
+  void writeStructEnd() override;
+  void writeFieldBegin(TType type, int16_t id) override;
+  void writeFieldEnd() override;
+  void writeFieldStop() override {}
+  void writeMapBegin(TType key, TType val, uint32_t size) override;
+  void writeMapEnd() override;
+  void writeListBegin(TType elem, uint32_t size) override;
+  void writeListEnd() override;
+  void writeSetBegin(TType elem, uint32_t size) override;
+  void writeSetEnd() override;
+  void writeBool(bool v) override;
+  void writeByte(int8_t v) override;
+  void writeI16(int16_t v) override;
+  void writeI32(int32_t v) override;
+  void writeI64(int64_t v) override;
+  void writeDouble(double v) override;
+  void writeString(std::string_view v) override;
+
+  MessageHead readMessageBegin() override;
+  void readMessageEnd() override;
+  void readStructBegin() override;
+  void readStructEnd() override;
+  FieldHead readFieldBegin() override;
+  void readFieldEnd() override;
+  MapHead readMapBegin() override;
+  void readMapEnd() override;
+  ListHead readListBegin() override;
+  void readListEnd() override;
+  ListHead readSetBegin() override;
+  void readSetEnd() override;
+  bool readBool() override;
+  int8_t readByte() override;
+  int16_t readI16() override;
+  int32_t readI32() override;
+  int64_t readI64() override;
+  double readDouble() override;
+  std::string readString() override;
+
+ private:
+  static constexpr int32_t kVersion = 1;
+
+  static std::string_view type_tag(TType t);
+  static TType tag_type(std::string_view tag);
+
+  // --- writer helpers --------------------------------------------------------
+  void wsep();           // emit "," when needed in the current container
+  void wraw(std::string_view s);
+  void wstring(std::string_view s);
+  void wnumber(int64_t v);
+  void wpush(bool in_object);
+  void wpop();
+  void rpush(bool in_object);
+  void rpop();
+
+  // --- reader helpers ----------------------------------------------------------
+  void rsep();           // consume "," / ":" separators as contexts demand
+  char rpeek();
+  char rget();
+  void rexpect(char c);
+  std::string rstring_raw();  // no separator handling (object keys)
+  std::string rstring();
+  int64_t rnumber();
+  double rdouble_value();
+
+  struct Ctx {
+    bool object = false;  // object values alternate key/value with ':'
+    uint32_t emitted = 0;
+  };
+  std::vector<Ctx> wstack_;
+  std::vector<Ctx> rstack_;
+  char pushback_ = 0;
+  bool has_pushback_ = false;
+};
+
+}  // namespace hatrpc::thrift

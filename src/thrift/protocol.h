@@ -1,0 +1,215 @@
+// TProtocol: the serialization interface generated code writes through,
+// with the two encodings the paper's Thrift stack exercises (Fig. 2):
+// Binary (strict) and Compact (varint/zigzag).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "thrift/buffer.h"
+#include "thrift/ttypes.h"
+
+namespace hatrpc::thrift {
+
+class TProtocol {
+ public:
+  explicit TProtocol(TMemoryBuffer& buf) : buf_(buf) {}
+  virtual ~TProtocol() = default;
+
+  // --- writing -------------------------------------------------------------
+  virtual void writeMessageBegin(std::string_view name, TMessageType type,
+                                 int32_t seqid) = 0;
+  virtual void writeMessageEnd() {}
+  virtual void writeStructBegin(std::string_view name) = 0;
+  virtual void writeStructEnd() = 0;
+  virtual void writeFieldBegin(TType type, int16_t id) = 0;
+  virtual void writeFieldEnd() {}
+  virtual void writeFieldStop() = 0;
+  virtual void writeMapBegin(TType key, TType val, uint32_t size) = 0;
+  virtual void writeMapEnd() {}
+  virtual void writeListBegin(TType elem, uint32_t size) = 0;
+  virtual void writeListEnd() {}
+  virtual void writeSetBegin(TType elem, uint32_t size) = 0;
+  virtual void writeSetEnd() {}
+  virtual void writeBool(bool v) = 0;
+  virtual void writeByte(int8_t v) = 0;
+  virtual void writeI16(int16_t v) = 0;
+  virtual void writeI32(int32_t v) = 0;
+  virtual void writeI64(int64_t v) = 0;
+  virtual void writeDouble(double v) = 0;
+  virtual void writeString(std::string_view v) = 0;
+  void writeBinary(std::string_view v) { writeString(v); }
+
+  // --- reading ---------------------------------------------------------------
+  struct MessageHead {
+    std::string name;
+    TMessageType type;
+    int32_t seqid;
+  };
+  virtual MessageHead readMessageBegin() = 0;
+  virtual void readMessageEnd() {}
+  virtual void readStructBegin() = 0;
+  virtual void readStructEnd() = 0;
+  struct FieldHead {
+    TType type;
+    int16_t id;
+  };
+  virtual FieldHead readFieldBegin() = 0;
+  virtual void readFieldEnd() {}
+  struct MapHead {
+    TType key;
+    TType val;
+    uint32_t size;
+  };
+  virtual MapHead readMapBegin() = 0;
+  virtual void readMapEnd() {}
+  struct ListHead {
+    TType elem;
+    uint32_t size;
+  };
+  virtual ListHead readListBegin() = 0;
+  virtual void readListEnd() {}
+  virtual ListHead readSetBegin() = 0;
+  virtual void readSetEnd() {}
+  virtual bool readBool() = 0;
+  virtual int8_t readByte() = 0;
+  virtual int16_t readI16() = 0;
+  virtual int32_t readI32() = 0;
+  virtual int64_t readI64() = 0;
+  virtual double readDouble() = 0;
+  virtual std::string readString() = 0;
+  std::string readBinary() { return readString(); }
+
+  /// Skips a value of the given type (unknown-field tolerance).
+  void skip(TType type);
+
+  TMemoryBuffer& buffer() { return buf_; }
+
+ protected:
+  TMemoryBuffer& buf_;
+};
+
+/// Strict Thrift Binary protocol (version word 0x8001____).
+class TBinaryProtocol final : public TProtocol {
+ public:
+  using TProtocol::TProtocol;
+
+  void writeMessageBegin(std::string_view name, TMessageType type,
+                         int32_t seqid) override;
+  void writeStructBegin(std::string_view) override {}
+  void writeStructEnd() override {}
+  void writeFieldBegin(TType type, int16_t id) override;
+  void writeFieldStop() override;
+  void writeMapBegin(TType key, TType val, uint32_t size) override;
+  void writeListBegin(TType elem, uint32_t size) override;
+  void writeSetBegin(TType elem, uint32_t size) override;
+  void writeBool(bool v) override;
+  void writeByte(int8_t v) override;
+  void writeI16(int16_t v) override;
+  void writeI32(int32_t v) override;
+  void writeI64(int64_t v) override;
+  void writeDouble(double v) override;
+  void writeString(std::string_view v) override;
+
+  MessageHead readMessageBegin() override;
+  void readStructBegin() override {}
+  void readStructEnd() override {}
+  FieldHead readFieldBegin() override;
+  MapHead readMapBegin() override;
+  ListHead readListBegin() override;
+  ListHead readSetBegin() override;
+  bool readBool() override;
+  int8_t readByte() override;
+  int16_t readI16() override;
+  int32_t readI32() override;
+  int64_t readI64() override;
+  double readDouble() override;
+  std::string readString() override;
+
+ private:
+  static constexpr uint32_t kVersion1 = 0x80010000;
+  static constexpr uint32_t kVersionMask = 0xffff0000;
+};
+
+/// Thrift Compact protocol: zigzag varints, field-id delta encoding,
+/// booleans folded into field headers.
+class TCompactProtocol final : public TProtocol {
+ public:
+  using TProtocol::TProtocol;
+
+  void writeMessageBegin(std::string_view name, TMessageType type,
+                         int32_t seqid) override;
+  void writeStructBegin(std::string_view) override;
+  void writeStructEnd() override;
+  void writeFieldBegin(TType type, int16_t id) override;
+  void writeFieldStop() override;
+  void writeMapBegin(TType key, TType val, uint32_t size) override;
+  void writeListBegin(TType elem, uint32_t size) override;
+  void writeSetBegin(TType elem, uint32_t size) override;
+  void writeBool(bool v) override;
+  void writeByte(int8_t v) override;
+  void writeI16(int16_t v) override;
+  void writeI32(int32_t v) override;
+  void writeI64(int64_t v) override;
+  void writeDouble(double v) override;
+  void writeString(std::string_view v) override;
+
+  MessageHead readMessageBegin() override;
+  void readStructBegin() override;
+  void readStructEnd() override;
+  FieldHead readFieldBegin() override;
+  MapHead readMapBegin() override;
+  ListHead readListBegin() override;
+  ListHead readSetBegin() override;
+  bool readBool() override;
+  int8_t readByte() override;
+  int16_t readI16() override;
+  int32_t readI32() override;
+  int64_t readI64() override;
+  double readDouble() override;
+  std::string readString() override;
+
+ private:
+  static constexpr uint8_t kProtocolId = 0x82;
+  static constexpr uint8_t kVersion = 1;
+
+  enum class CType : uint8_t {
+    kStop = 0,
+    kBoolTrue = 1,
+    kBoolFalse = 2,
+    kByte = 3,
+    kI16 = 4,
+    kI32 = 5,
+    kI64 = 6,
+    kDouble = 7,
+    kBinary = 8,
+    kList = 9,
+    kSet = 10,
+    kMap = 11,
+    kStruct = 12,
+  };
+  static CType to_compact(TType t);
+  static TType to_ttype(CType c);
+
+  void write_varint(uint64_t v);
+  uint64_t read_varint();
+  static uint64_t zigzag(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  }
+  static int64_t unzigzag(uint64_t v) {
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+  }
+
+  std::vector<int16_t> last_field_stack_;
+  int16_t last_field_ = 0;
+  // Pending bool field header (bools are encoded in the header itself).
+  bool bool_field_pending_ = false;
+  int16_t bool_field_id_ = 0;
+  // Set while reading when the header already carried the bool value.
+  bool bool_value_pending_ = false;
+  bool bool_value_ = false;
+};
+
+}  // namespace hatrpc::thrift

@@ -1,0 +1,107 @@
+// Thrift server flavors over the socket transport (Fig. 2's server row):
+//   TSimpleServer     — one connection at a time;
+//   TThreadedServer   — a task per connection;
+//   TThreadPoolServer — per-connection tasks gated by a fixed worker pool.
+// All drive the same Processor (serialized request -> serialized response).
+#pragma once
+
+#include <memory>
+
+#include "sim/sync.h"
+#include "thrift/transport.h"
+
+namespace hatrpc::thrift {
+
+/// Handles one serialized request message, returning the serialized reply.
+using Processor = std::function<sim::Task<Buffer>(View)>;
+
+enum class ServerKind { kSimple, kThreaded, kThreadPool };
+
+class TServer {
+ public:
+  struct Options {
+    ServerKind kind = ServerKind::kThreaded;
+    size_t pool_workers = 8;  // TThreadPoolServer only
+  };
+
+  TServer(SocketNet& net, verbs::Node& node, uint16_t port,
+          Processor processor, Options opts)
+      : net_(net), node_(node), processor_(std::move(processor)),
+        opts_(opts), pool_(net.simulator(), opts.pool_workers) {
+    listener_ = net_.listen(node, port);
+  }
+  TServer(SocketNet& net, verbs::Node& node, uint16_t port,
+          Processor processor)
+      : TServer(net, node, port, std::move(processor), Options{}) {}
+
+  /// Spawns the accept loop.
+  void start() { net_.simulator().spawn(accept_loop()); }
+
+  void stop() {
+    stopping_ = true;
+    listener_->close();
+    for (auto* s : conns_) s->close();
+  }
+
+  uint64_t requests_served() const { return served_; }
+
+ private:
+  sim::Task<void> accept_loop() {
+    while (true) {
+      SimSocket* sock = co_await listener_->accept();
+      if (!sock) break;
+      conns_.push_back(sock);
+      if (opts_.kind == ServerKind::kSimple) {
+        co_await serve_connection(sock);  // serial: next accept after close
+      } else {
+        net_.simulator().spawn(serve_connection(sock));
+      }
+    }
+  }
+
+  sim::Task<void> serve_connection(SimSocket* sock) {
+    TFramedTransport framed(sock);
+    while (!stopping_) {
+      auto req = co_await framed.recv();
+      if (!req) break;
+      if (opts_.kind == ServerKind::kThreadPool) co_await pool_.acquire();
+      Buffer resp = co_await processor_(*req);
+      if (opts_.kind == ServerKind::kThreadPool) pool_.release();
+      ++served_;
+      co_await framed.send(resp);
+    }
+  }
+
+  SocketNet& net_;
+  verbs::Node& node_;
+  Processor processor_;
+  Options opts_;
+  sim::Semaphore pool_;
+  Listener* listener_ = nullptr;
+  std::vector<SimSocket*> conns_;
+  bool stopping_ = false;
+  uint64_t served_ = 0;
+};
+
+/// Client-side message RPC over a framed socket: the "Thrift over IPoIB"
+/// call path.
+class SocketRpcClient {
+ public:
+  explicit SocketRpcClient(SimSocket* sock) : framed_(sock) {}
+
+  sim::Task<Buffer> call(View req) {
+    co_await framed_.send(req);
+    auto resp = co_await framed_.recv();
+    if (!resp)
+      throw TTransportException(TTransportException::Kind::kEndOfFile,
+                                "server closed connection");
+    co_return std::move(*resp);
+  }
+
+  void close() { framed_.close(); }
+
+ private:
+  TFramedTransport framed_;
+};
+
+}  // namespace hatrpc::thrift

@@ -1,0 +1,142 @@
+#include "thrift/socket.h"
+
+#include <algorithm>
+
+#include "thrift/ttypes.h"
+
+namespace hatrpc::thrift {
+
+using sim::Task;
+using sim::Time;
+
+SimSocket::SimSocket(SocketNet& net, verbs::Node& node)
+    : net_(net), node_(node), rx_avail_(net.simulator()),
+      tx_order_(net.simulator()) {}
+
+Task<void> SimSocket::write(std::span<const std::byte> data) {
+  if (closed_ || !peer_)
+    throw TTransportException(TTransportException::Kind::kNotOpen,
+                              "write on closed socket");
+  const TcpCostModel& cm = net_.cost();
+  co_await node_.cpu().compute(cm.tx_syscall);
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t take = std::min<size_t>(cm.mss, data.size() - off);
+    co_await node_.cpu().compute(cm.per_seg_cpu);
+    // send() returns once the segment is queued in the kernel; delivery
+    // proceeds asynchronously (segments stay ordered by FIFO link
+    // reservations made at spawn time).
+    net_.simulator().spawn(net_.transmit(
+        *this, *peer_,
+        std::vector<std::byte>(data.begin() + off,
+                               data.begin() + off + take)));
+    off += take;
+  }
+}
+
+Task<size_t> SimSocket::read(std::byte* p, size_t max) {
+  const TcpCostModel& cm = net_.cost();
+  while (rx_.empty()) {
+    if (peer_closed_ || closed_) co_return 0;  // EOF
+    co_await rx_avail_.wait();
+    // Data arrival wakes the blocked reader through the kernel.
+    co_await net_.simulator().sleep(cm.rx_wakeup);
+  }
+  co_await node_.cpu().compute(cm.rx_syscall);
+  size_t n = std::min(max, rx_.size());
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = rx_.front();
+    rx_.pop_front();
+  }
+  co_return n;
+}
+
+Task<void> SimSocket::read_exact(std::byte* p, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    size_t got = co_await read(p + off, n - off);
+    if (got == 0)
+      throw TTransportException(TTransportException::Kind::kEndOfFile,
+                                "socket EOF mid-message");
+    off += got;
+  }
+}
+
+void SimSocket::close() {
+  if (closed_) return;
+  closed_ = true;
+  rx_avail_.notify_all();
+  // FIN is ordered behind any in-flight data (FIFO link reservations), so
+  // the peer drains everything sent before seeing EOF.
+  if (peer_) net_.simulator().spawn(net_.transmit(*this, *peer_, {}, true));
+}
+
+void SimSocket::deliver(std::vector<std::byte> seg) {
+  rx_.insert(rx_.end(), seg.begin(), seg.end());
+  rx_avail_.notify_all();
+}
+
+void SimSocket::peer_closed() {
+  peer_closed_ = true;
+  rx_avail_.notify_all();
+}
+
+Listener* SocketNet::listen(verbs::Node& node, uint16_t port) {
+  uint64_t key = (static_cast<uint64_t>(node.id()) << 16) | port;
+  auto [it, inserted] =
+      listeners_.try_emplace(key, std::make_unique<Listener>(simulator()));
+  if (!inserted)
+    throw TTransportException(TTransportException::Kind::kNotOpen,
+                              "port already listening");
+  return it->second.get();
+}
+
+Task<SimSocket*> SocketNet::connect(verbs::Node& from, verbs::Node& to,
+                                    uint16_t port) {
+  uint64_t key = (static_cast<uint64_t>(to.id()) << 16) | port;
+  auto it = listeners_.find(key);
+  if (it == listeners_.end())
+    throw TTransportException(TTransportException::Kind::kNotOpen,
+                              "connection refused");
+  co_await simulator().sleep(cost_.handshake);
+  sockets_.push_back(std::make_unique<SimSocket>(*this, from));
+  SimSocket* a = sockets_.back().get();
+  sockets_.push_back(std::make_unique<SimSocket>(*this, to));
+  SimSocket* b = sockets_.back().get();
+  a->peer_ = b;
+  b->peer_ = a;
+  it->second->pending_.push(b);
+  co_return a;
+}
+
+Task<void> SocketNet::transmit(SimSocket& from, SimSocket& to,
+                               std::vector<std::byte> data, bool fin) {
+  // Kernel traffic shares the NIC links with native RDMA but at IPoIB's
+  // effective rate; like the RDMA path, the wire multiplexes packets from
+  // different flows at ~MTU granularity. Segments of ONE flow stay ordered.
+  auto order_guard = co_await from.tx_order_.scoped();
+  verbs::Nic& tx = from.node_.nic();
+  verbs::Nic& rx = to.node_.nic();
+  constexpr uint64_t kMtu = 4096;
+  uint64_t off = 0;
+  do {
+    uint64_t take = std::min<uint64_t>(kMtu, data.size() - off);
+    sim::Duration ser = sim::transfer_time(take + 78, cost_.eff_gbps);
+    Time start = std::max({simulator().now(), tx.tx_free(), rx.rx_free()});
+    tx.reserve_tx(start + ser, take);
+    rx.reserve_rx(start + ser, take);
+    co_await simulator().sleep_until(start + ser);
+    off += take;
+  } while (off < data.size());
+  co_await simulator().sleep(fabric_.cost().propagation);
+  // Receive-side stack processing happens in softirq context on the
+  // receiver's CPU.
+  co_await to.node_.cpu().compute(cost_.per_seg_cpu);
+  if (fin) {
+    to.peer_closed();
+  } else {
+    to.deliver(std::move(data));
+  }
+}
+
+}  // namespace hatrpc::thrift

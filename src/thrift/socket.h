@@ -1,0 +1,118 @@
+// Simulated TCP/IPoIB sockets — the transport under "vanilla Thrift over
+// IPoIB", the paper's baseline in §5.5. IPoIB runs over the same EDR link
+// as the verbs traffic but through the kernel: syscall + TCP/IP stack CPU
+// on both sides, softirq wake-ups at the receiver, and a much lower
+// effective throughput than native RDMA.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sync.h"
+#include "thrift/ttypes.h"
+#include "verbs/fabric.h"
+
+namespace hatrpc::thrift {
+
+using namespace std::chrono_literals;
+
+struct TcpCostModel {
+  double eff_gbps = 3.0;            // IPoIB TCP effective throughput (GB/s)
+  sim::Duration tx_syscall = 2000ns;  // send(): syscall + TCP/IP tx stack
+  sim::Duration rx_syscall = 1500ns;  // recv(): syscall + copy to user
+  sim::Duration rx_wakeup = 4000ns;   // softirq + scheduler wake-up
+  sim::Duration per_seg_cpu = 500ns;  // per-segment stack processing
+  sim::Duration handshake = 30000ns;  // 3-way handshake + socket setup
+  uint32_t mss = 65536;               // IPoIB-CM segment size
+};
+
+class SocketNet;
+
+/// One endpoint of an established byte-stream connection.
+class SimSocket {
+ public:
+  SimSocket(SocketNet& net, verbs::Node& node);
+
+  /// Writes the whole buffer (kernel segments it; blocks for stack CPU and
+  /// link backpressure).
+  sim::Task<void> write(std::span<const std::byte> data);
+
+  /// Reads 1..max bytes; returns 0 on orderly peer close (EOF).
+  sim::Task<size_t> read(std::byte* p, size_t max);
+
+  /// Reads exactly n bytes or throws TTransportException(kEndOfFile).
+  sim::Task<void> read_exact(std::byte* p, size_t n);
+
+  void close();
+  bool closed() const { return closed_; }
+  verbs::Node& node() { return node_; }
+
+ private:
+  friend class SocketNet;
+  void deliver(std::vector<std::byte> seg);
+  void peer_closed();
+
+  SocketNet& net_;
+  verbs::Node& node_;
+  SimSocket* peer_ = nullptr;
+  std::deque<std::byte> rx_;
+  sim::WaitQueue rx_avail_;
+  sim::Mutex tx_order_;  // per-flow segment ordering on the shared wire
+  bool closed_ = false;       // this end closed
+  bool peer_closed_ = false;  // EOF pending once rx_ drains
+};
+
+/// Accept queue for a listening port.
+class Listener {
+ public:
+  explicit Listener(sim::Simulator& sim) : pending_(sim) {}
+
+  /// Waits for the next established connection; nullptr when closed.
+  sim::Task<SimSocket*> accept() {
+    auto s = co_await pending_.pop();
+    co_return s ? *s : nullptr;
+  }
+
+  void close() { pending_.close(); }
+
+ private:
+  friend class SocketNet;
+  sim::Channel<SimSocket*> pending_;
+};
+
+/// The kernel-network side of the simulated cluster. Shares the verbs
+/// Fabric's nodes (CPU contention is common) and NIC links (IPoIB and
+/// native RDMA traffic compete for the same wire).
+class SocketNet {
+ public:
+  SocketNet(verbs::Fabric& fabric, TcpCostModel cost)
+      : fabric_(fabric), cost_(cost) {}
+  explicit SocketNet(verbs::Fabric& fabric)
+      : SocketNet(fabric, TcpCostModel{}) {}
+
+  Listener* listen(verbs::Node& node, uint16_t port);
+
+  /// Connects to (node, port); completes after the handshake.
+  sim::Task<SimSocket*> connect(verbs::Node& from, verbs::Node& to,
+                                uint16_t port);
+
+  verbs::Fabric& fabric() { return fabric_; }
+  sim::Simulator& simulator() { return fabric_.simulator(); }
+  const TcpCostModel& cost() const { return cost_; }
+
+ private:
+  friend class SimSocket;
+  sim::Task<void> transmit(SimSocket& from, SimSocket& to,
+                           std::vector<std::byte> data, bool fin = false);
+
+  verbs::Fabric& fabric_;
+  TcpCostModel cost_;
+  std::unordered_map<uint64_t, std::unique_ptr<Listener>> listeners_;
+  std::vector<std::unique_ptr<SimSocket>> sockets_;
+};
+
+}  // namespace hatrpc::thrift

@@ -1,0 +1,65 @@
+// The distributed TPC-H deployment of §5.5: one coordinator + N workers on
+// the simulated cluster, with per-worker HatRPC servers exposing one RPC
+// method per query ("Q1".."Q22"). Three transport configurations reproduce
+// Fig. 17's bars:
+//   * kThriftIpoib  — every method hinted transport=tcp (vanilla Thrift
+//     over IPoIB);
+//   * kHatService   — service-level hints only (perf_goal, concurrency):
+//     no payload knowledge, so the engine keeps the conservative adaptive
+//     protocol;
+//   * kHatFunction  — per-query function-level hints: payload sizes
+//     calibrated from the data, latency goals for small-partial queries,
+//     and NUMA binding — the engine right-sizes pre-known-buffer protocols
+//     per query.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.h"
+#include "tpch/queries.h"
+
+namespace hatrpc::tpch {
+
+enum class TpchMode { kThriftIpoib, kHatService, kHatFunction };
+
+std::string_view to_string(TpchMode m);
+
+class TpchCluster {
+ public:
+  TpchCluster(sim::Simulator& sim, int workers, DbgenConfig dbcfg,
+              TpchMode mode);
+  ~TpchCluster();
+
+  /// Runs query `qid` (1..22): fans the request out to all workers,
+  /// gathers the partial results, merges on the coordinator. Returns the
+  /// final rows; elapsed virtual time is in last_elapsed().
+  sim::Task<QueryResult> run_query(int qid);
+
+  sim::Duration last_elapsed() const { return last_elapsed_; }
+  uint64_t last_partial_bytes() const { return last_partial_bytes_; }
+  int workers() const { return static_cast<int>(workers_.size()); }
+  TpchMode mode() const { return mode_; }
+
+  void stop();
+
+ private:
+  struct WorkerRt;
+  hint::ServiceHints build_hints() const;
+  static std::string method_name(int qid);
+
+  sim::Simulator& sim_;
+  TpchMode mode_;
+  verbs::Fabric fabric_;
+  thrift::SocketNet net_;
+  verbs::Node* coordinator_;
+  TpchSlice dims_;  // coordinator's replica of the dimension tables
+  std::vector<std::unique_ptr<WorkerRt>> workers_;
+  /// Measured typical partial sizes per query (bytes), used to derive the
+  /// kHatFunction payload hints — the "user pre-knowledge" of §4.4.
+  std::vector<uint64_t> partial_size_hint_;
+  sim::Duration last_elapsed_{};
+  uint64_t last_partial_bytes_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hatrpc::tpch

@@ -1,0 +1,230 @@
+// dbgen-style deterministic data generator. Follows the TPC-H column
+// domains (nation/region catalog, brand/type/container vocabularies, date
+// ranges, price formulas) at a configurable scale factor.
+#include <array>
+#include <cstdio>
+
+#include "sim/rng.h"
+#include "tpch/schema.h"
+
+namespace hatrpc::tpch {
+
+Date add_months(Date d, int months) {
+  int y = d / 10000, m = (d / 100) % 100, day = d % 100;
+  int total = y * 12 + (m - 1) + months;
+  y = total / 12;
+  m = total % 12 + 1;
+  return make_date(y, m, day);
+}
+
+Date add_days(Date d, int days) {
+  int y = d / 10000, m = (d / 100) % 100, day = d % 100;
+  int total = (y * 12 + (m - 1)) * 28 + (day - 1) + days;
+  y = total / (12 * 28);
+  int rem = total % (12 * 28);
+  return make_date(y, rem / 28 + 1, rem % 28 + 1);
+}
+
+namespace {
+
+using sim::Rng;
+
+constexpr std::array<std::pair<const char*, int>, 25> kNations{{
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},    {"CANADA", 1},
+    {"EGYPT", 4},     {"ETHIOPIA", 0},  {"FRANCE", 3},    {"GERMANY", 3},
+    {"INDIA", 2},     {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},     {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},{"PERU", 1},      {"CHINA", 2},     {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2},{"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+}};
+
+constexpr std::array<const char*, 5> kRegions{"AFRICA", "AMERICA", "ASIA",
+                                              "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<const char*, 6> kTypes1{"STANDARD", "SMALL", "MEDIUM",
+                                             "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypes2{"ANODIZED", "BURNISHED",
+                                             "PLATED", "POLISHED", "BRUSHED"};
+constexpr std::array<const char*, 5> kTypes3{"TIN", "NICKEL", "BRASS",
+                                             "STEEL", "COPPER"};
+constexpr std::array<const char*, 5> kContainers1{"SM", "LG", "MED", "JUMBO",
+                                                  "WRAP"};
+constexpr std::array<const char*, 8> kContainers2{
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+constexpr std::array<const char*, 7> kShipmodes{"REG AIR", "AIR",  "RAIL",
+                                                "SHIP",    "TRUCK", "MAIL",
+                                                "FOB"};
+constexpr std::array<const char*, 5> kPriorities{"1-URGENT", "2-HIGH",
+                                                 "3-MEDIUM", "4-NOT SPECIFIED",
+                                                 "5-LOW"};
+constexpr std::array<const char*, 5> kSegments{"AUTOMOBILE", "BUILDING",
+                                               "FURNITURE", "MACHINERY",
+                                               "HOUSEHOLD"};
+constexpr std::array<const char*, 6> kPartNameWords{"almond", "antique",
+                                                    "green", "metallic",
+                                                    "misty", "forest"};
+
+std::string pick(Rng& rng, const auto& arr) {
+  return arr[rng.bounded(arr.size())];
+}
+
+/// Random order/ship dates in [1992-01-01, 1998-08-02] (TPC-H range).
+Date random_date(Rng& rng, int min_year = 1992, int max_year = 1998) {
+  int y = static_cast<int>(rng.uniform(min_year, max_year));
+  int m = static_cast<int>(rng.uniform(1, 12));
+  int d = static_cast<int>(rng.uniform(1, 28));
+  return make_date(y, m, d);
+}
+
+std::string phone(Rng& rng, int nationkey) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02d-%03d-%03d-%04d", 10 + nationkey,
+                int(rng.uniform(100, 999)), int(rng.uniform(100, 999)),
+                int(rng.uniform(1000, 9999)));
+  return buf;
+}
+
+std::string comment(Rng& rng) {
+  static constexpr std::array<const char*, 10> words{
+      "carefully", "quickly", "furiously", "deposits", "packages",
+      "requests",  "accounts", "ideas",    "pending",  "express"};
+  std::string out;
+  int n = static_cast<int>(rng.uniform(2, 5));
+  for (int i = 0; i < n; ++i) {
+    if (i) out += ' ';
+    out += pick(rng, words);
+  }
+  // Q13's filter: a slice of orders must mention "special ... requests".
+  if (rng.chance(0.02)) out += " special requests";
+  return out;
+}
+
+}  // namespace
+
+std::vector<TpchSlice> dbgen(const DbgenConfig& cfg, int workers) {
+  Rng rng(cfg.seed);
+  const double sf = cfg.scale_factor;
+  const int32_t n_supplier = std::max<int32_t>(10, int32_t(10000 * sf));
+  const int32_t n_customer = std::max<int32_t>(30, int32_t(150000 * sf));
+  const int32_t n_part = std::max<int32_t>(20, int32_t(200000 * sf));
+  const int32_t n_orders = std::max<int32_t>(50, int32_t(1500000 * sf));
+
+  std::vector<TpchSlice> slices(static_cast<size_t>(workers));
+
+  // --- replicated dimensions -------------------------------------------------
+  TpchSlice shared;
+  for (size_t r = 0; r < kRegions.size(); ++r)
+    shared.region.push_back({int32_t(r), kRegions[r]});
+  for (size_t n = 0; n < kNations.size(); ++n)
+    shared.nation.push_back(
+        {int32_t(n), kNations[n].first, kNations[n].second});
+
+  for (int32_t s = 1; s <= n_supplier; ++s) {
+    int32_t nk = int32_t(rng.bounded(25));
+    char name[32];
+    std::snprintf(name, sizeof name, "Supplier#%09d", s);
+    std::string scomment = comment(rng);
+    if (rng.chance(0.02)) scomment += " Customer Complaints";  // Q16 filter
+    shared.supplier.push_back({s, name, "addr", nk, phone(rng, nk),
+                               rng.uniform01() * 11000 - 1000,
+                               std::move(scomment)});
+  }
+  for (int32_t c = 1; c <= n_customer; ++c) {
+    int32_t nk = int32_t(rng.bounded(25));
+    char name[32];
+    std::snprintf(name, sizeof name, "Customer#%09d", c);
+    shared.customer.push_back({c, name, "addr", nk, phone(rng, nk),
+                               rng.uniform01() * 10999.99 - 999.99,
+                               pick(rng, kSegments), comment(rng)});
+  }
+  for (int32_t p = 1; p <= n_part; ++p) {
+    std::string type = pick(rng, kTypes1);
+    type += ' ';
+    type += pick(rng, kTypes2);
+    type += ' ';
+    type += pick(rng, kTypes3);
+    char brand[16];
+    std::snprintf(brand, sizeof brand, "Brand#%d%d",
+                  int(rng.uniform(1, 5)), int(rng.uniform(1, 5)));
+    std::string cont = pick(rng, kContainers1);
+    cont += ' ';
+    cont += pick(rng, kContainers2);
+    std::string pname = pick(rng, kPartNameWords);
+    pname += ' ';
+    pname += pick(rng, kPartNameWords);
+    shared.part.push_back({p, pname, "Manufacturer#" +
+                               std::to_string(rng.uniform(1, 5)),
+                           brand, type, int32_t(rng.uniform(1, 50)), cont,
+                           900.0 + p % 1000});
+    for (int ps = 0; ps < 4; ++ps) {
+      int32_t sk = int32_t(1 + (p + ps * (n_supplier / 4 + 1)) % n_supplier);
+      shared.partsupp.push_back({p, sk, int32_t(rng.uniform(1, 9999)),
+                                 rng.uniform01() * 1000.0 + 1.0});
+    }
+  }
+  for (size_t w = 0; w < slices.size(); ++w) {
+    auto& slice = slices[w];
+    slice.worker_id = static_cast<int>(w);
+    slice.workers = workers;
+    slice.region = shared.region;
+    slice.nation = shared.nation;
+    slice.supplier = shared.supplier;
+    slice.customer = shared.customer;
+    slice.part = shared.part;
+    slice.partsupp = shared.partsupp;
+  }
+
+  // --- partitioned facts -------------------------------------------------------
+  for (int32_t o = 1; o <= n_orders; ++o) {
+    auto& slice = slices[static_cast<size_t>(o) % slices.size()];
+    Order ord;
+    ord.orderkey = o;
+    ord.custkey = int32_t(1 + rng.bounded(uint64_t(n_customer)));
+    ord.totalprice = 0;
+    ord.orderdate = random_date(rng, 1992, 1998);
+    ord.orderpriority = pick(rng, kPriorities);
+    char clerk[24];
+    std::snprintf(clerk, sizeof clerk, "Clerk#%09d",
+                  int(rng.uniform(1, std::max(1, int(1000 * sf)))));
+    ord.clerk = clerk;
+    ord.shippriority = 0;
+    ord.comment = comment(rng);
+
+    int nlines = static_cast<int>(rng.uniform(1, 7));
+    int finished = 0;
+    for (int l = 1; l <= nlines; ++l) {
+      Lineitem li;
+      li.orderkey = o;
+      li.partkey = int32_t(1 + rng.bounded(uint64_t(n_part)));
+      li.suppkey = int32_t(1 + rng.bounded(uint64_t(n_supplier)));
+      li.linenumber = l;
+      li.quantity = double(rng.uniform(1, 50));
+      li.extendedprice =
+          li.quantity * (900.0 + double(li.partkey % 1000));
+      li.discount = double(rng.uniform(0, 10)) / 100.0;
+      li.tax = double(rng.uniform(0, 8)) / 100.0;
+      li.shipdate = add_days(ord.orderdate, int(rng.uniform(1, 121)));
+      li.commitdate = add_days(ord.orderdate, int(rng.uniform(30, 90)));
+      li.receiptdate = add_days(li.shipdate, int(rng.uniform(1, 30)));
+      li.shipinstruct =
+          rng.chance(0.25) ? "DELIVER IN PERSON" : "NONE";
+      li.shipmode = pick(rng, kShipmodes);
+      if (li.receiptdate <= make_date(1998, 8, 2) && rng.chance(0.9)) {
+        li.linestatus = 'F';
+        li.returnflag = rng.chance(0.25) ? 'R' : (rng.chance(0.5) ? 'A' : 'N');
+        ++finished;
+      } else {
+        li.linestatus = 'O';
+        li.returnflag = 'N';
+      }
+      ord.totalprice += li.extendedprice * (1 - li.discount) * (1 + li.tax);
+      slice.lineitem.push_back(std::move(li));
+    }
+    ord.orderstatus = finished == nlines ? 'F' : (finished == 0 ? 'O' : 'P');
+    slice.orders.push_back(std::move(ord));
+  }
+  return slices;
+}
+
+}  // namespace hatrpc::tpch

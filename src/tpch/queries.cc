@@ -1,0 +1,939 @@
+#include "tpch/queries.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hatrpc::tpch {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool contains(const std::string& s, std::string_view sub) {
+  return s.find(sub) != std::string::npos;
+}
+
+bool starts_with(const std::string& s, std::string_view pre) {
+  return s.rfind(pre, 0) == 0;
+}
+
+bool ends_with(const std::string& s, std::string_view suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+int year_of(Date d) { return d / 10000; }
+
+double revenue(const Lineitem& l) {
+  return l.extendedprice * (1.0 - l.discount);
+}
+
+/// Generic merge combiner: columns [0, nkey) are the group key, remaining
+/// numeric columns are summed (strings past nkey keep the first value).
+std::vector<Row> merge_sum(const std::vector<Row>& rows, size_t nkey) {
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Row> out;
+  for (const Row& r : rows) {
+    std::string key;
+    for (size_t i = 0; i < nkey; ++i) {
+      const Value& v = r[i];
+      if (std::holds_alternative<int64_t>(v))
+        key += std::to_string(std::get<int64_t>(v));
+      else if (std::holds_alternative<double>(v))
+        key += std::to_string(std::get<double>(v));
+      else
+        key += std::get<std::string>(v);
+      key += '\x1f';
+    }
+    auto [it, fresh] = index.try_emplace(key, out.size());
+    if (fresh) {
+      out.push_back(r);
+      continue;
+    }
+    Row& acc = out[it->second];
+    for (size_t c = nkey; c < r.size(); ++c) {
+      if (std::holds_alternative<int64_t>(r[c]))
+        acc[c] = as_i64(acc[c]) + as_i64(r[c]);
+      else if (std::holds_alternative<double>(r[c]))
+        acc[c] = as_f64(acc[c]) + as_f64(r[c]);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<int32_t, std::string> nation_names(const TpchSlice& s) {
+  std::unordered_map<int32_t, std::string> m;
+  for (const Nation& n : s.nation) m[n.nationkey] = n.name;
+  return m;
+}
+
+std::unordered_set<int32_t> nations_in_region(const TpchSlice& s,
+                                              std::string_view region) {
+  int32_t rk = -1;
+  for (const Region& r : s.region)
+    if (r.name == region) rk = r.regionkey;
+  std::unordered_set<int32_t> out;
+  for (const Nation& n : s.nation)
+    if (n.regionkey == rk) out.insert(n.nationkey);
+  return out;
+}
+
+int32_t nation_key(const TpchSlice& s, std::string_view name) {
+  for (const Nation& n : s.nation)
+    if (n.name == name) return n.nationkey;
+  return -1;
+}
+
+std::unordered_map<int32_t, const Customer*> customer_by_key(
+    const TpchSlice& s) {
+  std::unordered_map<int32_t, const Customer*> m;
+  m.reserve(s.customer.size());
+  for (const Customer& c : s.customer) m[c.custkey] = &c;
+  return m;
+}
+
+std::unordered_map<int32_t, const Supplier*> supplier_by_key(
+    const TpchSlice& s) {
+  std::unordered_map<int32_t, const Supplier*> m;
+  m.reserve(s.supplier.size());
+  for (const Supplier& su : s.supplier) m[su.suppkey] = &su;
+  return m;
+}
+
+std::unordered_map<int32_t, const Part*> part_by_key(const TpchSlice& s) {
+  std::unordered_map<int32_t, const Part*> m;
+  m.reserve(s.part.size());
+  for (const Part& p : s.part) m[p.partkey] = &p;
+  return m;
+}
+
+uint64_t ps_key(int32_t pk, int32_t sk) {
+  return (uint64_t(uint32_t(pk)) << 32) | uint32_t(sk);
+}
+
+bool mine(const TpchSlice& s, int32_t key) {
+  return key % s.workers == s.worker_id;
+}
+
+// ---------------------------------------------------------------------------
+// Q1 — pricing summary report
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q1_local(const TpchSlice& s) {
+  const Date cutoff = make_date(1998, 9, 2);
+  struct Acc {
+    double qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0;
+    int64_t count = 0;
+  };
+  std::unordered_map<std::string, Acc> groups;
+  for (const Lineitem& l : s.lineitem) {
+    if (l.shipdate > cutoff) continue;
+    std::string key{l.returnflag, l.linestatus};
+    Acc& a = groups[key];
+    a.qty += l.quantity;
+    a.base += l.extendedprice;
+    a.disc_price += revenue(l);
+    a.charge += revenue(l) * (1 + l.tax);
+    a.disc += l.discount;
+    ++a.count;
+  }
+  std::vector<Row> out;
+  for (auto& [key, a] : groups)
+    out.push_back({std::string(1, key[0]), std::string(1, key[1]), a.qty,
+                   a.base, a.disc_price, a.charge, a.disc, a.count});
+  return out;
+}
+
+QueryResult q1_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 2);
+  for (Row& r : rows) {
+    double cnt = double(as_i64(r[7]));
+    r.push_back(as_f64(r[2]) / cnt);  // avg_qty
+    r.push_back(as_f64(r[3]) / cnt);  // avg_price
+    r.push_back(as_f64(r[6]) / cnt);  // avg_disc
+  }
+  sort_rows(rows, {{0, true}, {1, true}});
+  return {{"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+           "sum_disc_price", "sum_charge", "sum_disc", "count_order",
+           "avg_qty", "avg_price", "avg_disc"},
+          std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q2 — minimum cost supplier (size=15, %BRASS, EUROPE)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q2_local(const TpchSlice& s) {
+  auto europe = nations_in_region(s, "EUROPE");
+  auto supp = supplier_by_key(s);
+  auto nnames = nation_names(s);
+  // partsupp grouped by part for the min-cost scan.
+  std::unordered_map<int32_t, std::vector<const PartSupp*>> by_part;
+  for (const PartSupp& ps : s.partsupp) by_part[ps.partkey].push_back(&ps);
+
+  std::vector<Row> out;
+  for (const Part& p : s.part) {
+    if (!mine(s, p.partkey)) continue;
+    if (p.size != 15 || !ends_with(p.type, "BRASS")) continue;
+    double min_cost = 1e18;
+    auto it = by_part.find(p.partkey);
+    if (it == by_part.end()) continue;
+    for (const PartSupp* ps : it->second) {
+      const Supplier* su = supp[ps->suppkey];
+      if (europe.count(su->nationkey)) min_cost = std::min(min_cost,
+                                                           ps->supplycost);
+    }
+    for (const PartSupp* ps : it->second) {
+      const Supplier* su = supp[ps->suppkey];
+      if (!europe.count(su->nationkey) || ps->supplycost != min_cost)
+        continue;
+      out.push_back({su->acctbal, su->name, nnames[su->nationkey],
+                     int64_t(p.partkey), p.mfgr, su->address, su->phone,
+                     su->comment});
+    }
+  }
+  return out;
+}
+
+QueryResult q2_merge(std::vector<Row> partials, const MergeContext&) {
+  sort_rows(partials, {{0, false}, {2, true}, {1, true}, {3, true}});
+  truncate(partials, 100);
+  return {{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+           "s_address", "s_phone", "s_comment"},
+          std::move(partials)};
+}
+
+// ---------------------------------------------------------------------------
+// Q3 — shipping priority (BUILDING, 1995-03-15)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q3_local(const TpchSlice& s) {
+  const Date d = make_date(1995, 3, 15);
+  std::unordered_set<int32_t> building;
+  for (const Customer& c : s.customer)
+    if (c.mktsegment == "BUILDING") building.insert(c.custkey);
+  struct OInfo {
+    Date orderdate;
+    int32_t shippriority;
+  };
+  std::unordered_map<int32_t, OInfo> open_orders;
+  for (const Order& o : s.orders)
+    if (o.orderdate < d && building.count(o.custkey))
+      open_orders[o.orderkey] = {o.orderdate, o.shippriority};
+  std::unordered_map<int32_t, double> rev;
+  for (const Lineitem& l : s.lineitem)
+    if (l.shipdate > d && open_orders.count(l.orderkey))
+      rev[l.orderkey] += revenue(l);
+  std::vector<Row> out;
+  for (auto& [ok, r] : rev) {
+    const OInfo& oi = open_orders[ok];
+    out.push_back({int64_t(ok), r, int64_t(oi.orderdate),
+                   int64_t(oi.shippriority)});
+  }
+  return out;
+}
+
+QueryResult q3_merge(std::vector<Row> partials, const MergeContext&) {
+  sort_rows(partials, {{1, false}, {2, true}});
+  truncate(partials, 10);
+  return {{"l_orderkey", "revenue", "o_orderdate", "o_shippriority"},
+          std::move(partials)};
+}
+
+// ---------------------------------------------------------------------------
+// Q4 — order priority checking (1993-07 quarter)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q4_local(const TpchSlice& s) {
+  const Date d0 = make_date(1993, 7, 1), d1 = add_months(d0, 3);
+  std::unordered_set<int32_t> late;
+  for (const Lineitem& l : s.lineitem)
+    if (l.commitdate < l.receiptdate) late.insert(l.orderkey);
+  std::unordered_map<std::string, int64_t> counts;
+  for (const Order& o : s.orders)
+    if (o.orderdate >= d0 && o.orderdate < d1 && late.count(o.orderkey))
+      ++counts[o.orderpriority];
+  std::vector<Row> out;
+  for (auto& [p, c] : counts) out.push_back({p, c});
+  return out;
+}
+
+QueryResult q4_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 1);
+  sort_rows(rows, {{0, true}});
+  return {{"o_orderpriority", "order_count"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q5 — local supplier volume (ASIA, 1994)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q5_local(const TpchSlice& s) {
+  auto asia = nations_in_region(s, "ASIA");
+  auto nnames = nation_names(s);
+  std::unordered_map<int32_t, int32_t> cust_nation;
+  for (const Customer& c : s.customer)
+    if (asia.count(c.nationkey)) cust_nation[c.custkey] = c.nationkey;
+  std::unordered_map<int32_t, int32_t> supp_nation;
+  for (const Supplier& su : s.supplier)
+    if (asia.count(su.nationkey)) supp_nation[su.suppkey] = su.nationkey;
+  std::unordered_map<int32_t, int32_t> order_cust_nation;  // orderkey -> nk
+  for (const Order& o : s.orders) {
+    if (year_of(o.orderdate) != 1994) continue;
+    auto it = cust_nation.find(o.custkey);
+    if (it != cust_nation.end()) order_cust_nation[o.orderkey] = it->second;
+  }
+  std::unordered_map<int32_t, double> by_nation;
+  for (const Lineitem& l : s.lineitem) {
+    auto oit = order_cust_nation.find(l.orderkey);
+    if (oit == order_cust_nation.end()) continue;
+    auto sit = supp_nation.find(l.suppkey);
+    if (sit == supp_nation.end() || sit->second != oit->second) continue;
+    by_nation[sit->second] += revenue(l);
+  }
+  std::vector<Row> out;
+  for (auto& [nk, r] : by_nation) out.push_back({nnames[nk], r});
+  return out;
+}
+
+QueryResult q5_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 1);
+  sort_rows(rows, {{1, false}});
+  return {{"n_name", "revenue"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q6 — forecasting revenue change (1994, disc 0.05-0.07, qty < 24)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q6_local(const TpchSlice& s) {
+  double rev = 0;
+  for (const Lineitem& l : s.lineitem)
+    if (year_of(l.shipdate) == 1994 && l.discount >= 0.05 - 1e-9 &&
+        l.discount <= 0.07 + 1e-9 && l.quantity < 24)
+      rev += l.extendedprice * l.discount;
+  return {{rev}};
+}
+
+QueryResult q6_merge(std::vector<Row> partials, const MergeContext&) {
+  double total = 0;
+  for (const Row& r : partials) total += as_f64(r[0]);
+  return {{"revenue"}, {{total}}};
+}
+
+// ---------------------------------------------------------------------------
+// Q7 — volume shipping (FRANCE <-> GERMANY, 1995-1996)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q7_local(const TpchSlice& s) {
+  int32_t fr = nation_key(s, "FRANCE"), de = nation_key(s, "GERMANY");
+  auto nnames = nation_names(s);
+  std::unordered_map<int32_t, int32_t> cust_nation, supp_nation;
+  for (const Customer& c : s.customer)
+    if (c.nationkey == fr || c.nationkey == de)
+      cust_nation[c.custkey] = c.nationkey;
+  for (const Supplier& su : s.supplier)
+    if (su.nationkey == fr || su.nationkey == de)
+      supp_nation[su.suppkey] = su.nationkey;
+  std::unordered_map<int32_t, int32_t> order_cust;
+  for (const Order& o : s.orders) {
+    auto it = cust_nation.find(o.custkey);
+    if (it != cust_nation.end()) order_cust[o.orderkey] = it->second;
+  }
+  std::map<std::tuple<int32_t, int32_t, int>, double> vol;
+  for (const Lineitem& l : s.lineitem) {
+    int y = year_of(l.shipdate);
+    if (y != 1995 && y != 1996) continue;
+    auto oit = order_cust.find(l.orderkey);
+    auto sit = supp_nation.find(l.suppkey);
+    if (oit == order_cust.end() || sit == supp_nation.end()) continue;
+    if (oit->second == sit->second) continue;  // cross-border only
+    vol[{sit->second, oit->second, y}] += revenue(l);
+  }
+  std::vector<Row> out;
+  for (auto& [key, v] : vol)
+    out.push_back({nnames[std::get<0>(key)], nnames[std::get<1>(key)],
+                   int64_t(std::get<2>(key)), v});
+  return out;
+}
+
+QueryResult q7_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 3);
+  sort_rows(rows, {{0, true}, {1, true}, {2, true}});
+  return {{"supp_nation", "cust_nation", "l_year", "revenue"},
+          std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q8 — national market share (BRAZIL in AMERICA, ECONOMY ANODIZED STEEL)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q8_local(const TpchSlice& s) {
+  auto america = nations_in_region(s, "AMERICA");
+  int32_t brazil = nation_key(s, "BRAZIL");
+  auto parts = part_by_key(s);
+  auto supp = supplier_by_key(s);
+  std::unordered_set<int32_t> am_cust;
+  for (const Customer& c : s.customer)
+    if (america.count(c.nationkey)) am_cust.insert(c.custkey);
+  std::unordered_map<int32_t, int> order_year;
+  for (const Order& o : s.orders) {
+    int y = year_of(o.orderdate);
+    if ((y == 1995 || y == 1996) && am_cust.count(o.custkey))
+      order_year[o.orderkey] = y;
+  }
+  double vol[2][2] = {{0, 0}, {0, 0}};  // [year-1995][0=total,1=brazil]
+  for (const Lineitem& l : s.lineitem) {
+    auto oit = order_year.find(l.orderkey);
+    if (oit == order_year.end()) continue;
+    const Part* p = parts[l.partkey];
+    if (p->type != "ECONOMY ANODIZED STEEL") continue;
+    int yi = oit->second - 1995;
+    double v = revenue(l);
+    vol[yi][0] += v;
+    if (supp[l.suppkey]->nationkey == brazil) vol[yi][1] += v;
+  }
+  return {{int64_t(1995), vol[0][1], vol[0][0]},
+          {int64_t(1996), vol[1][1], vol[1][0]}};
+}
+
+QueryResult q8_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 1);
+  sort_rows(rows, {{0, true}});
+  for (Row& r : rows) {
+    double total = as_f64(r[2]);
+    r.push_back(total > 0 ? as_f64(r[1]) / total : 0.0);
+  }
+  return {{"o_year", "brazil_volume", "total_volume", "mkt_share"},
+          std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q9 — product type profit measure (parts containing "green")
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q9_local(const TpchSlice& s) {
+  auto parts = part_by_key(s);
+  auto supp = supplier_by_key(s);
+  auto nnames = nation_names(s);
+  std::unordered_map<uint64_t, double> cost;
+  for (const PartSupp& ps : s.partsupp)
+    cost[ps_key(ps.partkey, ps.suppkey)] = ps.supplycost;
+  std::unordered_map<int32_t, Date> order_date;
+  for (const Order& o : s.orders) order_date[o.orderkey] = o.orderdate;
+  std::map<std::pair<int32_t, int>, double> profit;
+  for (const Lineitem& l : s.lineitem) {
+    const Part* p = parts[l.partkey];
+    if (!contains(p->name, "green")) continue;
+    auto cit = cost.find(ps_key(l.partkey, l.suppkey));
+    double c = cit == cost.end() ? 0.0 : cit->second;
+    double amount = revenue(l) - c * l.quantity;
+    profit[{supp[l.suppkey]->nationkey, year_of(order_date[l.orderkey])}] +=
+        amount;
+  }
+  std::vector<Row> out;
+  for (auto& [key, v] : profit)
+    out.push_back({nnames[key.first], int64_t(key.second), v});
+  return out;
+}
+
+QueryResult q9_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 2);
+  sort_rows(rows, {{0, true}, {1, false}});
+  return {{"nation", "o_year", "sum_profit"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q10 — returned item reporting (1993-10 quarter)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q10_local(const TpchSlice& s) {
+  const Date d0 = make_date(1993, 10, 1), d1 = add_months(d0, 3);
+  auto cust = customer_by_key(s);
+  auto nnames = nation_names(s);
+  std::unordered_map<int32_t, int32_t> order_cust;
+  for (const Order& o : s.orders)
+    if (o.orderdate >= d0 && o.orderdate < d1)
+      order_cust[o.orderkey] = o.custkey;
+  std::unordered_map<int32_t, double> rev;
+  for (const Lineitem& l : s.lineitem) {
+    if (l.returnflag != 'R') continue;
+    auto it = order_cust.find(l.orderkey);
+    if (it != order_cust.end()) rev[it->second] += revenue(l);
+  }
+  std::vector<Row> out;
+  for (auto& [ck, r] : rev) {
+    const Customer* c = cust[ck];
+    out.push_back({int64_t(ck), c->name, c->acctbal, nnames[c->nationkey],
+                   c->address, c->phone, c->comment, r});
+  }
+  return out;
+}
+
+QueryResult q10_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 7);  // all attrs are key cols
+  sort_rows(rows, {{7, false}});
+  truncate(rows, 20);
+  return {{"c_custkey", "c_name", "c_acctbal", "n_name", "c_address",
+           "c_phone", "c_comment", "revenue"},
+          std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q11 — important stock identification (GERMANY)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q11_local(const TpchSlice& s) {
+  int32_t de = nation_key(s, "GERMANY");
+  std::unordered_set<int32_t> german;
+  for (const Supplier& su : s.supplier)
+    if (su.nationkey == de) german.insert(su.suppkey);
+  std::unordered_map<int32_t, double> value;
+  for (const PartSupp& ps : s.partsupp) {
+    if (!mine(s, ps.partkey) || !german.count(ps.suppkey)) continue;
+    value[ps.partkey] += ps.supplycost * ps.availqty;
+  }
+  std::vector<Row> out;
+  for (auto& [pk, v] : value) out.push_back({int64_t(pk), v});
+  return out;
+}
+
+QueryResult q11_merge(std::vector<Row> partials, const MergeContext&) {
+  double total = 0;
+  for (const Row& r : partials) total += as_f64(r[1]);
+  std::vector<Row> rows;
+  for (Row& r : partials)
+    if (as_f64(r[1]) > total * 0.0001) rows.push_back(std::move(r));
+  sort_rows(rows, {{1, false}});
+  return {{"ps_partkey", "value"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q12 — shipping modes and order priority (MAIL/SHIP, 1994)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q12_local(const TpchSlice& s) {
+  std::unordered_map<int32_t, const Order*> orders;
+  for (const Order& o : s.orders) orders[o.orderkey] = &o;
+  std::map<std::string, std::pair<int64_t, int64_t>> counts;
+  for (const Lineitem& l : s.lineitem) {
+    if (l.shipmode != "MAIL" && l.shipmode != "SHIP") continue;
+    if (!(l.commitdate < l.receiptdate && l.shipdate < l.commitdate))
+      continue;
+    if (year_of(l.receiptdate) != 1994) continue;
+    const Order* o = orders[l.orderkey];
+    bool high = o->orderpriority == "1-URGENT" || o->orderpriority == "2-HIGH";
+    auto& [h, lo] = counts[l.shipmode];
+    (high ? h : lo) += 1;
+  }
+  std::vector<Row> out;
+  for (auto& [mode, hl] : counts)
+    out.push_back({mode, hl.first, hl.second});
+  return out;
+}
+
+QueryResult q12_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 1);
+  sort_rows(rows, {{0, true}});
+  return {{"l_shipmode", "high_line_count", "low_line_count"},
+          std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q13 — customer distribution (excluding special requests)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q13_local(const TpchSlice& s) {
+  std::unordered_map<int32_t, int64_t> per_cust;
+  for (const Order& o : s.orders) {
+    size_t sp = o.comment.find("special");
+    if (sp != std::string::npos &&
+        o.comment.find("requests", sp) != std::string::npos)
+      continue;
+    ++per_cust[o.custkey];
+  }
+  std::vector<Row> out;
+  out.reserve(per_cust.size());
+  for (auto& [ck, n] : per_cust) out.push_back({int64_t(ck), n});
+  return out;
+}
+
+QueryResult q13_merge(std::vector<Row> partials, const MergeContext& ctx) {
+  std::vector<Row> per_cust = merge_sum(partials, 1);
+  std::map<int64_t, int64_t> hist;
+  for (const Row& r : per_cust) ++hist[as_i64(r[1])];
+  hist[0] += int64_t(ctx.dims->customer.size()) - int64_t(per_cust.size());
+  std::vector<Row> rows;
+  for (auto& [c_count, custdist] : hist)
+    rows.push_back({c_count, custdist});
+  sort_rows(rows, {{1, false}, {0, false}});
+  return {{"c_count", "custdist"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q14 — promotion effect (1995-09)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q14_local(const TpchSlice& s) {
+  const Date d0 = make_date(1995, 9, 1), d1 = add_months(d0, 1);
+  auto parts = part_by_key(s);
+  double promo = 0, total = 0;
+  for (const Lineitem& l : s.lineitem) {
+    if (l.shipdate < d0 || l.shipdate >= d1) continue;
+    double r = revenue(l);
+    total += r;
+    if (starts_with(parts[l.partkey]->type, "PROMO")) promo += r;
+  }
+  return {{promo, total}};
+}
+
+QueryResult q14_merge(std::vector<Row> partials, const MergeContext&) {
+  double promo = 0, total = 0;
+  for (const Row& r : partials) {
+    promo += as_f64(r[0]);
+    total += as_f64(r[1]);
+  }
+  return {{"promo_revenue"}, {{total > 0 ? 100.0 * promo / total : 0.0}}};
+}
+
+// ---------------------------------------------------------------------------
+// Q15 — top supplier (quarter from 1996-01)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q15_local(const TpchSlice& s) {
+  const Date d0 = make_date(1996, 1, 1), d1 = add_months(d0, 3);
+  auto supp = supplier_by_key(s);
+  std::unordered_map<int32_t, double> rev;
+  for (const Lineitem& l : s.lineitem)
+    if (l.shipdate >= d0 && l.shipdate < d1) rev[l.suppkey] += revenue(l);
+  std::vector<Row> out;
+  for (auto& [sk, r] : rev) {
+    const Supplier* su = supp[sk];
+    out.push_back({int64_t(sk), su->name, su->address, su->phone, r});
+  }
+  return out;
+}
+
+QueryResult q15_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 4);
+  double max_rev = 0;
+  for (const Row& r : rows) max_rev = std::max(max_rev, as_f64(r[4]));
+  std::vector<Row> top;
+  for (Row& r : rows)
+    if (as_f64(r[4]) >= max_rev - 1e-6) top.push_back(std::move(r));
+  sort_rows(top, {{0, true}});
+  return {{"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"},
+          std::move(top)};
+}
+
+// ---------------------------------------------------------------------------
+// Q16 — parts/supplier relationship
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q16_local(const TpchSlice& s) {
+  static const std::unordered_set<int32_t> sizes{49, 14, 23, 45, 19, 3, 36,
+                                                 9};
+  std::unordered_set<int32_t> complaining;
+  for (const Supplier& su : s.supplier)
+    if (contains(su.comment, "Customer Complaints"))
+      complaining.insert(su.suppkey);
+  auto parts = part_by_key(s);
+  std::vector<Row> out;
+  for (const PartSupp& ps : s.partsupp) {
+    if (!mine(s, ps.partkey) || complaining.count(ps.suppkey)) continue;
+    const Part* p = parts[ps.partkey];
+    if (p->brand == "Brand#45" || starts_with(p->type, "MEDIUM POLISHED") ||
+        !sizes.count(p->size))
+      continue;
+    out.push_back({p->brand, p->type, int64_t(p->size),
+                   int64_t(ps.suppkey)});
+  }
+  return out;
+}
+
+QueryResult q16_merge(std::vector<Row> partials, const MergeContext&) {
+  std::unordered_map<std::string, std::unordered_set<int64_t>> distinct;
+  std::unordered_map<std::string, Row> heads;
+  for (Row& r : partials) {
+    std::string key = group_key(r, {0, 1, 2});
+    distinct[key].insert(as_i64(r[3]));
+    heads.try_emplace(key, Row{r[0], r[1], r[2]});
+  }
+  std::vector<Row> rows;
+  for (auto& [key, suppliers] : distinct) {
+    Row r = heads[key];
+    r.push_back(int64_t(suppliers.size()));
+    rows.push_back(std::move(r));
+  }
+  sort_rows(rows, {{3, false}, {0, true}, {1, true}, {2, true}});
+  return {{"p_brand", "p_type", "p_size", "supplier_cnt"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q17 — small-quantity-order revenue (Brand#23, MED BOX)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q17_local(const TpchSlice& s) {
+  std::unordered_set<int32_t> candidates;
+  for (const Part& p : s.part)
+    if (p.brand == "Brand#23" && p.container == "MED BOX")
+      candidates.insert(p.partkey);
+  std::vector<Row> out;
+  for (const Lineitem& l : s.lineitem)
+    if (candidates.count(l.partkey))
+      out.push_back({int64_t(l.partkey), l.quantity, l.extendedprice});
+  return out;
+}
+
+QueryResult q17_merge(std::vector<Row> partials, const MergeContext&) {
+  std::unordered_map<int64_t, std::pair<double, int64_t>> qty;  // sum, count
+  for (const Row& r : partials) {
+    auto& [sum, cnt] = qty[as_i64(r[0])];
+    sum += as_f64(r[1]);
+    ++cnt;
+  }
+  double total = 0;
+  for (const Row& r : partials) {
+    auto& [sum, cnt] = qty[as_i64(r[0])];
+    double avg = sum / double(cnt);
+    if (as_f64(r[1]) < 0.2 * avg) total += as_f64(r[2]);
+  }
+  return {{"avg_yearly"}, {{total / 7.0}}};
+}
+
+// ---------------------------------------------------------------------------
+// Q18 — large volume customer (> 300 units)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q18_local(const TpchSlice& s) {
+  auto cust = customer_by_key(s);
+  std::unordered_map<int32_t, double> order_qty;
+  for (const Lineitem& l : s.lineitem) order_qty[l.orderkey] += l.quantity;
+  std::vector<Row> out;
+  for (const Order& o : s.orders) {
+    auto it = order_qty.find(o.orderkey);
+    if (it == order_qty.end() || it->second <= 300) continue;
+    const Customer* c = cust[o.custkey];
+    out.push_back({c->name, int64_t(o.custkey), int64_t(o.orderkey),
+                   int64_t(o.orderdate), o.totalprice, it->second});
+  }
+  return out;
+}
+
+QueryResult q18_merge(std::vector<Row> partials, const MergeContext&) {
+  sort_rows(partials, {{4, false}, {3, true}});
+  truncate(partials, 100);
+  return {{"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+           "o_totalprice", "sum_qty"},
+          std::move(partials)};
+}
+
+// ---------------------------------------------------------------------------
+// Q19 — discounted revenue (three branch disjunction)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q19_local(const TpchSlice& s) {
+  auto parts = part_by_key(s);
+  double rev = 0;
+  for (const Lineitem& l : s.lineitem) {
+    if (l.shipmode != "AIR" && l.shipmode != "REG AIR") continue;
+    if (l.shipinstruct != "DELIVER IN PERSON") continue;
+    const Part* p = parts[l.partkey];
+    bool b1 = p->brand == "Brand#12" && starts_with(p->container, "SM") &&
+              l.quantity >= 1 && l.quantity <= 11 && p->size >= 1 &&
+              p->size <= 5;
+    bool b2 = p->brand == "Brand#23" && starts_with(p->container, "MED") &&
+              l.quantity >= 10 && l.quantity <= 20 && p->size >= 1 &&
+              p->size <= 10;
+    bool b3 = p->brand == "Brand#34" && starts_with(p->container, "LG") &&
+              l.quantity >= 20 && l.quantity <= 30 && p->size >= 1 &&
+              p->size <= 15;
+    if (b1 || b2 || b3) rev += revenue(l);
+  }
+  return {{rev}};
+}
+
+QueryResult q19_merge(std::vector<Row> partials, const MergeContext&) {
+  double total = 0;
+  for (const Row& r : partials) total += as_f64(r[0]);
+  return {{"revenue"}, {{total}}};
+}
+
+// ---------------------------------------------------------------------------
+// Q20 — potential part promotion (CANADA, forest%)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q20_local(const TpchSlice& s) {
+  std::unordered_set<int32_t> forest;
+  for (const Part& p : s.part)
+    if (starts_with(p.name, "forest")) forest.insert(p.partkey);
+  std::unordered_map<uint64_t, double> qty;  // (partkey,suppkey) -> qty
+  for (const Lineitem& l : s.lineitem)
+    if (year_of(l.shipdate) == 1994 && forest.count(l.partkey))
+      qty[ps_key(l.partkey, l.suppkey)] += l.quantity;
+  std::vector<Row> out;
+  for (auto& [key, q] : qty)
+    out.push_back({int64_t(key >> 32), int64_t(uint32_t(key)), q});
+  return out;
+}
+
+QueryResult q20_merge(std::vector<Row> partials, const MergeContext& ctx) {
+  std::vector<Row> sums = merge_sum(partials, 2);
+  std::unordered_map<uint64_t, double> qty;
+  for (const Row& r : sums)
+    qty[ps_key(int32_t(as_i64(r[0])), int32_t(as_i64(r[1])))] = as_f64(r[2]);
+  const TpchSlice& dims = *ctx.dims;
+  int32_t canada = nation_key(dims, "CANADA");
+  std::unordered_set<int32_t> chosen;
+  for (const PartSupp& ps : dims.partsupp) {
+    auto it = qty.find(ps_key(ps.partkey, ps.suppkey));
+    if (it != qty.end() && double(ps.availqty) > 0.5 * it->second)
+      chosen.insert(ps.suppkey);
+  }
+  std::vector<Row> rows;
+  for (const Supplier& su : dims.supplier)
+    if (su.nationkey == canada && chosen.count(su.suppkey))
+      rows.push_back({su.name, su.address});
+  sort_rows(rows, {{0, true}});
+  return {{"s_name", "s_address"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q21 — suppliers who kept orders waiting (SAUDI ARABIA)
+// ---------------------------------------------------------------------------
+
+std::vector<Row> q21_local(const TpchSlice& s) {
+  int32_t saudi = nation_key(s, "SAUDI ARABIA");
+  auto supp = supplier_by_key(s);
+  std::unordered_map<int32_t, char> order_status;
+  for (const Order& o : s.orders) order_status[o.orderkey] = o.orderstatus;
+  std::unordered_map<int32_t, std::vector<const Lineitem*>> by_order;
+  for (const Lineitem& l : s.lineitem) by_order[l.orderkey].push_back(&l);
+
+  std::unordered_map<int32_t, int64_t> waits;  // suppkey -> numwait
+  for (auto& [ok, lines] : by_order) {
+    if (order_status[ok] != 'F') continue;
+    for (const Lineitem* l1 : lines) {
+      if (supp[l1->suppkey]->nationkey != saudi) continue;
+      if (l1->receiptdate <= l1->commitdate) continue;
+      bool exists_other = false, exists_other_late = false;
+      for (const Lineitem* l2 : lines) {
+        if (l2->suppkey == l1->suppkey) continue;
+        exists_other = true;
+        if (l2->receiptdate > l2->commitdate) exists_other_late = true;
+      }
+      if (exists_other && !exists_other_late) ++waits[l1->suppkey];
+    }
+  }
+  std::vector<Row> out;
+  for (auto& [sk, n] : waits) out.push_back({supp[sk]->name, n});
+  return out;
+}
+
+QueryResult q21_merge(std::vector<Row> partials, const MergeContext&) {
+  std::vector<Row> rows = merge_sum(partials, 1);
+  sort_rows(rows, {{1, false}, {0, true}});
+  truncate(rows, 100);
+  return {{"s_name", "numwait"}, std::move(rows)};
+}
+
+// ---------------------------------------------------------------------------
+// Q22 — global sales opportunity
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& q22_codes() {
+  static const std::unordered_set<std::string> codes{"13", "31", "23", "29",
+                                                     "30", "18", "17"};
+  return codes;
+}
+
+std::vector<Row> q22_local(const TpchSlice& s) {
+  // Candidate custkeys (target country codes) that DO have orders here.
+  std::unordered_map<int32_t, std::string> code_of;
+  for (const Customer& c : s.customer) {
+    std::string code = c.phone.substr(0, 2);
+    if (q22_codes().count(code)) code_of[c.custkey] = code;
+  }
+  std::unordered_set<int32_t> with_orders;
+  for (const Order& o : s.orders)
+    if (code_of.count(o.custkey)) with_orders.insert(o.custkey);
+  std::vector<Row> out;
+  out.reserve(with_orders.size());
+  for (int32_t ck : with_orders) out.push_back({int64_t(ck)});
+  return out;
+}
+
+QueryResult q22_merge(std::vector<Row> partials, const MergeContext& ctx) {
+  std::unordered_set<int64_t> with_orders;
+  for (const Row& r : partials) with_orders.insert(as_i64(r[0]));
+  const TpchSlice& dims = *ctx.dims;
+  double sum = 0;
+  int64_t n = 0;
+  for (const Customer& c : dims.customer) {
+    if (!q22_codes().count(c.phone.substr(0, 2))) continue;
+    if (c.acctbal > 0) {
+      sum += c.acctbal;
+      ++n;
+    }
+  }
+  double avg = n ? sum / double(n) : 0;
+  std::map<std::string, std::pair<int64_t, double>> groups;
+  for (const Customer& c : dims.customer) {
+    std::string code = c.phone.substr(0, 2);
+    if (!q22_codes().count(code)) continue;
+    if (c.acctbal <= avg || with_orders.count(c.custkey)) continue;
+    auto& [cnt, bal] = groups[code];
+    ++cnt;
+    bal += c.acctbal;
+  }
+  std::vector<Row> rows;
+  for (auto& [code, g] : groups)
+    rows.push_back({code, g.first, g.second});
+  sort_rows(rows, {{0, true}});
+  return {{"cntrycode", "numcust", "totacctbal"}, std::move(rows)};
+}
+
+}  // namespace
+
+const std::vector<Query>& all_queries() {
+  static const std::vector<Query> queries = [] {
+    std::vector<Query> qs;
+    auto add = [&](int id, const char* name, auto local, auto merge,
+                   bool small_partial, double cpu_factor) {
+      qs.push_back(Query{id, name, local, merge, small_partial, cpu_factor});
+    };
+    add(1, "pricing summary report", q1_local, q1_merge, true, 1.2);
+    add(2, "minimum cost supplier", q2_local, q2_merge, false, 0.6);
+    add(3, "shipping priority", q3_local, q3_merge, false, 1.0);
+    add(4, "order priority checking", q4_local, q4_merge, true, 1.0);
+    add(5, "local supplier volume", q5_local, q5_merge, true, 1.2);
+    add(6, "forecasting revenue change", q6_local, q6_merge, true, 0.7);
+    add(7, "volume shipping", q7_local, q7_merge, true, 1.2);
+    add(8, "national market share", q8_local, q8_merge, true, 1.3);
+    add(9, "product type profit", q9_local, q9_merge, false, 1.6);
+    add(10, "returned item reporting", q10_local, q10_merge, false, 1.2);
+    add(11, "important stock", q11_local, q11_merge, false, 0.5);
+    add(12, "shipping modes", q12_local, q12_merge, true, 1.0);
+    add(13, "customer distribution", q13_local, q13_merge, false, 0.8);
+    add(14, "promotion effect", q14_local, q14_merge, true, 0.9);
+    add(15, "top supplier", q15_local, q15_merge, false, 0.9);
+    add(16, "parts/supplier relationship", q16_local, q16_merge, false, 0.5);
+    add(17, "small-quantity-order revenue", q17_local, q17_merge, false,
+        0.9);
+    add(18, "large volume customer", q18_local, q18_merge, false, 1.1);
+    add(19, "discounted revenue", q19_local, q19_merge, true, 1.0);
+    add(20, "potential part promotion", q20_local, q20_merge, false, 0.9);
+    add(21, "suppliers who kept orders waiting", q21_local, q21_merge,
+        false, 1.8);
+    add(22, "global sales opportunity", q22_local, q22_merge, false, 0.7);
+    return qs;
+  }();
+  return queries;
+}
+
+}  // namespace hatrpc::tpch

@@ -1,0 +1,44 @@
+// The 22 TPC-H queries as distributed two-phase plans:
+//   * local(slice): each worker evaluates its partition (orders/lineitem
+//     are partitioned by orderkey and co-located; dimension tables are
+//     replicated, so every join is local) and returns PARTIAL rows;
+//   * merge(partials, ctx): the coordinator re-aggregates / sorts / limits
+//     the gathered partials into the final answer. ctx.dims gives the
+//     coordinator its own replica of the dimension tables (Q13/Q20/Q22
+//     need customer counts / partsupp / customer attributes at merge time).
+//
+// Queries keep the standard TPC-H parameters (validation parameter set).
+#pragma once
+
+#include <functional>
+
+#include "tpch/rows.h"
+#include "tpch/schema.h"
+
+namespace hatrpc::tpch {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+};
+
+struct MergeContext {
+  const TpchSlice* dims = nullptr;  // coordinator's replicated dimensions
+};
+
+struct Query {
+  int id;
+  const char* name;
+  std::function<std::vector<Row>(const TpchSlice&)> local;
+  std::function<QueryResult(std::vector<Row>, const MergeContext&)> merge;
+  /// Partial-result class, used to derive the HatRPC-Function hints:
+  /// small partials suit latency plans, large ones throughput plans.
+  bool small_partial;
+  /// Relative local CPU weight (passes over the fact tables).
+  double cpu_factor;
+};
+
+/// All 22 queries, in order.
+const std::vector<Query>& all_queries();
+
+}  // namespace hatrpc::tpch

@@ -1,0 +1,132 @@
+// TPC-H schema: the eight tables, with the columns the 22 queries touch.
+// Dates are encoded as int32 yyyymmdd (comparisons and +N-months interval
+// arithmetic stay trivial); money values are doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hatrpc::tpch {
+
+using Date = int32_t;  // yyyymmdd
+
+constexpr Date make_date(int y, int m, int d) { return y * 10000 + m * 100 + d; }
+Date add_months(Date d, int months);
+inline Date add_years(Date d, int years) { return d + years * 10000; }
+
+/// Day arithmetic over the generator's uniform 28-day-month calendar (all
+/// generated dates use days 1..28, so this is closed and order-preserving
+/// against real-calendar constants in query predicates).
+Date add_days(Date d, int days);
+
+struct Region {
+  int32_t regionkey;
+  std::string name;
+};
+
+struct Nation {
+  int32_t nationkey;
+  std::string name;
+  int32_t regionkey;
+};
+
+struct Supplier {
+  int32_t suppkey;
+  std::string name;
+  std::string address;
+  int32_t nationkey;
+  std::string phone;
+  double acctbal;
+  std::string comment;
+};
+
+struct Customer {
+  int32_t custkey;
+  std::string name;
+  std::string address;
+  int32_t nationkey;
+  std::string phone;
+  double acctbal;
+  std::string mktsegment;
+  std::string comment;
+};
+
+struct Part {
+  int32_t partkey;
+  std::string name;
+  std::string mfgr;
+  std::string brand;
+  std::string type;
+  int32_t size;
+  std::string container;
+  double retailprice;
+};
+
+struct PartSupp {
+  int32_t partkey;
+  int32_t suppkey;
+  int32_t availqty;
+  double supplycost;
+};
+
+struct Order {
+  int32_t orderkey;
+  int32_t custkey;
+  char orderstatus;
+  double totalprice;
+  Date orderdate;
+  std::string orderpriority;
+  std::string clerk;
+  int32_t shippriority;
+  std::string comment;
+};
+
+struct Lineitem {
+  int32_t orderkey;
+  int32_t partkey;
+  int32_t suppkey;
+  int32_t linenumber;
+  double quantity;
+  double extendedprice;
+  double discount;
+  double tax;
+  char returnflag;
+  char linestatus;
+  Date shipdate;
+  Date commitdate;
+  Date receiptdate;
+  std::string shipinstruct;
+  std::string shipmode;
+};
+
+/// One node's slice of the database. `lineitem` and `orders` are
+/// partitioned by orderkey (co-partitioned, so order-lineitem joins are
+/// local); the remaining tables are replicated on every worker, mirroring
+/// a standard shared-nothing TPC-H layout.
+struct TpchSlice {
+  std::vector<Region> region;
+  std::vector<Nation> nation;
+  std::vector<Supplier> supplier;
+  std::vector<Customer> customer;
+  std::vector<Part> part;
+  std::vector<PartSupp> partsupp;
+  std::vector<Order> orders;       // partitioned
+  std::vector<Lineitem> lineitem;  // partitioned
+
+  int worker_id = 0;  // this slice's index (replicated-table partitioning)
+  int workers = 1;
+
+  /// Total rows in the partitioned tables (CPU-cost accounting).
+  size_t fact_rows() const { return orders.size() + lineitem.size(); }
+};
+
+struct DbgenConfig {
+  double scale_factor = 0.01;  // SF1 = 6M lineitems; keep laptop-scale
+  uint64_t seed = 20211114;    // SC'21 :-)
+};
+
+/// Generates the full database and partitions it across `workers` slices.
+std::vector<TpchSlice> dbgen(const DbgenConfig& cfg, int workers);
+
+}  // namespace hatrpc::tpch

@@ -1,0 +1,112 @@
+// Completion queues with the two polling disciplines the paper studies:
+// busy polling (spin — low latency, occupies a core) and event polling
+// (interrupt wake-up — ~3 us extra latency, frees the CPU). The discipline
+// is chosen per wait, so one CQ can serve hints that differ per function.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "verbs/cost_model.h"
+
+namespace hatrpc::verbs {
+
+using sim::PollMode;
+using sim::Task;
+
+enum class WcOpcode : uint8_t {
+  kSend,
+  kRdmaWrite,
+  kRdmaRead,
+  kRecv,
+  kRecvImm,
+};
+
+/// Work completion, mirroring ibv_wc.
+struct Wc {
+  uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kSend;
+  uint32_t byte_len = 0;
+  uint32_t imm = 0;
+  bool success = true;
+  uint32_t qp_num = 0;
+};
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::Simulator& sim, sim::Cpu& cpu, const CostModel& cost)
+      : sim_(sim), cpu_(cpu), cost_(cost), avail_(sim) {}
+
+  /// Called by the fabric when the NIC DMAs a CQE to host memory.
+  void deliver(Wc wc) {
+    cqes_.push_back(wc);
+    ++delivered_;
+    avail_.notify_all();
+  }
+
+  /// Non-blocking poll (ibv_poll_cq with no wait). No pickup delay applied —
+  /// callers embedding this in their own spin loop charge their own time.
+  std::optional<Wc> try_poll() {
+    if (cqes_.empty()) return std::nullopt;
+    Wc wc = cqes_.front();
+    cqes_.pop_front();
+    ++consumed_;
+    return wc;
+  }
+
+  /// Waits for the next completion with the given polling discipline,
+  /// charging the discipline's pickup latency and the software CQE cost.
+  Task<Wc> wait(PollMode mode) {
+    if (mode == PollMode::kBusy) {
+      auto guard = cpu_.busy_guard();
+      co_return co_await wait_inner(mode);
+    }
+    co_return co_await wait_inner(mode);
+  }
+
+  /// Unblocks all waiters with a failed Wc; used for clean shutdown of
+  /// server polling loops.
+  void close() {
+    closed_ = true;
+    avail_.notify_all();
+  }
+  bool is_closed() const { return closed_; }
+
+  size_t depth() const { return cqes_.size(); }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  Task<Wc> wait_inner(PollMode mode) {
+    while (true) {
+      while (cqes_.empty()) {
+        if (closed_) co_return Wc{.success = false};
+        co_await avail_.wait();
+      }
+      co_await sim_.sleep(cpu_.pickup_delay(mode));
+      if (!cqes_.empty()) break;  // lost a race with another poller
+      if (closed_) co_return Wc{.success = false};
+    }
+    co_await sim_.sleep(cost_.poll_cqe_cpu);
+    Wc wc = cqes_.front();
+    cqes_.pop_front();
+    ++consumed_;
+    co_return wc;
+  }
+
+  sim::Simulator& sim_;
+  sim::Cpu& cpu_;
+  const CostModel& cost_;
+  sim::WaitQueue avail_;
+  std::deque<Wc> cqes_;
+  bool closed_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,63 @@
+// Calibrated cost model of the RDMA data path.
+//
+// Every protocol in src/proto is distinguished ONLY by how many of these
+// primitive costs it incurs (doorbells, WQEs, copies, round trips, pickup
+// delays). The constants below are calibrated against published verbs
+// microbenchmarks for ConnectX-5 EDR (100 Gbps) — ~0.9-1.0 us one-way for a
+// small RDMA WRITE, ~1.9-2.1 us small-message RPC round trip with busy
+// polling, 12.5 GB/s line rate — matching the paper's testbed (§5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hatrpc::verbs {
+
+using sim::Duration;
+using namespace std::chrono_literals;
+
+struct CostModel {
+  // -- Link ----------------------------------------------------------------
+  double link_gbps = 12.5;          // EDR 100 Gbps payload rate, GB/s
+  Duration propagation = 350ns;     // wire + one switch hop, one way
+  Duration ack_delay = 250ns;       // hardware ACK back to the requester
+  uint32_t header_bytes = 30;       // per-message RC transport overhead
+
+  // -- Initiator-side software/PCIe ----------------------------------------
+  Duration post_wqe_cpu = 80ns;     // building one WR in software
+  Duration mmio_doorbell = 180ns;   // uncached PCIe doorbell write (per post)
+  Duration poll_cqe_cpu = 60ns;     // consuming one CQE in software
+
+  // -- NIC processing --------------------------------------------------------
+  Duration nic_wqe = 120ns;         // WQE fetch + processing per work request
+  Duration nic_cqe = 80ns;          // DMA of a CQE to host memory
+  Duration nic_read_response = 600ns;  // responder-side non-posted PCIe
+                                       // DMA read serving a READ
+
+  // -- Protocol software bookkeeping -----------------------------------------
+  Duration eager_match_cpu = 250ns;  // slot/credit management + message
+                                     // matching per eager message, each side
+
+  // -- Host memory ------------------------------------------------------------
+  double memcpy_gbps = 11.0;        // single-core copy bandwidth, GB/s
+  Duration memcpy_setup = 40ns;     // fixed cost per software copy
+
+  // -- NUMA -------------------------------------------------------------------
+  Duration numa_remote_penalty = 180ns;  // extra PCIe hop when thread is on
+                                         // the NUMA node away from the NIC
+  double numa_memcpy_factor = 0.75;      // remote-socket copy bandwidth ratio
+
+  /// Wire serialization time for a payload (headers added).
+  Duration wire_time(uint64_t payload_bytes) const {
+    return sim::transfer_time(payload_bytes + header_bytes, link_gbps);
+  }
+
+  /// Software memcpy of `bytes` (charged to a CPU via Cpu::compute).
+  Duration copy_time(uint64_t bytes, bool numa_local = true) const {
+    double bw = numa_local ? memcpy_gbps : memcpy_gbps * numa_memcpy_factor;
+    return memcpy_setup + sim::transfer_time(bytes, bw);
+  }
+};
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,187 @@
+#include "verbs/fabric.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hatrpc::verbs {
+
+using sim::Task;
+using sim::Time;
+
+QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
+                     CompletionQueue& recv_cq, uint32_t qp_num)
+    : fabric_(fabric), node_(node), send_cq_(send_cq), recv_cq_(recv_cq),
+      qp_num_(qp_num), recv_queue_(fabric.simulator()),
+      sq_order_(fabric.simulator()) {}
+
+QueuePair* Node::create_qp(CompletionQueue& send_cq,
+                           CompletionQueue& recv_cq) {
+  static uint32_t next_qpn = 1;
+  qps_.push_back(std::make_unique<QueuePair>(fabric_, *this, send_cq, recv_cq,
+                                             next_qpn++));
+  return qps_.back().get();
+}
+
+void Fabric::connect(QueuePair& a, QueuePair& b) {
+  if (a.peer_ || b.peer_) throw std::logic_error("QP already connected");
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+Task<RecvWr> QueuePair::take_recv() {
+  auto wr = co_await recv_queue_.pop();
+  if (!wr) throw std::runtime_error("recv queue closed");
+  co_return *wr;
+}
+
+Task<void> QueuePair::post_send(SendWr wr) {
+  if (!peer_) throw std::logic_error("QP not connected");
+  const CostModel& cm = fabric_.cost();
+  sim::Duration sw = cm.post_wqe_cpu + cm.mmio_doorbell;
+  if (!numa_local) sw += cm.numa_remote_penalty;
+  co_await node_.cpu().compute(sw);
+  fabric_.simulator().spawn(fabric_.execute_wqe(*this, wr));
+}
+
+Task<void> QueuePair::post_send_chain(std::vector<SendWr> wrs) {
+  if (!peer_) throw std::logic_error("QP not connected");
+  const CostModel& cm = fabric_.cost();
+  // One WR build per element but a single doorbell MMIO for the chain.
+  sim::Duration sw = cm.post_wqe_cpu * static_cast<int64_t>(wrs.size()) +
+                     cm.mmio_doorbell;
+  if (!numa_local) sw += cm.numa_remote_penalty;
+  co_await node_.cpu().compute(sw);
+  fabric_.simulator().spawn(fabric_.execute_chain(*this, std::move(wrs)));
+}
+
+Task<void> Fabric::wire_transfer(Nic& tx, Nic& rx, uint64_t bytes) {
+  constexpr uint64_t kMtu = 4096;
+  uint64_t off = 0;
+  do {
+    uint64_t take = std::min(kMtu, bytes - off);
+    sim::Duration ser =
+        sim::transfer_time(take + cost_.header_bytes, cost_.link_gbps);
+    Time start = std::max({sim_.now(), tx.tx_free(), rx.rx_free()});
+    tx.reserve_tx(start + ser, take);
+    rx.reserve_rx(start + ser, take);
+    co_await sim_.sleep_until(start + ser);
+    off += take;
+  } while (off < bytes);
+}
+
+Task<void> Fabric::execute_chain(QueuePair& src, std::vector<SendWr> wrs) {
+  // The NIC pipelines chained WQEs: it starts WQE n+1 one processing slot
+  // after initiating WQE n (it does NOT wait for n's ack). Wire ordering is
+  // preserved by the FIFO tx-link reservations.
+  for (auto& wr : wrs) {
+    sim_.spawn(execute_wqe(src, wr));
+    co_await sim_.sleep(cost_.nic_wqe);
+  }
+}
+
+Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
+  Node& s = src.node();
+  QueuePair* dst_qp = src.peer();
+  Node& d = dst_qp->node();
+  const CostModel& cm = cost_;
+  const uint64_t bytes = wr.local.length;
+
+  // WQE fetch + NIC processing at the initiator.
+  co_await sim_.sleep(cm.nic_wqe);
+
+  switch (wr.opcode) {
+    case Opcode::kSend:
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: {
+      {
+        // RC in-order execution: WQE n+1's packets follow WQE n's on the
+        // wire (packets of different QPs still interleave). The lock spans
+        // only wire occupancy — flight time pipelines across WQEs.
+        auto order_guard = co_await src.sq_order_.scoped();
+        co_await wire_transfer(s.nic(), d.nic(), bytes == 0 ? 1 : bytes);
+      }
+      co_await sim_.sleep(cm.propagation);
+      {
+        if (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kWriteImm) {
+          // One-sided placement into the registered remote region.
+          MemoryRegion* mr = d.pd().check(wr.remote, bytes);
+          if (bytes > 0)
+            std::memcpy(reinterpret_cast<std::byte*>(wr.remote.addr),
+                        wr.local.addr, bytes);
+          mr->notify_remote_write(wr.remote.addr, bytes);
+        }
+        if (wr.opcode == Opcode::kSend || wr.opcode == Opcode::kWriteImm) {
+          // Two-sided: consume a posted receive at the target. Waiting here
+          // models RNR backpressure (which stalls this QP's later WQEs too,
+          // hence inside the ordering scope).
+          RecvWr rwr = co_await dst_qp->take_recv();
+          if (wr.opcode == Opcode::kSend) {
+            if (rwr.buf.length < bytes)
+              throw std::runtime_error("recv buffer too small for SEND");
+            if (bytes > 0) std::memcpy(rwr.buf.addr, wr.local.addr, bytes);
+          }
+          co_await sim_.sleep(cm.nic_cqe);
+          dst_qp->recv_cq().deliver(Wc{
+              .wr_id = rwr.wr_id,
+              .opcode = wr.opcode == Opcode::kSend ? WcOpcode::kRecv
+                                                   : WcOpcode::kRecvImm,
+              .byte_len = static_cast<uint32_t>(bytes),
+              .imm = wr.imm,
+              .success = true,
+              .qp_num = dst_qp->qp_num()});
+        }
+      }
+      if (wr.signaled) {
+        // Hardware ACK back to the requester, then CQE DMA.
+        co_await sim_.sleep(cm.ack_delay + cm.nic_cqe);
+        src.send_cq().deliver(Wc{
+            .wr_id = wr.wr_id,
+            .opcode = wr.opcode == Opcode::kSend ? WcOpcode::kSend
+                                                 : WcOpcode::kRdmaWrite,
+            .byte_len = static_cast<uint32_t>(bytes),
+            .imm = 0,
+            .success = true,
+            .qp_num = src.qp_num()});
+      }
+      break;
+    }
+
+    case Opcode::kRead: {
+      {
+        auto order_guard = co_await src.sq_order_.scoped();
+        // Request packet to the responder (header-only on the wire).
+        sim::Duration req_ser = cm.wire_time(0);
+        Time start = std::max(sim_.now(), s.nic().tx_free());
+        s.nic().reserve_tx(start + req_ser, 0);
+        co_await sim_.sleep_until(start + req_ser);
+      }
+      co_await sim_.sleep(cm.propagation);
+
+      // Responder NIC serves the read in hardware: a non-posted PCIe DMA
+      // read fetches the data (this PCIe round trip is what makes READ
+      // latency exceed WRITE latency on real NICs). The memory is
+      // snapshotted when the DMA engine reads it — NOT when the response
+      // reaches the requester — so racing CPU stores at the responder
+      // behave like real hardware.
+      co_await sim_.sleep(cm.nic_read_response);
+      auto span = d.pd().resolve(wr.remote, bytes);
+      std::vector<std::byte> snapshot(span.begin(), span.end());
+      co_await wire_transfer(d.nic(), s.nic(), bytes == 0 ? 1 : bytes);
+      co_await sim_.sleep(cm.propagation);
+      if (bytes > 0) std::memcpy(wr.local.addr, snapshot.data(), bytes);
+      if (wr.signaled) {
+        co_await sim_.sleep(cm.nic_cqe);
+        src.send_cq().deliver(Wc{
+            .wr_id = wr.wr_id,
+            .opcode = WcOpcode::kRdmaRead,
+            .byte_len = static_cast<uint32_t>(bytes),
+            .imm = 0,
+            .success = true,
+            .qp_num = src.qp_num()});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,59 @@
+// The simulated InfiniBand fabric: owns the nodes, the cost model, and the
+// data-path state machines for every verbs opcode. One Fabric == one
+// cluster (the paper's testbed is 10 nodes on one EDR switch).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "verbs/cost_model.h"
+#include "verbs/node.h"
+
+namespace hatrpc::verbs {
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, CostModel cost)
+      : sim_(sim), cost_(cost) {}
+  explicit Fabric(sim::Simulator& sim) : Fabric(sim, CostModel{}) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Node* add_node(sim::Cpu::Params cpu_params) {
+    nodes_.push_back(std::make_unique<Node>(
+        *this, static_cast<uint32_t>(nodes_.size()), cpu_params, sim_, cost_));
+    return nodes_.back().get();
+  }
+  Node* add_node() { return add_node(sim::Cpu::Params{}); }
+
+  /// Establishes a reliable connection between two queue pairs (the
+  /// simulation analogue of the RDMA-CM / exchange-and-modify-QP dance).
+  static void connect(QueuePair& a, QueuePair& b);
+
+  sim::Simulator& simulator() { return sim_; }
+  const CostModel& cost() const { return cost_; }
+  Node* node(size_t i) { return nodes_.at(i).get(); }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  friend class QueuePair;
+
+  /// NIC-side execution of one WQE (spawned, runs in virtual time).
+  sim::Task<void> execute_wqe(QueuePair& src, SendWr wr);
+  sim::Task<void> execute_chain(QueuePair& src, std::vector<SendWr> wrs);
+
+  /// Moves `bytes` from tx to rx at line rate, multiplexed with other
+  /// traffic at MTU granularity (packets from different QPs interleave on
+  /// the wire — no whole-message head-of-line blocking). Completes when
+  /// the last packet has been serialized; propagation is NOT included.
+  sim::Task<void> wire_transfer(Nic& tx, Nic& rx, uint64_t bytes);
+
+  sim::Simulator& sim_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,135 @@
+// Registered memory: protection domains and memory regions.
+//
+// Memory regions are REAL host buffers — RDMA operations in the simulator
+// memcpy between them, so everything above the verbs layer moves real bytes.
+// Remote access is validated against (rkey, range) exactly like an RNIC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace hatrpc::verbs {
+
+/// (address, rkey) pair naming remote registered memory, as exchanged
+/// out-of-band during connection setup.
+struct RemoteAddr {
+  uint64_t addr = 0;
+  uint32_t rkey = 0;
+};
+
+/// A registered buffer. `addr()` is its simulated virtual address (the real
+/// host pointer value), so RemoteAddr arithmetic behaves like the real thing.
+/// Storage is deliberately UNINITIALIZED (like freshly mmap'd registration
+/// in real verbs) so huge rarely-touched regions cost nothing; protocols
+/// that poll control words before the first write zero them explicitly.
+class MemoryRegion {
+ public:
+  MemoryRegion(size_t size, uint32_t lkey, uint32_t rkey)
+      : data_(std::make_unique_for_overwrite<std::byte[]>(size)),
+        size_(size), lkey_(lkey), rkey_(rkey) {}
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+  uint64_t addr() const { return reinterpret_cast<uint64_t>(data_.get()); }
+  uint32_t lkey() const { return lkey_; }
+  uint32_t rkey() const { return rkey_; }
+
+  RemoteAddr remote(uint64_t offset = 0) const {
+    return RemoteAddr{addr() + offset, rkey_};
+  }
+
+  std::span<std::byte> span(uint64_t offset, size_t len) {
+    if (offset + len > size()) throw std::out_of_range("MR span");
+    return {data_.get() + offset, len};
+  }
+
+  /// Zeroes the first `n` bytes (control words that are polled before any
+  /// remote write lands).
+  void zero_prefix(size_t n) { std::memset(data_.get(), 0, std::min(n, size_)); }
+
+  bool contains(uint64_t a, size_t len) const {
+    return a >= addr() && a + len <= addr() + size();
+  }
+
+  /// Hook invoked by the fabric after a remote one-sided WRITE lands in this
+  /// region. Lets server code model CPU memory polling (RFP/HERD style):
+  /// the callback typically notifies a WaitQueue the spinning task sits on.
+  void set_write_watch(std::function<void(uint64_t offset, size_t len)> cb) {
+    on_remote_write_ = std::move(cb);
+  }
+  void notify_remote_write(uint64_t a, size_t len) {
+    if (on_remote_write_) on_remote_write_(a - addr(), len);
+  }
+
+ private:
+  std::function<void(uint64_t, size_t)> on_remote_write_;
+  std::unique_ptr<std::byte[]> data_;
+  size_t size_;
+  uint32_t lkey_;
+  uint32_t rkey_;
+};
+
+/// Per-node protection domain: allocates/registers MRs and resolves rkeys,
+/// enforcing the same access checks an RNIC would.
+class ProtectionDomain {
+ public:
+  explicit ProtectionDomain(uint32_t node_id) : node_id_(node_id) {}
+
+  /// Allocates and registers a fresh region.
+  MemoryRegion* alloc_mr(size_t size) {
+    uint32_t key = next_key_++;
+    auto mr = std::make_unique<MemoryRegion>(size, key, key);
+    MemoryRegion* raw = mr.get();
+    by_rkey_[raw->rkey()] = raw;
+    mrs_.push_back(std::move(mr));
+    return raw;
+  }
+
+  void dereg_mr(MemoryRegion* mr) {
+    by_rkey_.erase(mr->rkey());
+    std::erase_if(mrs_, [&](auto& p) { return p.get() == mr; });
+  }
+
+  /// rkey + bounds check; returns the owning MR or throws (remote access
+  /// violation == what the NIC would report as a protection error).
+  MemoryRegion* check(RemoteAddr ra, size_t len) {
+    auto it = by_rkey_.find(ra.rkey);
+    if (it == by_rkey_.end()) throw std::runtime_error("bad rkey");
+    MemoryRegion* mr = it->second;
+    if (!mr->contains(ra.addr, len))
+      throw std::runtime_error("remote access out of MR bounds");
+    return mr;
+  }
+
+  std::span<std::byte> resolve(RemoteAddr ra, size_t len) {
+    check(ra, len);
+    return {reinterpret_cast<std::byte*>(ra.addr), len};
+  }
+
+  uint32_t node_id() const { return node_id_; }
+  size_t registered_bytes() const {
+    size_t total = 0;
+    for (auto& m : mrs_) total += m->size();
+    return total;
+  }
+  size_t mr_count() const { return mrs_.size(); }
+
+ private:
+  uint32_t node_id_;
+  uint32_t next_key_ = 1;
+  std::vector<std::unique_ptr<MemoryRegion>> mrs_;
+  std::unordered_map<uint32_t, MemoryRegion*> by_rkey_;
+};
+
+}  // namespace hatrpc::verbs

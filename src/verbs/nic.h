@@ -1,0 +1,46 @@
+// Per-node NIC link resources. The tx and rx sides are FIFO time
+// reservations: a message occupies the sender's tx and the receiver's rx for
+// its serialization time (cut-through — charged once end-to-end). Incast to
+// a single server serializes on that server's rx link, which is what caps
+// aggregate throughput at line rate in the multi-client benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hatrpc::verbs {
+
+class Nic {
+ public:
+  sim::Time tx_free() const { return tx_free_; }
+  sim::Time rx_free() const { return rx_free_; }
+
+  void reserve_tx(sim::Time until, uint64_t bytes) {
+    tx_free_ = std::max(tx_free_, until);
+    tx_bytes_ += bytes;
+    ++tx_msgs_;
+  }
+
+  void reserve_rx(sim::Time until, uint64_t bytes) {
+    rx_free_ = std::max(rx_free_, until);
+    rx_bytes_ += bytes;
+    ++rx_msgs_;
+  }
+
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+  uint64_t tx_msgs() const { return tx_msgs_; }
+  uint64_t rx_msgs() const { return rx_msgs_; }
+
+ private:
+  sim::Time tx_free_{0};
+  sim::Time rx_free_{0};
+  uint64_t tx_bytes_ = 0;
+  uint64_t rx_bytes_ = 0;
+  uint64_t tx_msgs_ = 0;
+  uint64_t rx_msgs_ = 0;
+};
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,55 @@
+// A simulated cluster node: CPU complex, one RNIC, and a protection domain.
+// Mirrors the paper's testbed machines (28-core Skylake, one ConnectX-5).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "verbs/completion.h"
+#include "verbs/memory.h"
+#include "verbs/nic.h"
+#include "verbs/qp.h"
+
+namespace hatrpc::verbs {
+
+class Fabric;
+
+class Node {
+ public:
+  Node(Fabric& fabric, uint32_t id, sim::Cpu::Params cpu_params,
+       sim::Simulator& sim, const CostModel& cost)
+      : fabric_(fabric), id_(id), cpu_(sim, cpu_params), pd_(id), cost_(cost),
+        sim_(sim) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t id() const { return id_; }
+  Fabric& fabric() { return fabric_; }
+  sim::Cpu& cpu() { return cpu_; }
+  Nic& nic() { return nic_; }
+  ProtectionDomain& pd() { return pd_; }
+
+  CompletionQueue* create_cq() {
+    cqs_.push_back(std::make_unique<CompletionQueue>(sim_, cpu_, cost_));
+    return cqs_.back().get();
+  }
+
+  QueuePair* create_qp(CompletionQueue& send_cq, CompletionQueue& recv_cq);
+
+ private:
+  Fabric& fabric_;
+  uint32_t id_;
+  sim::Cpu cpu_;
+  Nic nic_;
+  ProtectionDomain pd_;
+  const CostModel& cost_;
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+
+  friend class Fabric;
+};
+
+}  // namespace hatrpc::verbs

@@ -1,0 +1,102 @@
+// Queue pairs and work requests, mirroring the ibverbs RC programming
+// model: post_send (SEND / RDMA WRITE / RDMA READ / WRITE_WITH_IMM,
+// optionally chained under one doorbell), post_recv, and per-QP recv queues
+// with RNR-style backpressure when no receive is posted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "verbs/memory.h"
+
+namespace hatrpc::verbs {
+
+class Fabric;
+class Node;
+class CompletionQueue;
+
+enum class Opcode : uint8_t {
+  kSend,      // two-sided: consumes a remote posted recv
+  kWrite,     // one-sided: no remote completion
+  kWriteImm,  // WRITE_WITH_IMM: one-sided data + remote recv completion
+  kRead,      // one-sided fetch: responder CPU not involved
+};
+
+/// Scatter/gather element (single-element lists; protocols do their own
+/// framing into contiguous registered buffers).
+struct Sge {
+  std::byte* addr = nullptr;
+  uint32_t length = 0;
+};
+
+struct SendWr {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge local{};
+  RemoteAddr remote{};  // for kWrite / kWriteImm / kRead
+  uint32_t imm = 0;     // for kWriteImm
+  bool signaled = true;
+};
+
+struct RecvWr {
+  uint64_t wr_id = 0;
+  Sge buf{};
+};
+
+/// A reliable-connected queue pair. Created via Node::create_qp and wired to
+/// its peer with Fabric::connect.
+class QueuePair {
+ public:
+  QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq, uint32_t qp_num);
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  /// Posts one work request: charges the caller's CPU for WR construction
+  /// plus one doorbell MMIO, then hands the WQE to the (simulated) NIC.
+  /// Returns once the doorbell is rung — completions arrive on the CQs.
+  sim::Task<void> post_send(SendWr wr);
+
+  /// Posts a chain of WRs with a single doorbell (the Chained-Write-Send
+  /// optimization: one MMIO for the whole chain). The NIC executes the
+  /// chain in order.
+  sim::Task<void> post_send_chain(std::vector<SendWr> wrs);
+
+  /// Posts a receive buffer (no simulated cost; buffers are pre-posted off
+  /// the critical path in all protocols).
+  void post_recv(RecvWr wr) { recv_queue_.push(wr); }
+
+  Node& node() { return node_; }
+  QueuePair* peer() { return peer_; }
+  CompletionQueue& send_cq() { return send_cq_; }
+  CompletionQueue& recv_cq() { return recv_cq_; }
+  uint32_t qp_num() const { return qp_num_; }
+  size_t posted_recvs() const { return recv_queue_.size(); }
+
+  /// NUMA placement of the thread driving this QP relative to the NIC.
+  /// Off-socket posting pays CostModel::numa_remote_penalty per doorbell.
+  bool numa_local = true;
+
+ private:
+  friend class Fabric;
+
+  /// Fabric-side: takes the next posted recv, waiting (RNR backpressure)
+  /// if the application has not replenished the queue yet.
+  sim::Task<RecvWr> take_recv();
+
+  Fabric& fabric_;
+  Node& node_;
+  CompletionQueue& send_cq_;
+  CompletionQueue& recv_cq_;
+  uint32_t qp_num_;
+  QueuePair* peer_ = nullptr;
+  sim::Channel<RecvWr> recv_queue_;
+  /// RC ordering: all packets of WQE n precede WQE n+1 on this QP, even
+  /// though the wire multiplexes packets across different QPs.
+  sim::Mutex sq_order_;
+};
+
+}  // namespace hatrpc::verbs

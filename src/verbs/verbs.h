@@ -1,0 +1,10 @@
+// Umbrella header for the simulated verbs layer.
+#pragma once
+
+#include "verbs/completion.h"  // IWYU pragma: export
+#include "verbs/cost_model.h"  // IWYU pragma: export
+#include "verbs/fabric.h"      // IWYU pragma: export
+#include "verbs/memory.h"      // IWYU pragma: export
+#include "verbs/nic.h"         // IWYU pragma: export
+#include "verbs/node.h"        // IWYU pragma: export
+#include "verbs/qp.h"          // IWYU pragma: export

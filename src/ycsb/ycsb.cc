@@ -1,0 +1,124 @@
+#include "ycsb/ycsb.h"
+
+#include <cstdio>
+
+namespace hatrpc::ycsb {
+
+std::string_view to_string(OpType t) {
+  switch (t) {
+    case OpType::kGet: return "GET";
+    case OpType::kPut: return "PUT";
+    case OpType::kMultiGet: return "MultiGET";
+    case OpType::kMultiPut: return "MultiPUT";
+  }
+  return "?";
+}
+
+namespace {
+
+double zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+uint64_t fnv1a(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = zeta(n, theta);
+  zeta2_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianChooser::raw_next(sim::Rng& rng) {
+  double u = rng.uniform01();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ZipfianChooser::next(sim::Rng& rng) {
+  // Scrambled zipfian: spread the hot items across the keyspace.
+  return fnv1a(raw_next(rng)) % n_;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, uint64_t seed)
+    : spec_(spec), rng_(seed), zipf_(spec.record_count, spec.zipf_theta),
+      inserted_(spec.record_count) {}
+
+std::string WorkloadGenerator::key_of(uint64_t index) const {
+  char buf[64];
+  int n = std::snprintf(buf, sizeof buf, "user%019llu",
+                        static_cast<unsigned long long>(index));
+  std::string key(buf, static_cast<size_t>(n));
+  key.resize(spec_.key_len, '0');
+  return key;
+}
+
+std::string WorkloadGenerator::make_value(sim::Rng& rng) const {
+  std::string v(spec_.value_len(), '\0');
+  for (auto& c : v)
+    c = static_cast<char>('a' + rng.bounded(26));
+  return v;
+}
+
+std::vector<std::string> WorkloadGenerator::load_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(spec_.record_count);
+  for (uint64_t i = 0; i < spec_.record_count; ++i) keys.push_back(key_of(i));
+  return keys;
+}
+
+uint64_t WorkloadGenerator::choose_key() {
+  switch (spec_.dist) {
+    case Distribution::kUniform:
+      return rng_.bounded(spec_.record_count);
+    case Distribution::kZipfian:
+      return zipf_.next(rng_);
+    case Distribution::kLatest: {
+      uint64_t off = zipf_.next(rng_) % inserted_;
+      return inserted_ - 1 - off;
+    }
+  }
+  return 0;
+}
+
+Op WorkloadGenerator::next() {
+  double dice = rng_.uniform01();
+  Op op;
+  if (dice < spec_.get) {
+    op.type = OpType::kGet;
+    op.keys.push_back(key_of(choose_key()));
+  } else if (dice < spec_.get + spec_.put) {
+    op.type = OpType::kPut;
+    op.keys.push_back(key_of(choose_key()));
+    op.values.push_back(make_value(rng_));
+  } else if (dice < spec_.get + spec_.put + spec_.multi_get) {
+    op.type = OpType::kMultiGet;
+    for (int i = 0; i < spec_.batch; ++i)
+      op.keys.push_back(key_of(choose_key()));
+  } else {
+    op.type = OpType::kMultiPut;
+    for (int i = 0; i < spec_.batch; ++i) {
+      op.keys.push_back(key_of(choose_key()));
+      op.values.push_back(make_value(rng_));
+    }
+  }
+  return op;
+}
+
+}  // namespace hatrpc::ycsb

@@ -1,0 +1,155 @@
+// YCSB core in C++ — the workload generator and statistics collector the
+// paper extends with MultiGET/MultiPUT (§5.4):
+//   * workload A: 50/50 read/update, halved into 25% GET / 25% PUT /
+//     25% MultiGET / 25% MultiPUT;
+//   * workload B: 95/5 read/update, halved into 47.5% GET / 47.5% MultiGET
+//     / 2.5% PUT / 2.5% MultiPUT;
+//   * 24-byte keys, 10 fields x 100 bytes (1000-byte values), batch 10.
+// Key choosers: uniform, YCSB-standard scrambled zipfian, latest.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hatrpc::ycsb {
+
+enum class OpType : uint8_t { kGet, kPut, kMultiGet, kMultiPut };
+
+constexpr OpType kAllOps[] = {OpType::kGet, OpType::kPut, OpType::kMultiGet,
+                              OpType::kMultiPut};
+
+std::string_view to_string(OpType t);
+
+enum class Distribution : uint8_t { kUniform, kZipfian, kLatest };
+
+struct WorkloadSpec {
+  // Operation mix (must sum to 1).
+  double get = 0.25;
+  double put = 0.25;
+  double multi_get = 0.25;
+  double multi_put = 0.25;
+
+  uint64_t record_count = 10000;
+  size_t key_len = 24;
+  size_t field_len = 100;
+  int field_count = 10;   // value size = field_len * field_count
+  int batch = 10;         // MultiGET/MultiPUT batch size
+  Distribution dist = Distribution::kZipfian;
+  double zipf_theta = 0.99;
+
+  size_t value_len() const { return field_len * static_cast<size_t>(field_count); }
+
+  /// Paper workload A: update-heavy 25/25/25/25.
+  static WorkloadSpec workload_a() { return WorkloadSpec{}; }
+
+  /// Paper workload B: read-intensive 47.5/2.5/47.5/2.5.
+  static WorkloadSpec workload_b() {
+    WorkloadSpec w;
+    w.get = 0.475;
+    w.put = 0.025;
+    w.multi_get = 0.475;
+    w.multi_put = 0.025;
+    return w;
+  }
+};
+
+/// YCSB's scrambled zipfian over [0, n): popular items spread across the
+/// keyspace via FNV hashing, matching the reference implementation.
+class ZipfianChooser {
+ public:
+  ZipfianChooser(uint64_t n, double theta);
+  uint64_t next(sim::Rng& rng);
+
+ private:
+  uint64_t raw_next(sim::Rng& rng);
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+struct Op {
+  OpType type;
+  std::vector<std::string> keys;    // 1 entry for GET/PUT, `batch` for multi
+  std::vector<std::string> values;  // PUT/MultiPUT payloads
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, uint64_t seed);
+
+  /// Fixed-width zero-padded key (spec.key_len bytes).
+  std::string key_of(uint64_t index) const;
+
+  /// A fresh field_count x field_len value.
+  std::string make_value(sim::Rng& rng) const;
+
+  /// All keys for the load phase.
+  std::vector<std::string> load_keys() const;
+
+  Op next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t choose_key();
+
+  WorkloadSpec spec_;
+  sim::Rng rng_;
+  ZipfianChooser zipf_;
+  uint64_t inserted_;  // high-water mark for kLatest
+};
+
+/// Latency/throughput accounting per operation type (the shape of the
+/// paper's Fig. 15/16 panels).
+class StatsCollector {
+ public:
+  void record(OpType type, sim::Duration latency) {
+    Slot& s = slots_[static_cast<size_t>(type)];
+    ++s.count;
+    s.total += latency;
+    s.max = std::max(s.max, latency);
+  }
+
+  uint64_t count(OpType t) const {
+    return slots_[static_cast<size_t>(t)].count;
+  }
+  uint64_t total_ops() const {
+    uint64_t n = 0;
+    for (const Slot& s : slots_) n += s.count;
+    return n;
+  }
+  sim::Duration mean_latency(OpType t) const {
+    const Slot& s = slots_[static_cast<size_t>(t)];
+    return s.count ? s.total / static_cast<int64_t>(s.count) : sim::Duration{};
+  }
+  sim::Duration max_latency(OpType t) const {
+    return slots_[static_cast<size_t>(t)].max;
+  }
+  /// Aggregate throughput in kops/s over `elapsed` of virtual time.
+  double throughput_kops(OpType t, sim::Duration elapsed) const {
+    double secs = sim::to_seconds(elapsed);
+    return secs > 0 ? static_cast<double>(count(t)) / secs / 1e3 : 0;
+  }
+  double total_throughput_kops(sim::Duration elapsed) const {
+    double secs = sim::to_seconds(elapsed);
+    return secs > 0 ? static_cast<double>(total_ops()) / secs / 1e3 : 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t count = 0;
+    sim::Duration total{};
+    sim::Duration max{};
+  };
+  Slot slots_[4];
+};
+
+}  // namespace hatrpc::ycsb

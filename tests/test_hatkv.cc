@@ -1,0 +1,166 @@
+// HatKV tests: the generated service over mdblite through the full engine
+// — GET/PUT/MULTIGET/MULTIPUT correctness, hint-derived backend tuning
+// (reader table from the concurrency hint, sync strategy from the perf
+// goal), and concurrent multi-client operation.
+#include <gtest/gtest.h>
+
+#include "kv/hatkv.h"
+
+namespace hatrpc::kv {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using namespace std::chrono_literals;
+
+struct KvCluster {
+  Simulator sim;
+  verbs::Fabric fabric{sim};
+  verbs::Node* server_node = fabric.add_node();
+  HatKVServer server{*server_node};
+
+  verbs::Node* add_client() { return fabric.add_node(); }
+};
+
+TEST(HatKVConfigTest, DerivedFromHints) {
+  HatKVConfig cfg = HatKVConfig::from_hints(hatkv::HatKV_hints());
+  // concurrency=128 -> reader table sized beyond LMDB's 126 default.
+  EXPECT_EQ(cfg.max_readers, 136u);
+  // Service goal is throughput -> group commits off the critical path.
+  EXPECT_FALSE(cfg.sync_commits);
+}
+
+TEST(HatKVConfigTest, LatencyGoalForcesSyncCommits) {
+  hint::ServiceHints h;
+  h.service().add(hint::Side::kShared, hint::Key::kPerfGoal,
+                  hint::parse_value(hint::Key::kPerfGoal, "latency"));
+  EXPECT_TRUE(HatKVConfig::from_hints(h).sync_commits);
+}
+
+TEST(HatKV, PutGetRoundTrip) {
+  KvCluster c;
+  core::HatConnection conn(*c.add_client(), c.server.server());
+  hatkv::HatKVClient client(conn);
+  std::string got;
+  c.sim.spawn([](hatkv::HatKVClient& client, std::string& got,
+                 HatKVServer& server) -> Task<void> {
+    co_await client.Put("user42", "profile-data");
+    got = co_await client.Get("user42");
+    server.stop();
+  }(client, got, c.server));
+  c.sim.run();
+  EXPECT_EQ(got, "profile-data");
+  EXPECT_EQ(c.sim.live_tasks(), 0u);
+}
+
+TEST(HatKV, MissingKeyReturnsEmpty) {
+  KvCluster c;
+  core::HatConnection conn(*c.add_client(), c.server.server());
+  hatkv::HatKVClient client(conn);
+  std::string got = "sentinel";
+  c.sim.spawn([](hatkv::HatKVClient& client, std::string& got,
+                 HatKVServer& server) -> Task<void> {
+    got = co_await client.Get("never-stored");
+    server.stop();
+  }(client, got, c.server));
+  c.sim.run();
+  EXPECT_EQ(got, "");
+}
+
+TEST(HatKV, MultiPutMultiGetBatch) {
+  KvCluster c;
+  core::HatConnection conn(*c.add_client(), c.server.server());
+  hatkv::HatKVClient client(conn);
+  std::vector<std::string> got;
+  c.sim.spawn([](hatkv::HatKVClient& client, std::vector<std::string>& got,
+                 HatKVServer& server) -> Task<void> {
+    std::vector<hatkv::KVPair> pairs;
+    std::vector<std::string> keys;
+    for (int i = 0; i < 10; ++i) {
+      hatkv::KVPair kv;
+      kv.key = "batch" + std::to_string(i);
+      kv.value = std::string(100, static_cast<char>('a' + i));
+      keys.push_back(kv.key);
+      pairs.push_back(std::move(kv));
+    }
+    co_await client.MultiPut(pairs);
+    got = co_await client.MultiGet(keys);
+    server.stop();
+  }(client, got, c.server));
+  c.sim.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(got[i], std::string(100, static_cast<char>('a' + i)));
+}
+
+TEST(HatKV, ConcurrentClientsStayConsistent) {
+  KvCluster c;
+  constexpr int kClients = 8;
+  constexpr int kOps = 20;
+  int ok = 0;
+  std::vector<std::unique_ptr<core::HatConnection>> conns;
+  for (int ci = 0; ci < kClients; ++ci) {
+    conns.push_back(std::make_unique<core::HatConnection>(
+        *c.add_client(), c.server.server()));
+    c.sim.spawn([](core::HatConnection& conn, int ci, int& ok) -> Task<void> {
+      hatkv::HatKVClient client(conn);
+      for (int i = 0; i < kOps; ++i) {
+        std::string key =
+            "c" + std::to_string(ci) + "-k" + std::to_string(i);
+        std::string value = "v" + std::to_string(ci * 1000 + i);
+        co_await client.Put(key, value);
+        std::string got = co_await client.Get(key);
+        if (got == value) ++ok;
+      }
+    }(*conns[static_cast<size_t>(ci)], ci, ok));
+  }
+  c.sim.run_until(sim::Time(5s));
+  EXPECT_EQ(ok, kClients * kOps);
+  c.server.stop();
+  EXPECT_EQ(c.server.handler().env().stats().commits,
+            static_cast<uint64_t>(kClients * kOps));
+}
+
+TEST(HatKV, HintsChooseDistinctPlansPerFunction) {
+  KvCluster c;
+  core::HatConnection conn(*c.add_client(), c.server.server());
+  // GET: 1KB payload @128 concurrency, throughput -> WriteIMM + event.
+  const hint::Plan& get = conn.plan_for("Get");
+  EXPECT_EQ(get.protocol, proto::ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(get.client_poll, sim::PollMode::kEvent);
+  // MULTIGET: 10KB payload at over-subscription -> still the one-WQE
+  // path with scalable event polling (RFP only pays off at >=64KB).
+  const hint::Plan& mget = conn.plan_for("MultiGet");
+  EXPECT_EQ(mget.protocol, proto::ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(mget.client_poll, sim::PollMode::kEvent);
+  EXPECT_EQ(mget.expected_payload, 10240u);
+  c.server.stop();
+}
+
+TEST(HatKV, SyncCommitsCostMoreTime) {
+  auto run = [](bool sync) {
+    Simulator sim;
+    verbs::Fabric fabric(sim);
+    verbs::Node* sn = fabric.add_node();
+    HatKVConfig cfg = HatKVConfig::from_hints(hatkv::HatKV_hints());
+    cfg.sync_commits = sync;
+    HatKVServer server(*sn, {}, cfg);
+    verbs::Node* cn = fabric.add_node();
+    core::HatConnection conn(*cn, server.server());
+    hatkv::HatKVClient client(conn);
+    sim::Time done{};
+    sim.spawn([](hatkv::HatKVClient& client, HatKVServer& server,
+                 Simulator& sim, sim::Time& done) -> Task<void> {
+      for (int i = 0; i < 50; ++i)
+        co_await client.Put("k" + std::to_string(i), std::string(1000, 'v'));
+      done = sim.now();
+      server.stop();
+    }(client, server, sim, done));
+    sim.run();
+    return done;
+  };
+  EXPECT_GT(run(true), run(false));  // durability is paid on the wire time
+}
+
+}  // namespace
+}  // namespace hatrpc::kv

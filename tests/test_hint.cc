@@ -1,0 +1,286 @@
+// Hint-scheme tests: key/value validation, the four-step override chain
+// (function side-specific > function shared > service side-specific >
+// service shared), and the Figure-6 selection algorithm across the whole
+// (goal x subscription x payload) design space.
+#include <gtest/gtest.h>
+
+#include "hint/selection.h"
+
+namespace hatrpc::hint {
+namespace {
+
+using proto::ProtocolKind;
+using sim::PollMode;
+
+// ---------------------------------------------------------------------------
+// Parsing & validation (the compiler's "check" step).
+// ---------------------------------------------------------------------------
+
+TEST(HintParse, KnownKeys) {
+  EXPECT_EQ(parse_key("perf_goal"), Key::kPerfGoal);
+  EXPECT_EQ(parse_key("CONCURRENCY"), Key::kConcurrency);
+  EXPECT_EQ(parse_key("payload_size"), Key::kPayloadSize);
+  EXPECT_EQ(parse_key("numa_binding"), Key::kNumaBinding);
+  EXPECT_EQ(parse_key("transport"), Key::kTransport);
+  EXPECT_EQ(parse_key("polling"), Key::kPolling);
+  EXPECT_EQ(parse_key("priority"), Key::kPriority);
+  EXPECT_EQ(parse_key("bogus_key"), std::nullopt);
+}
+
+TEST(HintParse, PerfGoalValues) {
+  EXPECT_EQ(parse_value(Key::kPerfGoal, "latency").goal, PerfGoal::kLatency);
+  EXPECT_EQ(parse_value(Key::kPerfGoal, "THROUGHPUT").goal,
+            PerfGoal::kThroughput);
+  EXPECT_EQ(parse_value(Key::kPerfGoal, "res_util").goal, PerfGoal::kResUtil);
+  EXPECT_THROW(parse_value(Key::kPerfGoal, "speed"), HintError);
+}
+
+TEST(HintParse, NumericValuesWithSuffixes) {
+  EXPECT_EQ(parse_value(Key::kPayloadSize, "1024").num, 1024);
+  EXPECT_EQ(parse_value(Key::kPayloadSize, "128k").num, 128 * 1024);
+  EXPECT_EQ(parse_value(Key::kPayloadSize, "2M").num, 2 * 1024 * 1024);
+  EXPECT_EQ(parse_value(Key::kConcurrency, "512").num, 512);
+  EXPECT_THROW(parse_value(Key::kConcurrency, "0"), HintError);
+  EXPECT_THROW(parse_value(Key::kConcurrency, "-3"), HintError);
+  EXPECT_THROW(parse_value(Key::kPayloadSize, "12x4"), HintError);
+}
+
+TEST(HintParse, EnumValues) {
+  EXPECT_TRUE(parse_value(Key::kNumaBinding, "true").flag);
+  EXPECT_FALSE(parse_value(Key::kNumaBinding, "false").flag);
+  EXPECT_THROW(parse_value(Key::kNumaBinding, "yes"), HintError);
+  EXPECT_EQ(parse_value(Key::kTransport, "tcp").transport, Transport::kTcp);
+  EXPECT_THROW(parse_value(Key::kTransport, "udp"), HintError);
+  EXPECT_TRUE(parse_value(Key::kPolling, "busy").flag);
+  EXPECT_FALSE(parse_value(Key::kPolling, "event").flag);
+  EXPECT_EQ(parse_value(Key::kPriority, "low").priority, Priority::kLow);
+}
+
+TEST(HintGroup, RejectsDuplicateKeyInSameGroup) {
+  HintGroup g;
+  g.add(Side::kShared, Key::kPerfGoal, parse_value(Key::kPerfGoal, "latency"));
+  EXPECT_THROW(g.add(Side::kShared, Key::kPerfGoal,
+                     parse_value(Key::kPerfGoal, "throughput")),
+               HintError);
+  // Same key in a different lateral group is fine.
+  EXPECT_NO_THROW(g.add(Side::kServer, Key::kPerfGoal,
+                        parse_value(Key::kPerfGoal, "throughput")));
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical resolution (§4.1).
+// ---------------------------------------------------------------------------
+
+ServiceHints make_hierarchy() {
+  ServiceHints h;
+  h.service().add(Side::kShared, Key::kPerfGoal,
+                  parse_value(Key::kPerfGoal, "throughput"));
+  h.service().add(Side::kShared, Key::kConcurrency,
+                  parse_value(Key::kConcurrency, "128"));
+  h.service().add(Side::kServer, Key::kPolling,
+                  parse_value(Key::kPolling, "event"));
+  h.function("Get").add(Side::kShared, Key::kPerfGoal,
+                        parse_value(Key::kPerfGoal, "latency"));
+  h.function("Get").add(Side::kClient, Key::kPolling,
+                        parse_value(Key::kPolling, "busy"));
+  h.function("Put").add(Side::kShared, Key::kPayloadSize,
+                        parse_value(Key::kPayloadSize, "1024"));
+  return h;
+}
+
+TEST(HintResolution, FunctionOverridesService) {
+  ServiceHints h = make_hierarchy();
+  const Value* v = h.lookup("Get", Key::kPerfGoal, Perspective::kClient);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->goal, PerfGoal::kLatency);  // function beats service
+  v = h.lookup("Put", Key::kPerfGoal, Perspective::kClient);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->goal, PerfGoal::kThroughput);  // inherited from service
+}
+
+TEST(HintResolution, ServiceHintsVisibleToAllFunctions) {
+  ServiceHints h = make_hierarchy();
+  for (const char* fn : {"Get", "Put", "Unlisted"}) {
+    const Value* v = h.lookup(fn, Key::kConcurrency, Perspective::kServer);
+    ASSERT_NE(v, nullptr) << fn;
+    EXPECT_EQ(v->num, 128);
+  }
+}
+
+TEST(HintResolution, SideSpecificOverridesSharedAtSameLevel) {
+  ServiceHints h = make_hierarchy();
+  // Client asks for polling on Get: function c_hint (busy) wins.
+  const Value* vc = h.lookup("Get", Key::kPolling, Perspective::kClient);
+  ASSERT_NE(vc, nullptr);
+  EXPECT_TRUE(vc->flag);
+  // Server asks: no function-level server hint -> service s_hint (event).
+  const Value* vs = h.lookup("Get", Key::kPolling, Perspective::kServer);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_FALSE(vs->flag);
+}
+
+TEST(HintResolution, FunctionSharedBeatsServiceSideSpecific) {
+  ServiceHints h;
+  h.service().add(Side::kClient, Key::kPerfGoal,
+                  parse_value(Key::kPerfGoal, "throughput"));
+  h.function("F").add(Side::kShared, Key::kPerfGoal,
+                      parse_value(Key::kPerfGoal, "latency"));
+  const Value* v = h.lookup("F", Key::kPerfGoal, Perspective::kClient);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->goal, PerfGoal::kLatency);
+}
+
+TEST(HintResolution, MissingKeyReturnsNull) {
+  ServiceHints h = make_hierarchy();
+  EXPECT_EQ(h.lookup("Get", Key::kTransport, Perspective::kClient), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Figure-6 selection.
+// ---------------------------------------------------------------------------
+
+TEST(Subscription, ClassifiesAgainstTestbedCores) {
+  SelectionParams p;
+  EXPECT_EQ(classify_subscription(1, p), Subscription::kUnder);
+  EXPECT_EQ(classify_subscription(16, p), Subscription::kUnder);
+  EXPECT_EQ(classify_subscription(17, p), Subscription::kFull);
+  EXPECT_EQ(classify_subscription(28, p), Subscription::kFull);
+  EXPECT_EQ(classify_subscription(29, p), Subscription::kOver);
+  EXPECT_EQ(classify_subscription(512, p), Subscription::kOver);
+}
+
+TEST(Selection, LatencyGoalPicksBusyWriteImm) {
+  SelectionParams p;
+  for (uint32_t payload : {64u, 512u, 131072u}) {
+    Plan plan = select_plan_raw(PerfGoal::kLatency, 1, payload, false, p);
+    EXPECT_EQ(plan.protocol, ProtocolKind::kDirectWriteImm);
+    EXPECT_EQ(plan.client_poll, PollMode::kBusy);
+    EXPECT_EQ(plan.server_poll, PollMode::kBusy);
+  }
+}
+
+TEST(Selection, ThroughputSmallStaysWriteImmPollingByRegime) {
+  SelectionParams p;
+  Plan under = select_plan_raw(PerfGoal::kThroughput, 8, 512, false, p);
+  EXPECT_EQ(under.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(under.client_poll, PollMode::kBusy);
+  Plan over = select_plan_raw(PerfGoal::kThroughput, 512, 512, false, p);
+  EXPECT_EQ(over.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(over.client_poll, PollMode::kEvent);
+}
+
+TEST(Selection, ThroughputLargeSwitchesPollingAboveThreshold) {
+  // The §5.2 crossover at the concurrency threshold 16: busy polling under
+  // it, scalable event polling above it (our characterization keeps
+  // Direct-WriteIMM as the protocol in both regimes; see selection.cc).
+  SelectionParams p;
+  Plan under = select_plan_raw(PerfGoal::kThroughput, 16, 131072, false, p);
+  EXPECT_EQ(under.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(under.client_poll, PollMode::kBusy);
+  Plan over = select_plan_raw(PerfGoal::kThroughput, 17, 131072, false, p);
+  EXPECT_EQ(over.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(over.client_poll, PollMode::kEvent);
+}
+
+TEST(Selection, ResUtilPrefersEagerAndRendezvous) {
+  SelectionParams p;
+  Plan u_small = select_plan_raw(PerfGoal::kResUtil, 4, 512, false, p);
+  EXPECT_EQ(u_small.protocol, ProtocolKind::kDirectWriteImm);
+  Plan u_large = select_plan_raw(PerfGoal::kResUtil, 4, 131072, false, p);
+  EXPECT_EQ(u_large.protocol, ProtocolKind::kWriteRndv);
+  Plan o_small = select_plan_raw(PerfGoal::kResUtil, 100, 512, false, p);
+  EXPECT_EQ(o_small.protocol, ProtocolKind::kEagerSendRecv);
+  Plan o_large = select_plan_raw(PerfGoal::kResUtil, 100, 131072, false, p);
+  EXPECT_EQ(o_large.protocol, ProtocolKind::kWriteRndv);
+  // Resource-utilization always frees the CPUs.
+  for (const Plan& pl : {u_small, u_large, o_small, o_large}) {
+    EXPECT_EQ(pl.client_poll, PollMode::kEvent);
+    EXPECT_EQ(pl.server_poll, PollMode::kEvent);
+  }
+}
+
+TEST(Selection, NumaBindingOnlyUnderSubscription) {
+  SelectionParams p;
+  EXPECT_TRUE(select_plan_raw(PerfGoal::kLatency, 8, 512, true, p).numa_bind);
+  EXPECT_FALSE(
+      select_plan_raw(PerfGoal::kLatency, 64, 512, true, p).numa_bind);
+  EXPECT_FALSE(
+      select_plan_raw(PerfGoal::kLatency, 8, 512, false, p).numa_bind);
+}
+
+TEST(Selection, FromHierarchyWithLateralSplit) {
+  // Service: throughput @128 clients; server explicitly event-polls while
+  // the latency-hinted Get keeps busy polling at the client.
+  ServiceHints h = make_hierarchy();
+  h.function("Get").add(Side::kShared, Key::kPayloadSize,
+                        parse_value(Key::kPayloadSize, "1024"));
+  SelectionParams p;
+  Plan get = select_plan(h, "Get", p);
+  EXPECT_EQ(get.protocol, ProtocolKind::kDirectWriteImm);  // latency goal
+  EXPECT_EQ(get.client_poll, PollMode::kBusy);   // c_hint polling=busy
+  EXPECT_EQ(get.server_poll, PollMode::kEvent);  // s_hint polling=event
+  EXPECT_EQ(get.expected_payload, 1024u);
+
+  Plan put = select_plan(h, "Put", p);  // inherits throughput @128, 1KB
+  EXPECT_EQ(put.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(put.client_poll, PollMode::kEvent);  // over-subscription
+}
+
+TEST(Selection, TransportHintRoutesToTcp) {
+  ServiceHints h;
+  h.function("Legacy").add(Side::kShared, Key::kTransport,
+                           parse_value(Key::kTransport, "tcp"));
+  Plan plan = select_plan(h, "Legacy", SelectionParams{});
+  EXPECT_EQ(plan.transport, Transport::kTcp);
+  EXPECT_EQ(select_plan(h, "Other", SelectionParams{}).transport,
+            Transport::kRdma);
+}
+
+TEST(Selection, LowPriorityYieldsResources) {
+  ServiceHints h;
+  h.service().add(Side::kShared, Key::kPerfGoal,
+                  parse_value(Key::kPerfGoal, "latency"));
+  h.service().add(Side::kShared, Key::kPayloadSize,
+                  parse_value(Key::kPayloadSize, "256"));
+  h.function("Heartbeat").add(Side::kShared, Key::kPriority,
+                              parse_value(Key::kPriority, "low"));
+  Plan hb = select_plan(h, "Heartbeat", SelectionParams{});
+  EXPECT_EQ(hb.protocol, ProtocolKind::kEagerSendRecv);
+  EXPECT_EQ(hb.client_poll, PollMode::kEvent);
+  // The important function is untouched: optimization isolation.
+  Plan other = select_plan(h, "CriticalOp", SelectionParams{});
+  EXPECT_EQ(other.protocol, ProtocolKind::kDirectWriteImm);
+  EXPECT_EQ(other.client_poll, PollMode::kBusy);
+}
+
+// Property sweep: the whole design space produces valid, stable plans.
+class SelectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t, uint32_t>> {};
+
+TEST_P(SelectionSweep, PlansAreValidAndDeterministic) {
+  auto goal = static_cast<PerfGoal>(std::get<0>(GetParam()));
+  uint32_t conc = std::get<1>(GetParam());
+  uint32_t payload = std::get<2>(GetParam());
+  SelectionParams p;
+  Plan a = select_plan_raw(goal, conc, payload, true, p);
+  Plan b = select_plan_raw(goal, conc, payload, true, p);
+  EXPECT_EQ(a, b);
+  // Latency goal never event-polls; res_util never busy-polls.
+  if (goal == PerfGoal::kLatency)
+    EXPECT_EQ(a.client_poll, PollMode::kBusy);
+  if (goal == PerfGoal::kResUtil)
+    EXPECT_EQ(a.client_poll, PollMode::kEvent);
+  // Large payloads under res_util must avoid per-connection max buffers.
+  if (goal == PerfGoal::kResUtil && payload > p.small_msg_max)
+    EXPECT_TRUE(a.protocol == ProtocolKind::kWriteRndv ||
+                a.protocol == ProtocolKind::kReadRndv);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, SelectionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 16u, 17u, 28u, 29u, 512u),
+                       ::testing::Values(64u, 512u, 4096u, 4097u, 131072u)));
+
+}  // namespace
+}  // namespace hatrpc::hint

@@ -1,0 +1,387 @@
+// Unit tests for the discrete-event simulation core: clock advance,
+// task composition, synchronization primitives, CPU contention model,
+// determinism, and RNG statistical sanity.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace hatrpc::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0ns);
+  EXPECT_EQ(sim.run(), 0ns);
+}
+
+TEST(Simulator, SleepAdvancesClock) {
+  Simulator sim;
+  Time seen{-1};
+  sim.spawn([](Simulator& s, Time& seen) -> Task<void> {
+    co_await s.sleep(5us);
+    seen = s.now();
+  }(sim, seen));
+  sim.run();
+  EXPECT_EQ(seen, 5us);
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+TEST(Simulator, SleepsAccumulate) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.sleep(1us);
+    co_await s.sleep(2us);
+    co_await s.sleep(3us);
+    EXPECT_EQ(s.now(), 6us);
+  }(sim));
+  EXPECT_EQ(sim.run(), 6us);
+}
+
+TEST(Simulator, ConcurrentTasksInterleaveByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  auto worker = [](Simulator& s, std::vector<int>& order, int id,
+                   Duration d) -> Task<void> {
+    co_await s.sleep(d);
+    order.push_back(id);
+  };
+  sim.spawn(worker(sim, order, 3, 30us));
+  sim.spawn(worker(sim, order, 1, 10us));
+  sim.spawn(worker(sim, order, 2, 20us));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  auto worker = [](Simulator& s, std::vector<int>& order,
+                   int id) -> Task<void> {
+    co_await s.sleep(1us);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(worker(sim, order, i));
+  sim.run();
+  std::vector<int> want(8);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+}
+
+TEST(Simulator, NestedTaskAwait) {
+  Simulator sim;
+  auto inner = [](Simulator& s) -> Task<int> {
+    co_await s.sleep(2us);
+    co_return 42;
+  };
+  int got = 0;
+  sim.spawn([](Simulator& s, auto inner, int& got) -> Task<void> {
+    got = co_await inner(s);
+    EXPECT_EQ(s.now(), 2us);
+  }(sim, inner, got));
+  sim.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Simulator, ExceptionPropagatesThroughAwait) {
+  Simulator sim;
+  auto thrower = [](Simulator& s) -> Task<void> {
+    co_await s.sleep(1us);
+    throw std::runtime_error("boom");
+  };
+  bool caught = false;
+  sim.spawn([](Simulator& s, auto thrower, bool& caught) -> Task<void> {
+    try {
+      co_await thrower(s);
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  }(sim, thrower, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulator, ExceptionFromRootTaskRethrownByRun) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.sleep(1us);
+    throw std::runtime_error("root boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int steps = 0;
+  sim.spawn([](Simulator& s, int& steps) -> Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      co_await s.sleep(1ms);
+      ++steps;
+    }
+  }(sim, steps));
+  sim.run_until(Time(10ms));
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(sim.now(), 10ms);
+  sim.run();
+  EXPECT_EQ(steps, 100);
+}
+
+TEST(Simulator, DeadlockedTaskReportedAsLive) {
+  Simulator sim;
+  Event never(sim);
+  sim.spawn([](Event& e) -> Task<void> { co_await e.wait(); }(never));
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 1u);
+}
+
+TEST(Sync, EventWakesAllWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  int woke = 0;
+  auto waiter = [](Simulator& s, Event& e, int& woke) -> Task<void> {
+    co_await e.wait();
+    ++woke;
+    EXPECT_EQ(s.now(), 7us);
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(sim, ev, woke));
+  sim.spawn([](Simulator& s, Event& e) -> Task<void> {
+    co_await s.sleep(7us);
+    e.set();
+  }(sim, ev));
+  sim.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(Sync, EventWaitAfterSetCompletesImmediately) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  bool done = false;
+  sim.spawn([](Event& e, bool& done) -> Task<void> {
+    co_await e.wait();
+    done = true;
+  }(ev, done));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Sync, SemaphoreLimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int in_flight = 0, max_in_flight = 0;
+  auto worker = [](Simulator& s, Semaphore& sem, int& in_flight,
+                   int& max_in) -> Task<void> {
+    co_await sem.acquire();
+    ++in_flight;
+    max_in = std::max(max_in, in_flight);
+    co_await s.sleep(10us);
+    --in_flight;
+    sem.release();
+  };
+  for (int i = 0; i < 6; ++i)
+    sim.spawn(worker(sim, sem, in_flight, max_in_flight));
+  sim.run();
+  EXPECT_EQ(max_in_flight, 2);
+  EXPECT_EQ(sim.now(), 30us);  // 6 workers, 2 at a time, 10us each
+}
+
+TEST(Sync, ChannelDeliversInOrder) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& got) -> Task<void> {
+    while (auto v = co_await ch.pop()) got.push_back(*v);
+  }(ch, got));
+  sim.spawn([](Simulator& s, Channel<int>& ch) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await s.sleep(1us);
+      ch.push(i);
+    }
+    ch.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sync, ChannelPopOnClosedEmptyReturnsNullopt) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.push(9);
+  ch.close();
+  std::vector<int> got;
+  bool saw_end = false;
+  sim.spawn([](Channel<int>& ch, std::vector<int>& got,
+               bool& saw_end) -> Task<void> {
+    while (true) {
+      auto v = co_await ch.pop();
+      if (!v) {
+        saw_end = true;
+        break;
+      }
+      got.push_back(*v);
+    }
+  }(ch, got, saw_end));
+  sim.run();
+  EXPECT_EQ(got, std::vector<int>{9});
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(Sync, WaitGroupJoins) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  Time joined{};
+  auto worker = [](Simulator& s, WaitGroup& wg, Duration d) -> Task<void> {
+    co_await s.sleep(d);
+    wg.done();
+  };
+  wg.add(3);
+  sim.spawn(worker(sim, wg, 5us));
+  sim.spawn(worker(sim, wg, 9us));
+  sim.spawn(worker(sim, wg, 2us));
+  sim.spawn([](Simulator& s, WaitGroup& wg, Time& joined) -> Task<void> {
+    co_await wg.wait();
+    joined = s.now();
+  }(sim, wg, joined));
+  sim.run();
+  EXPECT_EQ(joined, 9us);
+}
+
+TEST(Sync, MutexSerializesCriticalSections) {
+  Simulator sim;
+  Mutex mu(sim);
+  int inside = 0;
+  bool overlap = false;
+  auto worker = [](Simulator& s, Mutex& mu, int& inside,
+                   bool& overlap) -> Task<void> {
+    auto g = co_await mu.scoped();
+    if (inside != 0) overlap = true;
+    ++inside;
+    co_await s.sleep(3us);
+    --inside;
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, mu, inside, overlap));
+  sim.run();
+  EXPECT_FALSE(overlap);
+  EXPECT_EQ(sim.now(), 12us);
+}
+
+TEST(Cpu, UncontendedComputeTakesNominalTime) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 4});
+  sim.spawn([](Simulator& s, Cpu& cpu) -> Task<void> {
+    co_await cpu.compute(10us);
+    EXPECT_EQ(s.now(), 10us);
+  }(sim, cpu));
+  sim.run();
+}
+
+TEST(Cpu, OversubscriptionStretchesCompute) {
+  Simulator sim;
+  Cpu::Params p{.cores = 2, .ctx_switch = 1us};
+  Cpu cpu(sim, p);
+  // 8 simultaneous computations on 2 cores: each sees factor ~4.
+  auto worker = [](Cpu& cpu) -> Task<void> { co_await cpu.compute(10us); };
+  for (int i = 0; i < 8; ++i) sim.spawn(worker(cpu));
+  Time end = sim.run();
+  EXPECT_GT(end, 30us);  // well above the uncontended 10us
+  EXPECT_LE(end, 60us);
+}
+
+TEST(Cpu, BusyPollersRaiseLoad) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 2});
+  EXPECT_DOUBLE_EQ(cpu.oversubscription(), 1.0);
+  {
+    auto g1 = cpu.busy_guard();
+    auto g2 = cpu.busy_guard();
+    auto g3 = cpu.busy_guard();
+    auto g4 = cpu.busy_guard();
+    EXPECT_DOUBLE_EQ(cpu.oversubscription(), 2.0);
+    EXPECT_TRUE(cpu.oversubscribed());
+  }
+  EXPECT_DOUBLE_EQ(cpu.oversubscription(), 1.0);
+}
+
+TEST(Cpu, BusyPickupFastWhenUndersubscribed) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 28});
+  auto g = cpu.busy_guard();
+  EXPECT_LT(cpu.pickup_delay(PollMode::kBusy), 1us);
+}
+
+TEST(Cpu, BusyPickupCollapsesWhenOversubscribed) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 28});
+  std::vector<Cpu::BusyGuard> guards;
+  for (int i = 0; i < 512; ++i) guards.push_back(cpu.busy_guard());
+  Duration busy = cpu.pickup_delay(PollMode::kBusy);
+  Duration event = cpu.pickup_delay(PollMode::kEvent);
+  EXPECT_GT(busy, 10 * event);  // the Fig.5 over-subscription collapse
+}
+
+TEST(Cpu, EventPickupPaysInterruptWhenIdle) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 28, .interrupt_wakeup = 3us});
+  EXPECT_EQ(cpu.pickup_delay(PollMode::kEvent), 3us);
+  EXPECT_LT(cpu.pickup_delay(PollMode::kBusy),
+            cpu.pickup_delay(PollMode::kEvent));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  bool all_equal = true, any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.next(), y = b.next(), z = c.next();
+    all_equal &= (x == y);
+    any_diff_seed |= (x != z);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.bounded(17), 17u);
+    int64_t u = r.uniform(-5, 5);
+    EXPECT_GE(u, -5);
+    EXPECT_LE(u, 5);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(99);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Simulator, DeterministicEventCount) {
+  auto run_once = []() {
+    Simulator sim;
+    Channel<int> ch(sim);
+    sim.spawn([](Simulator& s, Channel<int>& ch) -> Task<void> {
+      for (int i = 0; i < 100; ++i) {
+        co_await s.sleep(Duration(i * 10));
+        ch.push(i);
+      }
+      ch.close();
+    }(sim, ch));
+    sim.spawn([](Channel<int>& ch) -> Task<void> {
+      while (co_await ch.pop()) {
+      }
+    }(ch));
+    sim.run();
+    return sim.events_processed();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hatrpc::sim

@@ -1,0 +1,371 @@
+// Transport-layer tests: simulated TCP/IPoIB sockets (byte-stream
+// semantics, EOF, latency/bandwidth behaviour), framed messaging, the three
+// server flavors, and the TRdma bridge (TSocket-compatible programming
+// model over every RDMA protocol).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "thrift/rdma.h"
+#include "thrift/server.h"
+
+namespace hatrpc::thrift {
+namespace {
+
+using sim::PollMode;
+using sim::Simulator;
+using sim::Task;
+using namespace std::chrono_literals;
+
+View view_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string str_of(View v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+struct Net {
+  Simulator sim;
+  verbs::Fabric fabric{sim};
+  SocketNet net{fabric};
+  verbs::Node* a = fabric.add_node();
+  verbs::Node* b = fabric.add_node();
+};
+
+TEST(SimSocket, ByteStreamRoundTrip) {
+  Net n;
+  std::string got;
+  Listener* lis = n.net.listen(*n.b, 9090);
+  n.sim.spawn([](Net& n, Listener* lis, std::string& got) -> Task<void> {
+    SimSocket* s = co_await lis->accept();
+    std::byte buf[64];
+    size_t k = co_await s->read(buf, sizeof buf);
+    got.assign(reinterpret_cast<char*>(buf), k);
+    co_await s->write(view_of("pong"));
+  }(n, lis, got));
+  std::string reply;
+  n.sim.spawn([](Net& n, std::string& reply) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 9090);
+    co_await c->write(view_of("ping"));
+    std::byte buf[64];
+    size_t k = co_await c->read(buf, sizeof buf);
+    reply.assign(reinterpret_cast<char*>(buf), k);
+    c->close();
+  }(n, reply));
+  n.sim.run();
+  EXPECT_EQ(got, "ping");
+  EXPECT_EQ(reply, "pong");
+}
+
+TEST(SimSocket, EofAfterClose) {
+  Net n;
+  Listener* lis = n.net.listen(*n.b, 1);
+  size_t got = 99;
+  n.sim.spawn([](Listener* lis, size_t& got) -> Task<void> {
+    SimSocket* s = co_await lis->accept();
+    std::byte buf[8];
+    got = co_await s->read(buf, 8);  // peer closes without sending
+  }(lis, got));
+  n.sim.spawn([](Net& n) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 1);
+    c->close();
+  }(n));
+  n.sim.run();
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(SimSocket, ConnectToUnboundPortThrows) {
+  Net n;
+  n.sim.spawn([](Net& n) -> Task<void> {
+    co_await n.net.connect(*n.a, *n.b, 4242);
+  }(n));
+  EXPECT_THROW(n.sim.run(), TTransportException);
+}
+
+TEST(SimSocket, LargeTransferIsBandwidthBound) {
+  // 8 MB at IPoIB's ~3 GB/s is ~2.7 ms; native RDMA would take ~0.64 ms.
+  Net n;
+  Listener* lis = n.net.listen(*n.b, 2);
+  constexpr size_t kBytes = 8 << 20;
+  sim::Time done{};
+  n.sim.spawn([](Net& n, Listener* lis, sim::Time& done) -> Task<void> {
+    SimSocket* s = co_await lis->accept();
+    std::vector<std::byte> buf(kBytes);
+    co_await s->read_exact(buf.data(), kBytes);
+    done = n.sim.now();
+  }(n, lis, done));
+  n.sim.spawn([](Net& n) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 2);
+    std::vector<std::byte> data(kBytes, std::byte{0x5a});
+    co_await c->write(data);
+  }(n));
+  n.sim.run();
+  EXPECT_GE(done, 2500us);
+  EXPECT_LE(done, 4000us);
+}
+
+TEST(SimSocket, SmallRpcLatencyRealisticForIpoib) {
+  // A 64B echo over IPoIB should land in the tens of microseconds —
+  // roughly an order of magnitude above native RDMA.
+  Net n;
+  Listener* lis = n.net.listen(*n.b, 3);
+  n.sim.spawn([](Listener* lis) -> Task<void> {
+    SimSocket* s = co_await lis->accept();
+    std::byte buf[64];
+    co_await s->read_exact(buf, 64);
+    co_await s->write({buf, 64});
+  }(lis));
+  sim::Time done{};
+  n.sim.spawn([](Net& n, sim::Time& done) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 3);
+    sim::Time t0 = n.sim.now();
+    std::byte buf[64]{};
+    co_await c->write({buf, 64});
+    co_await c->read_exact(buf, 64);
+    done = n.sim.now() - t0;
+    c->close();
+  }(n, done));
+  n.sim.run();
+  EXPECT_GE(done, 10us);
+  EXPECT_LE(done, 60us);
+}
+
+TEST(FramedTransport, MessageBoundariesPreserved) {
+  Net n;
+  Listener* lis = n.net.listen(*n.b, 4);
+  std::vector<std::string> got;
+  n.sim.spawn([](Listener* lis, std::vector<std::string>& got) -> Task<void> {
+    SimSocket* s = co_await lis->accept();
+    TFramedTransport f(s);
+    while (auto m = co_await f.recv()) got.push_back(str_of(*m));
+  }(lis, got));
+  n.sim.spawn([](Net& n) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 4);
+    TFramedTransport f(c);
+    co_await f.send(view_of("first"));
+    co_await f.send(view_of(""));
+    co_await f.send(view_of(std::string(100000, 'z')));
+    c->close();
+  }(n));
+  n.sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], std::string(100000, 'z'));
+}
+
+Processor echo_processor(verbs::Node& node) {
+  return [&node](View req) -> Task<Buffer> {
+    co_await node.cpu().compute(500ns);
+    co_return Buffer(req.begin(), req.end());
+  };
+}
+
+TEST(TServer, ThreadedServesConcurrentClients) {
+  Net n;
+  TServer server(n.net, *n.b, 5, echo_processor(*n.b),
+                 {.kind = ServerKind::kThreaded});
+  server.start();
+  int ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    n.sim.spawn([](Net& n, int i, int& ok) -> Task<void> {
+      SimSocket* c = co_await n.net.connect(*n.a, *n.b, 5);
+      SocketRpcClient rpc(c);
+      for (int j = 0; j < 5; ++j) {
+        std::string msg = "c" + std::to_string(i) + "-" + std::to_string(j);
+        Buffer resp = co_await rpc.call(view_of(msg));
+        if (str_of(resp) == msg) ++ok;
+      }
+      rpc.close();
+    }(n, i, ok));
+  }
+  n.sim.run_until(sim::Time(50ms));
+  EXPECT_EQ(ok, 20);
+  EXPECT_EQ(server.requests_served(), 20u);
+}
+
+TEST(TServer, SimpleServerSerializesConnections) {
+  // With TSimpleServer a second client cannot progress until the first
+  // connection closes.
+  Net n;
+  TServer server(n.net, *n.b, 6, echo_processor(*n.b),
+                 {.kind = ServerKind::kSimple});
+  server.start();
+  sim::Time first_done{}, second_done{};
+  n.sim.spawn([](Net& n, sim::Time& done) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 6);
+    SocketRpcClient rpc(c);
+    co_await rpc.call(view_of("one"));
+    co_await n.sim.sleep(1ms);  // hold the connection
+    rpc.close();
+    done = n.sim.now();
+  }(n, first_done));
+  n.sim.spawn([](Net& n, sim::Time& done) -> Task<void> {
+    co_await n.sim.sleep(100us);  // connect strictly second
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 6);
+    SocketRpcClient rpc(c);
+    co_await rpc.call(view_of("two"));
+    done = n.sim.now();
+    rpc.close();
+  }(n, second_done));
+  n.sim.run_until(sim::Time(50ms));
+  EXPECT_GT(second_done, first_done);
+}
+
+TEST(TServer, ThreadPoolBoundsConcurrency) {
+  Net n;
+  int in_handler = 0, max_in_handler = 0;
+  Processor slow = [&](View req) -> Task<Buffer> {
+    ++in_handler;
+    max_in_handler = std::max(max_in_handler, in_handler);
+    co_await n.sim.sleep(100us);
+    --in_handler;
+    co_return Buffer(req.begin(), req.end());
+  };
+  TServer server(n.net, *n.b, 7, slow,
+                 {.kind = ServerKind::kThreadPool, .pool_workers = 2});
+  server.start();
+  for (int i = 0; i < 6; ++i) {
+    n.sim.spawn([](Net& n, int& /*unused*/) -> Task<void> {
+      SimSocket* c = co_await n.net.connect(*n.a, *n.b, 7);
+      SocketRpcClient rpc(c);
+      co_await rpc.call(view_of("x"));
+      rpc.close();
+    }(n, in_handler));
+  }
+  n.sim.run_until(sim::Time(50ms));
+  EXPECT_LE(max_in_handler, 2);
+  EXPECT_EQ(server.requests_served(), 6u);
+}
+
+TEST(TRdma, SocketCompatibleProgrammingModel) {
+  // The paper's key TRdma property: write / flush / read like TSocket.
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  TServerRdma server(*sv, [sv](proto::View req) -> Task<proto::Buffer> {
+    co_await sv->cpu().compute(300ns);
+    std::string s(reinterpret_cast<const char*>(req.data()), req.size());
+    s = "echo:" + s;
+    auto* p = reinterpret_cast<const std::byte*>(s.data());
+    co_return proto::Buffer(p, p + s.size());
+  });
+  TRdmaEndPoint* ep =
+      server.accept(*cl, proto::ProtocolKind::kDirectWriteImm, {});
+  std::string got;
+  sim.spawn([](TRdmaEndPoint* ep, std::string& got,
+               TServerRdma& server) -> Task<void> {
+    TRdma t(*ep);
+    t.set_response_size_hint(64);
+    std::string req = "trdma";
+    t.write(view_of(req));
+    co_await t.flush();
+    std::byte buf[64];
+    size_t k = co_await t.read(buf, sizeof buf);
+    got.assign(reinterpret_cast<char*>(buf), k);
+    server.stop();
+  }(ep, got, server));
+  sim.run();
+  EXPECT_EQ(got, "echo:trdma");
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+TEST(TRdma, WorksOverEveryProtocolKind) {
+  for (auto kind : {proto::ProtocolKind::kEagerSendRecv,
+                    proto::ProtocolKind::kWriteRndv,
+                    proto::ProtocolKind::kRfp,
+                    proto::ProtocolKind::kHybridEagerRndv}) {
+    Simulator sim;
+    verbs::Fabric fabric(sim);
+    verbs::Node* cl = fabric.add_node();
+    verbs::Node* sv = fabric.add_node();
+    TServerRdma server(*sv, [](proto::View req) -> Task<proto::Buffer> {
+      co_return proto::Buffer(req.begin(), req.end());
+    });
+    TRdmaEndPoint* ep = server.accept(*cl, kind, {});
+    bool ok = false;
+    sim.spawn([](TRdmaEndPoint* ep, bool& ok, TServerRdma& srv)
+                  -> Task<void> {
+      TRdma t(*ep);
+      t.write(view_of("abc"));
+      t.set_response_size_hint(3);
+      co_await t.flush();
+      std::byte buf[8];
+      size_t k = co_await t.read(buf, 8);
+      ok = (k == 3 && std::memcmp(buf, "abc", 3) == 0);
+      srv.stop();
+    }(ep, ok, server));
+    sim.run();
+    EXPECT_TRUE(ok) << proto::to_string(kind);
+  }
+}
+
+TEST(TRdmaTransport, HandshakeEstablishesEndpointOverTcp) {
+  // The paper's TRdmaTransport: out-of-band TCP exchange, then RDMA.
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  SocketNet net(fabric);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  TRdmaTransport transport(net, *sv, 7000,
+                           [](proto::View req) -> Task<proto::Buffer> {
+                             co_return proto::Buffer(req.begin(), req.end());
+                           });
+  std::string got;
+  sim::Time handshake_done{};
+  sim.spawn([](Simulator& sim, TRdmaTransport& transport, verbs::Node* cl,
+               std::string& got, sim::Time& t) -> Task<void> {
+    proto::ChannelConfig cfg;
+    TRdmaEndPoint* ep = co_await transport.connect(
+        *cl, proto::ProtocolKind::kDirectWriteImm, cfg);
+    t = sim.now();  // handshake cost real virtual time
+    proto::Buffer req = proto::to_buffer("post-handshake");
+    proto::Buffer resp = co_await ep->channel().call(req, 64);
+    got = std::string(proto::as_string(resp));
+    transport.stop();
+  }(sim, transport, cl, got, handshake_done));
+  sim.run();
+  EXPECT_EQ(got, "post-handshake");
+  EXPECT_EQ(transport.connections(), 1u);
+  // TCP connect (30us handshake) + request/reply round trip.
+  EXPECT_GT(handshake_done, 40us);
+}
+
+TEST(TRdmaTransport, ManyClientsHandshakeConcurrently) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  SocketNet net(fabric);
+  verbs::Node* sv = fabric.add_node();
+  TRdmaTransport transport(net, *sv, 7001,
+                           [](proto::View req) -> Task<proto::Buffer> {
+                             co_return proto::Buffer(req.begin(), req.end());
+                           });
+  int ok = 0;
+  sim::WaitGroup wg(sim);
+  wg.add(6);
+  for (int c = 0; c < 6; ++c) {
+    verbs::Node* cl = fabric.add_node();
+    sim.spawn([](TRdmaTransport& transport, verbs::Node* cl, int c, int& ok,
+                 sim::WaitGroup& wg) -> Task<void> {
+      TRdmaEndPoint* ep = co_await transport.connect(
+          *cl, proto::ProtocolKind::kEagerSendRecv, proto::ChannelConfig{});
+      std::string msg = "client-" + std::to_string(c);
+      proto::Buffer resp = co_await ep->channel().call(
+          proto::to_buffer(msg), 64);
+      if (proto::as_string(resp) == msg) ++ok;
+      wg.done();
+    }(transport, cl, c, ok, wg));
+  }
+  sim.spawn([](sim::WaitGroup& wg, TRdmaTransport& t) -> Task<void> {
+    co_await wg.wait();
+    t.stop();
+  }(wg, transport));
+  sim.run();
+  EXPECT_EQ(ok, 6);
+  EXPECT_EQ(transport.connections(), 6u);
+}
+
+}  // namespace
+}  // namespace hatrpc::thrift

@@ -1,0 +1,408 @@
+// TPC-H substrate tests: dbgen shape and determinism, date arithmetic, row
+// serialization, per-query result invariants (validated against an
+// independent single-node reference evaluation where practical), the
+// distributed cluster's result equivalence across transport modes, and the
+// Fig. 17 ordering (IPoIB slower than HatRPC-Service slower than
+// HatRPC-Function).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "tpch/cluster.h"
+
+namespace hatrpc::tpch {
+namespace {
+
+using sim::Task;
+
+DbgenConfig small_cfg() {
+  DbgenConfig cfg;
+  cfg.scale_factor = 0.002;
+  return cfg;
+}
+
+TpchSlice merged_single(const DbgenConfig& cfg) {
+  // One-worker generation: the whole database in a single slice.
+  return std::move(dbgen(cfg, 1)[0]);
+}
+
+TEST(Dates, Arithmetic) {
+  EXPECT_EQ(make_date(1994, 1, 1), 19940101);
+  EXPECT_EQ(add_months(19940101, 3), 19940401);
+  EXPECT_EQ(add_months(19941101, 3), 19950201);
+  EXPECT_EQ(add_years(19940101, 2), 19960101);
+  EXPECT_EQ(add_days(19940101, 5), 19940106);
+  EXPECT_EQ(add_days(19940125, 5), 19940202);  // 28-day generator months
+  EXPECT_EQ(add_days(19941228, 3), 19950103);  // year rollover
+}
+
+TEST(Dbgen, RowCountsScale) {
+  TpchSlice db = merged_single(small_cfg());
+  EXPECT_EQ(db.region.size(), 5u);
+  EXPECT_EQ(db.nation.size(), 25u);
+  EXPECT_EQ(db.orders.size(), 3000u);      // 1.5M * 0.002
+  EXPECT_GT(db.lineitem.size(), db.orders.size());  // 1..7 lines per order
+  EXPECT_EQ(db.customer.size(), 300u);
+  EXPECT_EQ(db.partsupp.size(), db.part.size() * 4);
+}
+
+TEST(Dbgen, DeterministicForSeed) {
+  TpchSlice a = merged_single(small_cfg());
+  TpchSlice b = merged_single(small_cfg());
+  ASSERT_EQ(a.lineitem.size(), b.lineitem.size());
+  EXPECT_EQ(a.lineitem[42].extendedprice, b.lineitem[42].extendedprice);
+  EXPECT_EQ(a.orders[10].orderpriority, b.orders[10].orderpriority);
+}
+
+TEST(Dbgen, PartitioningCoPartitionsFacts) {
+  auto slices = dbgen(small_cfg(), 4);
+  size_t total_orders = 0;
+  for (const auto& s : slices) {
+    total_orders += s.orders.size();
+    // Every lineitem's order lives in the same slice.
+    std::unordered_set<int32_t> local_orders;
+    for (const Order& o : s.orders) local_orders.insert(o.orderkey);
+    for (const Lineitem& l : s.lineitem)
+      ASSERT_TRUE(local_orders.count(l.orderkey));
+  }
+  EXPECT_EQ(total_orders, 3000u);
+}
+
+TEST(Dbgen, DomainsLookRight) {
+  TpchSlice db = merged_single(small_cfg());
+  for (const Part& p : db.part) {
+    EXPECT_TRUE(p.brand.starts_with("Brand#"));
+    EXPECT_GE(p.size, 1);
+    EXPECT_LE(p.size, 50);
+  }
+  for (const Lineitem& l : db.lineitem) {
+    EXPECT_GE(l.discount, 0.0);
+    EXPECT_LE(l.discount, 0.1);
+    EXPECT_LE(l.shipdate, make_date(1999, 12, 28));
+    EXPECT_LT(l.shipdate, l.receiptdate);
+  }
+}
+
+TEST(Rows, SerializationRoundTrip) {
+  std::vector<Row> rows;
+  rows.push_back({int64_t(42), 3.5, std::string("hello")});
+  rows.push_back({std::string(""), int64_t(-1), 0.0});
+  rows.push_back({});
+  auto bytes = serialize_rows(rows);
+  auto back = deserialize_rows(bytes);
+  EXPECT_EQ(back, rows);
+}
+
+TEST(Rows, SortBySpec) {
+  std::vector<Row> rows{{int64_t(1), 2.0}, {int64_t(2), 1.0},
+                        {int64_t(1), 1.0}};
+  sort_rows(rows, {{0, true}, {1, false}});
+  EXPECT_EQ(rows[0], (Row{int64_t(1), 2.0}));
+  EXPECT_EQ(rows[1], (Row{int64_t(1), 1.0}));
+  EXPECT_EQ(rows[2], (Row{int64_t(2), 1.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Query invariants on a single merged slice (local + merge pipeline).
+// ---------------------------------------------------------------------------
+
+QueryResult run_single(int qid, const TpchSlice& db) {
+  const Query& q = all_queries().at(size_t(qid - 1));
+  MergeContext ctx{&db};
+  return q.merge(q.local(db), ctx);
+}
+
+TEST(Queries, AllTwentyTwoExecute) {
+  TpchSlice db = merged_single(small_cfg());
+  for (const Query& q : all_queries()) {
+    QueryResult r = run_single(q.id, db);
+    EXPECT_FALSE(r.columns.empty()) << "Q" << q.id;
+  }
+}
+
+TEST(Queries, Q1MatchesReferenceAggregation) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(1, db);
+  // Reference: direct aggregation, independently coded.
+  double want_qty = 0;
+  int64_t want_cnt = 0;
+  for (const Lineitem& l : db.lineitem) {
+    if (l.shipdate > make_date(1998, 9, 2)) continue;
+    want_qty += l.quantity;
+    ++want_cnt;
+  }
+  double got_qty = 0;
+  int64_t got_cnt = 0;
+  for (const Row& row : r.rows) {
+    got_qty += as_f64(row[2]);
+    got_cnt += as_i64(row[7]);
+  }
+  EXPECT_NEAR(got_qty, want_qty, 1e-6);
+  EXPECT_EQ(got_cnt, want_cnt);
+  EXPECT_LE(r.rows.size(), 6u);  // few (flag,status) combos
+}
+
+TEST(Queries, Q6MatchesReferenceSum) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(6, db);
+  double want = 0;
+  for (const Lineitem& l : db.lineitem)
+    if (l.shipdate / 10000 == 1994 && l.discount >= 0.05 - 1e-9 &&
+        l.discount <= 0.07 + 1e-9 && l.quantity < 24)
+      want += l.extendedprice * l.discount;
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NEAR(as_f64(r.rows[0][0]), want, 1e-6);
+  EXPECT_GT(want, 0.0);
+}
+
+TEST(Queries, Q3ReturnsTopTenByRevenue) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(3, db);
+  EXPECT_LE(r.rows.size(), 10u);
+  for (size_t i = 1; i < r.rows.size(); ++i)
+    EXPECT_GE(as_f64(r.rows[i - 1][1]), as_f64(r.rows[i][1]));
+}
+
+TEST(Queries, Q13CountsEveryCustomerOnce) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(13, db);
+  int64_t total_customers = 0;
+  for (const Row& row : r.rows) total_customers += as_i64(row[1]);
+  EXPECT_EQ(total_customers, int64_t(db.customer.size()));
+}
+
+TEST(Queries, Q14PercentageBounded) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(14, db);
+  double pct = as_f64(r.rows[0][0]);
+  EXPECT_GE(pct, 0.0);
+  EXPECT_LE(pct, 100.0);
+  EXPECT_GT(pct, 5.0);  // PROMO is 1 of 6 type prefixes
+  EXPECT_LT(pct, 35.0);
+}
+
+TEST(Queries, Q18RespectsThreshold) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(18, db);
+  for (const Row& row : r.rows) EXPECT_GT(as_f64(row[5]), 300.0);
+}
+
+TEST(Queries, Q5MatchesReferenceRevenue) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(5, db);
+  // Independent evaluation: total ASIA-local revenue in 1994.
+  std::unordered_map<int32_t, int32_t> cust_nation, supp_nation;
+  std::unordered_set<int32_t> asia;
+  int32_t asia_rk = -1;
+  for (const Region& reg : db.region)
+    if (reg.name == "ASIA") asia_rk = reg.regionkey;
+  for (const Nation& n : db.nation)
+    if (n.regionkey == asia_rk) asia.insert(n.nationkey);
+  for (const Customer& c : db.customer) cust_nation[c.custkey] = c.nationkey;
+  for (const Supplier& su : db.supplier)
+    supp_nation[su.suppkey] = su.nationkey;
+  std::unordered_map<int32_t, int32_t> order_cust;
+  for (const Order& o : db.orders)
+    if (o.orderdate / 10000 == 1994) order_cust[o.orderkey] = o.custkey;
+  double want = 0;
+  for (const Lineitem& l : db.lineitem) {
+    auto oit = order_cust.find(l.orderkey);
+    if (oit == order_cust.end()) continue;
+    int32_t cn = cust_nation[oit->second], sn = supp_nation[l.suppkey];
+    if (cn == sn && asia.count(cn))
+      want += l.extendedprice * (1 - l.discount);
+  }
+  double got = 0;
+  for (const Row& row : r.rows) got += as_f64(row[1]);
+  EXPECT_NEAR(got, want, 1e-6);
+}
+
+TEST(Queries, Q8MarketShareBounded) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(8, db);
+  ASSERT_EQ(r.rows.size(), 2u);  // 1995 and 1996
+  for (const Row& row : r.rows) {
+    double share = as_f64(row[3]);
+    EXPECT_GE(share, 0.0);
+    EXPECT_LE(share, 1.0);
+    EXPECT_GE(as_f64(row[2]), as_f64(row[1]));  // total >= brazil volume
+  }
+}
+
+TEST(Queries, Q11RespectsValueThreshold) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(11, db);
+  // Recompute the total German partsupp value independently.
+  std::unordered_set<int32_t> german;
+  int32_t de = -1;
+  for (const Nation& n : db.nation)
+    if (n.name == "GERMANY") de = n.nationkey;
+  for (const Supplier& su : db.supplier)
+    if (su.nationkey == de) german.insert(su.suppkey);
+  double total = 0;
+  for (const PartSupp& ps : db.partsupp)
+    if (german.count(ps.suppkey)) total += ps.supplycost * ps.availqty;
+  for (const Row& row : r.rows)
+    EXPECT_GT(as_f64(row[1]), total * 0.0001);
+  // Sorted descending by value.
+  for (size_t i = 1; i < r.rows.size(); ++i)
+    EXPECT_GE(as_f64(r.rows[i - 1][1]), as_f64(r.rows[i][1]));
+}
+
+TEST(Queries, Q12MatchesReferenceCounts) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(12, db);
+  std::unordered_map<int32_t, const Order*> orders;
+  for (const Order& o : db.orders) orders[o.orderkey] = &o;
+  int64_t want_high = 0, want_low = 0;
+  for (const Lineitem& l : db.lineitem) {
+    if (l.shipmode != "MAIL" && l.shipmode != "SHIP") continue;
+    if (!(l.commitdate < l.receiptdate && l.shipdate < l.commitdate))
+      continue;
+    if (l.receiptdate / 10000 != 1994) continue;
+    const Order* o = orders[l.orderkey];
+    bool high =
+        o->orderpriority == "1-URGENT" || o->orderpriority == "2-HIGH";
+    (high ? want_high : want_low) += 1;
+  }
+  int64_t got_high = 0, got_low = 0;
+  for (const Row& row : r.rows) {
+    got_high += as_i64(row[1]);
+    got_low += as_i64(row[2]);
+  }
+  EXPECT_EQ(got_high, want_high);
+  EXPECT_EQ(got_low, want_low);
+}
+
+TEST(Queries, Q16DistinctSupplierCounts) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(16, db);
+  std::unordered_set<std::string> seen;
+  for (const Row& row : r.rows) {
+    EXPECT_GE(as_i64(row[3]), 1);
+    EXPECT_NE(as_str(row[0]), "Brand#45");
+    std::string key = group_key(row, {0, 1, 2});
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate group " << key;
+  }
+  // Sorted by supplier_cnt descending first.
+  for (size_t i = 1; i < r.rows.size(); ++i)
+    EXPECT_GE(as_i64(r.rows[i - 1][3]), as_i64(r.rows[i][3]));
+}
+
+TEST(Queries, Q21OrderedAndPositive) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(21, db);
+  EXPECT_LE(r.rows.size(), 100u);
+  for (const Row& row : r.rows) EXPECT_GT(as_i64(row[1]), 0);
+  for (size_t i = 1; i < r.rows.size(); ++i)
+    EXPECT_GE(as_i64(r.rows[i - 1][1]), as_i64(r.rows[i][1]));
+}
+
+TEST(Queries, Q22ExcludesCustomersWithOrders) {
+  TpchSlice db = merged_single(small_cfg());
+  QueryResult r = run_single(22, db);
+  // Every reported group has positive counts; total counted customers
+  // cannot exceed the customers in the target country codes.
+  int64_t total = 0;
+  for (const Row& row : r.rows) {
+    EXPECT_GT(as_i64(row[1]), 0);
+    EXPECT_GT(as_f64(row[2]), 0.0);
+    total += as_i64(row[1]);
+  }
+  EXPECT_LE(total, int64_t(db.customer.size()));
+}
+
+TEST(Dbgen, DistributionsCoverDomains) {
+  TpchSlice db = merged_single(small_cfg());
+  std::unordered_set<std::string> segments, priorities, shipmodes, brands;
+  for (const Customer& c : db.customer) segments.insert(c.mktsegment);
+  for (const Order& o : db.orders) priorities.insert(o.orderpriority);
+  for (const Lineitem& l : db.lineitem) shipmodes.insert(l.shipmode);
+  for (const Part& p : db.part) brands.insert(p.brand);
+  EXPECT_EQ(segments.size(), 5u);
+  EXPECT_EQ(priorities.size(), 5u);
+  EXPECT_EQ(shipmodes.size(), 7u);
+  EXPECT_GE(brands.size(), 20u);  // Brand#11..Brand#55 grid
+  // Order dates span the full 1992-1998 range.
+  Date lo = 99999999, hi = 0;
+  for (const Order& o : db.orders) {
+    lo = std::min(lo, o.orderdate);
+    hi = std::max(hi, o.orderdate);
+  }
+  EXPECT_LT(lo, make_date(1993, 1, 1));
+  EXPECT_GT(hi, make_date(1997, 12, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Distributed execution.
+// ---------------------------------------------------------------------------
+
+QueryResult run_distributed(int qid, TpchMode mode, int workers,
+                            sim::Duration* elapsed = nullptr) {
+  sim::Simulator sim;
+  TpchCluster cluster(sim, workers, small_cfg(), mode);
+  QueryResult result;
+  sim.spawn([](TpchCluster& cluster, int qid, QueryResult& result)
+                -> Task<void> {
+    result = co_await cluster.run_query(qid);
+    cluster.stop();
+  }(cluster, qid, result));
+  sim.run();
+  if (elapsed) *elapsed = cluster.last_elapsed();
+  return result;
+}
+
+TEST(TpchCluster, DistributedMatchesSingleNodeForEveryQuery) {
+  TpchSlice db = merged_single(small_cfg());
+  for (const Query& q : all_queries()) {
+    QueryResult single = run_single(q.id, db);
+    QueryResult dist = run_distributed(q.id, TpchMode::kHatFunction, 4);
+    ASSERT_EQ(dist.rows.size(), single.rows.size()) << "Q" << q.id;
+    for (size_t i = 0; i < dist.rows.size(); ++i) {
+      ASSERT_EQ(dist.rows[i].size(), single.rows[i].size()) << "Q" << q.id;
+      for (size_t c = 0; c < dist.rows[i].size(); ++c) {
+        const Value& a = dist.rows[i][c];
+        const Value& b = single.rows[i][c];
+        if (std::holds_alternative<double>(a)) {
+          EXPECT_NEAR(std::get<double>(a), std::get<double>(b), 1e-4)
+              << "Q" << q.id << " row " << i << " col " << c;
+        } else {
+          EXPECT_EQ(a, b) << "Q" << q.id << " row " << i << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(TpchCluster, ModesAgreeOnResults) {
+  for (int qid : {1, 5, 13, 19}) {
+    QueryResult ipoib = run_distributed(qid, TpchMode::kThriftIpoib, 3);
+    QueryResult svc = run_distributed(qid, TpchMode::kHatService, 3);
+    QueryResult fn = run_distributed(qid, TpchMode::kHatFunction, 3);
+    EXPECT_EQ(ipoib.rows.size(), svc.rows.size()) << qid;
+    EXPECT_EQ(svc.rows.size(), fn.rows.size()) << qid;
+  }
+}
+
+TEST(TpchCluster, Fig17OrderingHoldsOnTotals) {
+  // Total time over a communication-relevant subset must order:
+  // IPoIB > HatRPC-Service > HatRPC-Function.
+  auto total = [&](TpchMode mode) {
+    sim::Duration sum{};
+    for (int qid : {1, 3, 10, 13, 18, 21}) {
+      sim::Duration t{};
+      run_distributed(qid, mode, 4, &t);
+      sum += t;
+    }
+    return sum;
+  };
+  sim::Duration ipoib = total(TpchMode::kThriftIpoib);
+  sim::Duration svc = total(TpchMode::kHatService);
+  sim::Duration fn = total(TpchMode::kHatFunction);
+  EXPECT_GT(ipoib, svc);
+  EXPECT_GE(svc, fn);
+}
+
+}  // namespace
+}  // namespace hatrpc::tpch

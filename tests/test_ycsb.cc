@@ -1,0 +1,182 @@
+// YCSB core tests: workload mixes match the paper's proportions, key/value
+// geometry is exact (24B keys, 1000B values, batch 10), the zipfian chooser
+// is skewed and in-range, stats accounting is correct, and a YCSB run
+// drives HatKV end-to-end.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kv/hatkv.h"
+#include "ycsb/ycsb.h"
+
+namespace hatrpc::ycsb {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Workload, SpecsMatchPaperMixes) {
+  WorkloadSpec a = WorkloadSpec::workload_a();
+  EXPECT_DOUBLE_EQ(a.get + a.put + a.multi_get + a.multi_put, 1.0);
+  EXPECT_DOUBLE_EQ(a.get, 0.25);
+  WorkloadSpec b = WorkloadSpec::workload_b();
+  EXPECT_DOUBLE_EQ(b.get, 0.475);
+  EXPECT_DOUBLE_EQ(b.put, 0.025);
+  EXPECT_DOUBLE_EQ(b.get + b.put + b.multi_get + b.multi_put, 1.0);
+}
+
+TEST(Workload, KeyAndValueGeometry) {
+  WorkloadGenerator gen(WorkloadSpec::workload_a(), 1);
+  EXPECT_EQ(gen.key_of(0).size(), 24u);
+  EXPECT_EQ(gen.key_of(999999).size(), 24u);
+  EXPECT_NE(gen.key_of(1), gen.key_of(2));
+  sim::Rng rng(5);
+  EXPECT_EQ(gen.make_value(rng).size(), 1000u);  // 10 fields x 100 B
+}
+
+TEST(Workload, OperationMixConvergesToSpec) {
+  WorkloadGenerator gen(WorkloadSpec::workload_b(), 7);
+  std::map<OpType, int> counts;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next().type];
+  EXPECT_NEAR(counts[OpType::kGet] / double(kN), 0.475, 0.02);
+  EXPECT_NEAR(counts[OpType::kPut] / double(kN), 0.025, 0.01);
+  EXPECT_NEAR(counts[OpType::kMultiGet] / double(kN), 0.475, 0.02);
+  EXPECT_NEAR(counts[OpType::kMultiPut] / double(kN), 0.025, 0.01);
+}
+
+TEST(Workload, BatchOpsCarryTenKeys) {
+  WorkloadGenerator gen(WorkloadSpec::workload_a(), 3);
+  for (int i = 0; i < 200; ++i) {
+    Op op = gen.next();
+    switch (op.type) {
+      case OpType::kGet:
+        EXPECT_EQ(op.keys.size(), 1u);
+        EXPECT_TRUE(op.values.empty());
+        break;
+      case OpType::kPut:
+        EXPECT_EQ(op.keys.size(), 1u);
+        ASSERT_EQ(op.values.size(), 1u);
+        EXPECT_EQ(op.values[0].size(), 1000u);
+        break;
+      case OpType::kMultiGet:
+        EXPECT_EQ(op.keys.size(), 10u);
+        break;
+      case OpType::kMultiPut:
+        EXPECT_EQ(op.keys.size(), 10u);
+        EXPECT_EQ(op.values.size(), 10u);
+        break;
+    }
+  }
+}
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianChooser z(1000, 0.99);
+  sim::Rng rng(11);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(z.next(rng), 1000u);
+}
+
+TEST(Zipfian, IsSkewedComparedToUniform) {
+  constexpr uint64_t kN = 1000;
+  ZipfianChooser z(kN, 0.99);
+  sim::Rng rng(13);
+  std::map<uint64_t, int> hist;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hist[z.next(rng)];
+  // Top-10 most popular keys should cover far more than 1% of draws.
+  std::vector<int> counts;
+  for (auto& [k, c] : hist) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(counts.size()); ++i)
+    top10 += counts[i];
+  EXPECT_GT(top10 / double(kDraws), 0.3);
+}
+
+TEST(Zipfian, UniformDistributionIsFlat) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::kUniform;
+  spec.record_count = 100;
+  WorkloadGenerator gen(spec, 17);
+  std::map<std::string, int> hist;
+  for (int i = 0; i < 50000; ++i) {
+    Op op = gen.next();
+    for (auto& k : op.keys) ++hist[k];
+  }
+  for (auto& [k, c] : hist) EXPECT_GT(c, 500);  // every key well-covered
+}
+
+TEST(Stats, AccountsPerOpType) {
+  StatsCollector s;
+  s.record(OpType::kGet, 10us);
+  s.record(OpType::kGet, 30us);
+  s.record(OpType::kMultiPut, 100us);
+  EXPECT_EQ(s.count(OpType::kGet), 2u);
+  EXPECT_EQ(s.mean_latency(OpType::kGet), 20us);
+  EXPECT_EQ(s.max_latency(OpType::kGet), 30us);
+  EXPECT_EQ(s.total_ops(), 3u);
+  EXPECT_NEAR(s.total_throughput_kops(1ms), 3.0, 1e-6);  // 3 ops / ms
+}
+
+TEST(YcsbOnHatKV, EndToEndWorkloadRuns) {
+  using sim::Task;
+  sim::Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* sn = fabric.add_node();
+  kv::HatKVServer server(*sn);
+  verbs::Node* cn = fabric.add_node();
+  core::HatConnection conn(*cn, server.server());
+  WorkloadSpec spec = WorkloadSpec::workload_a();
+  spec.record_count = 200;
+  StatsCollector stats;
+  int errors = 0;
+  sim.spawn([](sim::Simulator& sim, core::HatConnection& conn,
+               WorkloadSpec spec, StatsCollector& stats, int& errors,
+               kv::HatKVServer& server) -> Task<void> {
+    hatkv::HatKVClient client(conn);
+    WorkloadGenerator gen(spec, 23);
+    sim::Rng vrng(29);
+    // Load phase.
+    for (const auto& key : gen.load_keys())
+      co_await client.Put(key, gen.make_value(vrng));
+    // Run phase.
+    for (int i = 0; i < 300; ++i) {
+      Op op = gen.next();
+      sim::Time t0 = sim.now();
+      switch (op.type) {
+        case OpType::kGet: {
+          std::string v = co_await client.Get(op.keys[0]);
+          if (v.size() != spec.value_len()) ++errors;
+          break;
+        }
+        case OpType::kPut:
+          co_await client.Put(op.keys[0], op.values[0]);
+          break;
+        case OpType::kMultiGet: {
+          auto vs = co_await client.MultiGet(op.keys);
+          if (vs.size() != op.keys.size()) ++errors;
+          break;
+        }
+        case OpType::kMultiPut: {
+          std::vector<hatkv::KVPair> pairs(op.keys.size());
+          for (size_t k = 0; k < op.keys.size(); ++k) {
+            pairs[k].key = op.keys[k];
+            pairs[k].value = op.values[k];
+          }
+          co_await client.MultiPut(pairs);
+          break;
+        }
+      }
+      stats.record(op.type, sim.now() - t0);
+    }
+    server.stop();
+  }(sim, conn, spec, stats, errors, server));
+  sim.run();
+  EXPECT_EQ(errors, 0);
+  EXPECT_EQ(stats.total_ops(), 300u);
+  // Batched ops move ~10x the bytes; their latency must reflect that.
+  EXPECT_GT(stats.mean_latency(OpType::kMultiGet),
+            stats.mean_latency(OpType::kGet));
+}
+
+}  // namespace
+}  // namespace hatrpc::ycsb
