@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hints.dir/bench_ablation_hints.cc.o"
+  "CMakeFiles/bench_ablation_hints.dir/bench_ablation_hints.cc.o.d"
+  "bench_ablation_hints"
+  "bench_ablation_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atb_generated.dir/bench_atb_generated.cc.o"
+  "CMakeFiles/bench_atb_generated.dir/bench_atb_generated.cc.o.d"
+  "atb_gen.h"
+  "bench_atb_generated"
+  "bench_atb_generated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atb_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_protocol_latency.dir/bench_fig04_protocol_latency.cc.o"
+  "CMakeFiles/bench_fig04_protocol_latency.dir/bench_fig04_protocol_latency.cc.o.d"
+  "bench_fig04_protocol_latency"
+  "bench_fig04_protocol_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_protocol_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_atb_throughput.dir/bench_fig12_atb_throughput.cc.o"
+  "CMakeFiles/bench_fig12_atb_throughput.dir/bench_fig12_atb_throughput.cc.o.d"
+  "bench_fig12_atb_throughput"
+  "bench_fig12_atb_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_atb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mixcomm_small.dir/bench_fig13_mixcomm_small.cc.o"
+  "CMakeFiles/bench_fig13_mixcomm_small.dir/bench_fig13_mixcomm_small.cc.o.d"
+  "bench_fig13_mixcomm_small"
+  "bench_fig13_mixcomm_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mixcomm_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

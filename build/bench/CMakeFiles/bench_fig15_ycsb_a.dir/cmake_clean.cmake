@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ycsb_a.dir/bench_fig15_ycsb_a.cc.o"
+  "CMakeFiles/bench_fig15_ycsb_a.dir/bench_fig15_ycsb_a.cc.o.d"
+  "bench_fig15_ycsb_a"
+  "bench_fig15_ycsb_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ycsb_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ycsb_b.dir/bench_fig16_ycsb_b.cc.o"
+  "CMakeFiles/bench_fig16_ycsb_b.dir/bench_fig16_ycsb_b.cc.o.d"
+  "bench_fig16_ycsb_b"
+  "bench_fig16_ycsb_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ycsb_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tpch.dir/bench_fig17_tpch.cc.o"
+  "CMakeFiles/bench_fig17_tpch.dir/bench_fig17_tpch.cc.o.d"
+  "bench_fig17_tpch"
+  "bench_fig17_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_metadata.dir/dfs_metadata.cpp.o"
+  "CMakeFiles/dfs_metadata.dir/dfs_metadata.cpp.o.d"
+  "dfs_metadata"
+  "dfs_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

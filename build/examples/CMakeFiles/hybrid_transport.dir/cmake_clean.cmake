@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_transport.dir/hybrid_transport.cpp.o"
+  "CMakeFiles/hybrid_transport.dir/hybrid_transport.cpp.o.d"
+  "hybrid_transport"
+  "hybrid_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_query.dir/tpch_query.cpp.o"
+  "CMakeFiles/tpch_query.dir/tpch_query.cpp.o.d"
+  "tpch_query"
+  "tpch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_core.dir/engine.cc.o"
+  "CMakeFiles/hatrpc_core.dir/engine.cc.o.d"
+  "libhatrpc_core.a"
+  "libhatrpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_hint.dir/hint.cc.o"
+  "CMakeFiles/hatrpc_hint.dir/hint.cc.o.d"
+  "CMakeFiles/hatrpc_hint.dir/selection.cc.o"
+  "CMakeFiles/hatrpc_hint.dir/selection.cc.o.d"
+  "libhatrpc_hint.a"
+  "libhatrpc_hint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_hint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

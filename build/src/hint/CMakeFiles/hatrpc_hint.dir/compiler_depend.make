@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hatrpc_hint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc-gen.dir/tool_main.cc.o"
+  "CMakeFiles/hatrpc-gen.dir/tool_main.cc.o.d"
+  "hatrpc-gen"
+  "hatrpc-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

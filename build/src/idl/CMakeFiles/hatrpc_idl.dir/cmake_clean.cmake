@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_idl.dir/check.cc.o"
+  "CMakeFiles/hatrpc_idl.dir/check.cc.o.d"
+  "CMakeFiles/hatrpc_idl.dir/codegen.cc.o"
+  "CMakeFiles/hatrpc_idl.dir/codegen.cc.o.d"
+  "CMakeFiles/hatrpc_idl.dir/lexer.cc.o"
+  "CMakeFiles/hatrpc_idl.dir/lexer.cc.o.d"
+  "CMakeFiles/hatrpc_idl.dir/parser.cc.o"
+  "CMakeFiles/hatrpc_idl.dir/parser.cc.o.d"
+  "libhatrpc_idl.a"
+  "libhatrpc_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

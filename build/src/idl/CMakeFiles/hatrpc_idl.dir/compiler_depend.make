@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hatrpc_idl.
+# This may be replaced when dependencies are built.

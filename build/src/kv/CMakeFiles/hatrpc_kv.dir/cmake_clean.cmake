@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_kv.dir/hatkv.cc.o"
+  "CMakeFiles/hatrpc_kv.dir/hatkv.cc.o.d"
+  "CMakeFiles/hatrpc_kv.dir/mdblite.cc.o"
+  "CMakeFiles/hatrpc_kv.dir/mdblite.cc.o.d"
+  "hatkv_gen.h"
+  "libhatrpc_kv.a"
+  "libhatrpc_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_proto.dir/factory.cc.o"
+  "CMakeFiles/hatrpc_proto.dir/factory.cc.o.d"
+  "libhatrpc_proto.a"
+  "libhatrpc_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_sim.dir/simulator.cc.o"
+  "CMakeFiles/hatrpc_sim.dir/simulator.cc.o.d"
+  "libhatrpc_sim.a"
+  "libhatrpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

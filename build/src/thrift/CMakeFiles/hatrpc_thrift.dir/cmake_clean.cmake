@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_thrift.dir/json_protocol.cc.o"
+  "CMakeFiles/hatrpc_thrift.dir/json_protocol.cc.o.d"
+  "CMakeFiles/hatrpc_thrift.dir/protocol.cc.o"
+  "CMakeFiles/hatrpc_thrift.dir/protocol.cc.o.d"
+  "CMakeFiles/hatrpc_thrift.dir/socket.cc.o"
+  "CMakeFiles/hatrpc_thrift.dir/socket.cc.o.d"
+  "libhatrpc_thrift.a"
+  "libhatrpc_thrift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_thrift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_tpch.dir/cluster.cc.o"
+  "CMakeFiles/hatrpc_tpch.dir/cluster.cc.o.d"
+  "CMakeFiles/hatrpc_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/hatrpc_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/hatrpc_tpch.dir/queries.cc.o"
+  "CMakeFiles/hatrpc_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/hatrpc_tpch.dir/rows.cc.o"
+  "CMakeFiles/hatrpc_tpch.dir/rows.cc.o.d"
+  "libhatrpc_tpch.a"
+  "libhatrpc_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

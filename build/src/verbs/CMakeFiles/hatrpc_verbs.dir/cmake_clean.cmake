@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_verbs.dir/fabric.cc.o"
+  "CMakeFiles/hatrpc_verbs.dir/fabric.cc.o.d"
+  "libhatrpc_verbs.a"
+  "libhatrpc_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

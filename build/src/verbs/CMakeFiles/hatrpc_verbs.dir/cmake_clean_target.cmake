@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhatrpc_verbs.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatrpc_ycsb.dir/ycsb.cc.o"
+  "CMakeFiles/hatrpc_ycsb.dir/ycsb.cc.o.d"
+  "libhatrpc_ycsb.a"
+  "libhatrpc_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatrpc_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

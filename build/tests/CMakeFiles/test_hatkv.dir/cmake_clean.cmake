@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hatkv.dir/test_hatkv.cc.o"
+  "CMakeFiles/test_hatkv.dir/test_hatkv.cc.o.d"
+  "test_hatkv"
+  "test_hatkv.pdb"
+  "test_hatkv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hatkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hint.dir/test_hint.cc.o"
+  "CMakeFiles/test_hint.dir/test_hint.cc.o.d"
+  "test_hint"
+  "test_hint.pdb"
+  "test_hint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idl.dir/test_idl.cc.o"
+  "CMakeFiles/test_idl.dir/test_idl.cc.o.d"
+  "test_idl"
+  "test_idl.pdb"
+  "test_idl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

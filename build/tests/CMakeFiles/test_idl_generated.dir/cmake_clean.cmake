@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idl_generated.dir/test_idl_generated.cc.o"
+  "CMakeFiles/test_idl_generated.dir/test_idl_generated.cc.o.d"
+  "echo_kv_gen.h"
+  "test_idl_generated"
+  "test_idl_generated.pdb"
+  "test_idl_generated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idl_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdblite.dir/test_mdblite.cc.o"
+  "CMakeFiles/test_mdblite.dir/test_mdblite.cc.o.d"
+  "test_mdblite"
+  "test_mdblite.pdb"
+  "test_mdblite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdblite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thrift_protocol.dir/test_thrift_protocol.cc.o"
+  "CMakeFiles/test_thrift_protocol.dir/test_thrift_protocol.cc.o.d"
+  "test_thrift_protocol"
+  "test_thrift_protocol.pdb"
+  "test_thrift_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thrift_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

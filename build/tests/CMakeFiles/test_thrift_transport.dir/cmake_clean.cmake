@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thrift_transport.dir/test_thrift_transport.cc.o"
+  "CMakeFiles/test_thrift_transport.dir/test_thrift_transport.cc.o.d"
+  "test_thrift_transport"
+  "test_thrift_transport.pdb"
+  "test_thrift_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thrift_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

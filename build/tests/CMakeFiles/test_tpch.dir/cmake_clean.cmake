@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpch.dir/test_tpch.cc.o"
+  "CMakeFiles/test_tpch.dir/test_tpch.cc.o.d"
+  "test_tpch"
+  "test_tpch.pdb"
+  "test_tpch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verbs.dir/test_verbs.cc.o"
+  "CMakeFiles/test_verbs.dir/test_verbs.cc.o.d"
+  "test_verbs"
+  "test_verbs.pdb"
+  "test_verbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

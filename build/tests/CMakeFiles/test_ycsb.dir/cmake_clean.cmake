@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ycsb.dir/test_ycsb.cc.o"
+  "CMakeFiles/test_ycsb.dir/test_ycsb.cc.o.d"
+  "test_ycsb"
+  "test_ycsb.pdb"
+  "test_ycsb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_verbs[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_thrift_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_thrift_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_hint[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_idl[1]_include.cmake")
+include("/root/repo/build/tests/test_idl_generated[1]_include.cmake")
+include("/root/repo/build/tests/test_mdblite[1]_include.cmake")
+include("/root/repo/build/tests/test_hatkv[1]_include.cmake")
+include("/root/repo/build/tests/test_ycsb[1]_include.cmake")
+include("/root/repo/build/tests/test_tpch[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(hatrpc_gen_dump_hints "/root/repo/build/src/idl/hatrpc-gen" "/root/repo/src/kv/hatkv.hatrpc" "--dump-hints" "-o" "/root/repo/build/hatkv_cli_test.h")
+set_tests_properties(hatrpc_gen_dump_hints PROPERTIES  PASS_REGULAR_EXPRESSION "MultiGet -> Direct-WriteIMM" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hatrpc_gen_rejects_missing_file "/root/repo/build/src/idl/hatrpc-gen" "/nonexistent.hatrpc" "-o" "/dev/null")
+set_tests_properties(hatrpc_gen_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
