@@ -34,6 +34,12 @@ class ChannelBase : public RpcChannel {
     extra_shutdown();
   }
 
+  void abort() override {
+    cqp_->enter_error();
+    sqp_->enter_error();
+    shutdown();
+  }
+
  protected:
   ChannelBase(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
               Handler handler, ChannelConfig cfg)

@@ -18,6 +18,7 @@
 
 #include "proto/base.h"
 #include "proto/eager_pipe.h"
+#include "proto/error.h"
 
 namespace hatrpc::proto {
 
@@ -81,7 +82,7 @@ class BypassChannel : public ChannelBase {
 
     if (kind_ == ProtocolKind::kHerd) {
       auto resp = co_await resp_pipe_->recv(cfg_.client_poll);
-      if (!resp) throw std::runtime_error("herd channel closed");
+      if (!resp) throw_wc("herd recv", resp_pipe_->last_status());
       co_return std::move(*resp);
     }
     co_return co_await fetch_response(seq, resp_size_hint);
@@ -93,7 +94,7 @@ class BypassChannel : public ChannelBase {
       uint32_t req_len = 0;
       if (event_server()) {
         verbs::Wc wc = co_await s_rcq_->wait(sim::PollMode::kEvent);
-        if (!wc.success) break;
+        if (!wc.ok()) break;
         sqp_->post_recv(verbs::RecvWr{.wr_id = wc.wr_id});
         req_len = wc.imm - kReqHdr;
       } else {
@@ -115,7 +116,7 @@ class BypassChannel : public ChannelBase {
         throw std::length_error("bypass protocol: response exceeds slot");
 
       if (kind_ == ProtocolKind::kHerd) {
-        co_await resp_pipe_->send(resp, cfg_.server_poll);
+        if (!co_await resp_pipe_->send(resp, cfg_.server_poll)) break;
         continue;
       }
       // Place the response in the exported region (intrinsic server-side
@@ -150,7 +151,7 @@ class BypassChannel : public ChannelBase {
         .local = {cli_read_buf_->data() + local_off, len},
         .remote = srv_export_->remote(remote_off)});
     verbs::Wc wc = co_await c_scq_->wait(cfg_.client_poll);
-    if (!wc.success) throw std::runtime_error("bypass channel closed");
+    if (!wc.ok()) throw_wc("bypass read", wc.status);
     co_return wc;
   }
 

@@ -88,6 +88,11 @@ class RpcChannel {
   /// Stops the server-side serve loop(s) so the simulation can drain.
   virtual void shutdown() = 0;
 
+  /// Hard teardown: shutdown() plus transitioning the underlying QPs into
+  /// the error state so in-flight NIC work flushes instead of lingering.
+  /// Used by the reliability layer before abandoning a timed-out channel.
+  virtual void abort() { shutdown(); }
+
   virtual ProtocolKind kind() const = 0;
   virtual ChannelStats stats() const { return stats_; }
 

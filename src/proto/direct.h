@@ -10,6 +10,7 @@
 #pragma once
 
 #include "proto/base.h"
+#include "proto/error.h"
 
 namespace hatrpc::proto {
 
@@ -50,7 +51,7 @@ class DirectChannel : public ChannelBase {
                   static_cast<uint32_t>(req.size()), cli_notify_src_);
     // Response arrives in the pre-known client buffer.
     verbs::Wc wc = co_await c_rcq_->wait(cfg_.client_poll);
-    if (!wc.success) throw std::runtime_error("direct channel closed");
+    if (!wc.ok()) throw_wc("direct recv", wc.status);
     uint32_t len = notified_len(wc, cli_notify_ring_);
     repost(cqp_, cli_notify_ring_, static_cast<uint32_t>(wc.wr_id));
     const std::byte* p = cli_resp_buf_->data();
@@ -61,7 +62,7 @@ class DirectChannel : public ChannelBase {
   sim::Task<void> serve() override {
     while (!stop_) {
       verbs::Wc wc = co_await s_rcq_->wait(cfg_.server_poll);
-      if (!wc.success) break;
+      if (!wc.ok()) break;
       uint32_t len = notified_len(wc, srv_notify_ring_);
       repost(sqp_, srv_notify_ring_, static_cast<uint32_t>(wc.wr_id));
       Buffer resp =

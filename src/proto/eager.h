@@ -6,6 +6,7 @@
 
 #include "proto/base.h"
 #include "proto/eager_pipe.h"
+#include "proto/error.h"
 
 namespace hatrpc::proto {
 
@@ -26,9 +27,10 @@ class EagerChannel : public ChannelBase {
 
   sim::Task<Buffer> call(View req, uint32_t /*resp_size_hint*/) override {
     ++stats_.calls;
-    co_await c2s_.send(req, cfg_.client_poll);
+    if (!co_await c2s_.send(req, cfg_.client_poll))
+      throw_wc("eager send", c2s_.last_status());
     auto resp = co_await s2c_.recv(cfg_.client_poll);
-    if (!resp) throw std::runtime_error("eager channel closed during call");
+    if (!resp) throw_wc("eager recv", s2c_.last_status());
     co_return std::move(*resp);
   }
 
@@ -38,7 +40,7 @@ class EagerChannel : public ChannelBase {
       auto req = co_await c2s_.recv(cfg_.server_poll);
       if (!req) break;
       Buffer resp = co_await handler_(*req);
-      co_await s2c_.send(resp, cfg_.server_poll);
+      if (!co_await s2c_.send(resp, cfg_.server_poll)) break;
     }
   }
 

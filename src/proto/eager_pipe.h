@@ -38,8 +38,9 @@ class EagerPipe {
 
   /// Sends one (possibly segmented) message. Single outstanding message per
   /// pipe; slot reuse is gated on send completions (polled with the
-  /// sender's discipline).
-  sim::Task<void> send(View msg, sim::PollMode sender_poll) {
+  /// sender's discipline). Returns false (with last_status() set) if a send
+  /// completes in error.
+  sim::Task<bool> send(View msg, sim::PollMode sender_poll) {
     const uint32_t slot = cfg_.eager_slot;
     const uint32_t nslots = cfg_.eager_slots;
     size_t off = 0;
@@ -57,7 +58,10 @@ class EagerPipe {
       // Slot reuse: the ring is full, wait for the oldest send to complete.
       while (outstanding_ >= nslots) {
         verbs::Wc wc = co_await src_scq_->wait(sender_poll);
-        if (!wc.success) co_return;
+        if (!wc.ok()) {
+          last_status_ = wc.status;
+          co_return false;
+        }
         --outstanding_;
       }
       co_await src_.cpu().compute(cost_.eager_match_cpu +
@@ -75,6 +79,7 @@ class EagerPipe {
       ++seg;
       first = false;
     }
+    co_return true;
   }
 
   /// Receives one message; nullopt when the CQ is closed (shutdown).
@@ -90,7 +95,10 @@ class EagerPipe {
         pending.reset();
       } else {
         wc = co_await dst_rcq_->wait(mode);
-        if (!wc.success) co_return std::nullopt;
+        if (!wc.ok()) {
+          last_status_ = wc.status;
+          co_return std::nullopt;
+        }
       }
       uint32_t idx = static_cast<uint32_t>(wc.wr_id);
       const std::byte* s =
@@ -112,6 +120,9 @@ class EagerPipe {
     }
     co_return out;
   }
+
+  /// Status of the completion that made send()/recv() bail out.
+  verbs::WcStatus last_status() const { return last_status_; }
 
  private:
   void post_recv_slot(uint32_t idx) {
@@ -135,6 +146,7 @@ class EagerPipe {
   verbs::MemoryRegion* send_ring_;
   verbs::MemoryRegion* recv_ring_;
   uint32_t outstanding_ = 0;
+  verbs::WcStatus last_status_ = verbs::WcStatus::kSuccess;
 };
 
 }  // namespace hatrpc::proto

@@ -1,0 +1,69 @@
+// Typed RPC errors. Every failure a channel can surface maps onto a small
+// set of categories the reliability layer keys its retry/fallback decisions
+// off; the originating ibv_wc_status (when there is one) rides along for
+// diagnostics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "verbs/completion.h"
+
+namespace hatrpc::proto {
+
+enum class RpcErrc : uint8_t {
+  kChannelClosed,     // CQ shut down / WRs flushed (local teardown)
+  kTransport,         // retry or RNR exhaustion: peer dead or overloaded
+  kRemoteAccess,      // rkey/bounds/revocation NAK or responder fault
+  kTimeout,           // client-side deadline expired
+  kRetriesExhausted,  // the reliability layer gave up after max_attempts
+};
+
+constexpr const char* to_string(RpcErrc e) {
+  switch (e) {
+    case RpcErrc::kChannelClosed: return "channel-closed";
+    case RpcErrc::kTransport: return "transport";
+    case RpcErrc::kRemoteAccess: return "remote-access";
+    case RpcErrc::kTimeout: return "timeout";
+    case RpcErrc::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "unknown";
+}
+
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(RpcErrc errc, std::string what,
+           verbs::WcStatus wc = verbs::WcStatus::kSuccess)
+      : std::runtime_error(std::move(what)), errc_(errc), wc_(wc) {}
+
+  RpcErrc errc() const { return errc_; }
+  verbs::WcStatus wc_status() const { return wc_; }
+
+ private:
+  RpcErrc errc_;
+  verbs::WcStatus wc_;
+};
+
+/// Maps a completion status onto the retry-relevant category.
+constexpr RpcErrc classify(verbs::WcStatus s) {
+  using S = verbs::WcStatus;
+  switch (s) {
+    case S::kRemAccessErr:
+    case S::kRemOpErr:
+    case S::kLocProtErr:
+    case S::kLocLenErr:
+      return RpcErrc::kRemoteAccess;
+    case S::kRnrRetryExcErr:
+    case S::kRetryExcErr:
+      return RpcErrc::kTransport;
+    default:
+      return RpcErrc::kChannelClosed;
+  }
+}
+
+[[noreturn]] inline void throw_wc(const char* who, verbs::WcStatus s) {
+  throw RpcError(classify(s),
+                 std::string(who) + ": " + verbs::to_string(s), s);
+}
+
+}  // namespace hatrpc::proto

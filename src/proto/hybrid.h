@@ -33,6 +33,11 @@ class HybridChannel : public RpcChannel {
     rndv_->shutdown();
   }
 
+  void abort() override {
+    eager_->abort();
+    rndv_->abort();
+  }
+
   ProtocolKind kind() const override { return kind_; }
 
   ChannelStats stats() const override {

@@ -1,0 +1,263 @@
+// End-to-end RPC reliability on top of any Fig. 3 protocol channel:
+// client-side timeouts, exponential backoff with jitter, reconnection
+// through fresh QPs, idempotent retries via sequence-numbered requests with
+// server-side response replay, and graceful degradation to the eager
+// SEND/RECV path when a one-sided protocol's remote-access assumptions
+// break (e.g. the server's exported region was revoked).
+//
+// The wrapped handler sees exactly the bytes the caller passed to call();
+// the RpcHeader framing (seq, attempt, len) is internal to this layer.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "proto/channel.h"
+#include "proto/error.h"
+#include "proto/wire.h"
+#include "sim/rng.h"
+#include "sim/sync.h"
+
+namespace hatrpc::proto {
+
+struct RetryPolicy {
+  int max_attempts = 4;
+  /// Per-attempt client-side deadline (virtual time). On expiry the
+  /// underlying channel is aborted and the call is retried on a fresh one.
+  sim::Duration timeout = std::chrono::milliseconds(2);
+  /// Backoff before attempt n+1 is uniform in [d/2, d) with
+  /// d = min(backoff_base << (n-1), backoff_max) — exponential with jitter
+  /// so synchronized clients do not retry in lockstep.
+  sim::Duration backoff_base = std::chrono::microseconds(50);
+  sim::Duration backoff_max = std::chrono::milliseconds(1);
+  uint64_t jitter_seed = 1;
+  /// Degrade to kEagerSendRecv after remote-access faults or repeated
+  /// failures of the configured protocol.
+  bool fallback_to_eager = true;
+};
+
+struct ReliabilityStats {
+  uint64_t attempts = 0;    // inner call()s issued (>= calls)
+  uint64_t timeouts = 0;    // attempts abandoned at the deadline
+  uint64_t failures = 0;    // attempts that surfaced a typed error
+  uint64_t reconnects = 0;  // fresh channels built (incl. fallbacks)
+  uint64_t fallbacks = 0;   // degradations to the eager path
+  uint64_t replays = 0;     // server-side dedupe hits (response replayed)
+};
+
+/// Wraps a protocol channel with retry/timeout/reconnect logic. Holds the
+/// two nodes so a failed connection can be torn down and rebuilt via
+/// make_channel (fresh QPs + CQs through Fabric::connect).
+class ReliableChannel : public RpcChannel {
+ public:
+  ReliableChannel(ProtocolKind kind, verbs::Node& client,
+                  verbs::Node& server, Handler handler, ChannelConfig cfg,
+                  RetryPolicy policy = {})
+      : kind_(kind), active_kind_(kind), cl_(client), sv_(server),
+        user_handler_(std::move(handler)), cfg_(cfg), policy_(policy),
+        sim_(client.fabric().simulator()), jitter_(policy.jitter_seed),
+        dedupe_(std::make_shared<DedupeState>()) {
+    ch_ = make_channel(kind_, cl_, sv_, wrap_handler(), cfg_);
+  }
+
+  sim::Task<Buffer> call(View req, uint32_t resp_size_hint) override {
+    ++stats_.calls;
+    const uint64_t seq = ++next_seq_;
+    RpcErrc last = RpcErrc::kTimeout;
+    std::string last_what = "no attempt made";
+    for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+      ++rstats_.attempts;
+      auto state = std::make_shared<CallState>(sim_);
+      sim_.spawn(invoke(ch_.get(), state,
+                        frame(req, seq, static_cast<uint32_t>(attempt)),
+                        resp_size_hint));
+      bool done =
+          co_await state->done.wait_until(sim_.now() + policy_.timeout);
+      if (!done) {
+        // Deadline expired with the attempt still in flight: tear the
+        // channel down so the inner call unwinds (flush completions), then
+        // join it before the channel object is retired.
+        ++rstats_.timeouts;
+        ch_->abort();
+        co_await state->done.wait();
+        last = RpcErrc::kTimeout;
+        last_what = "attempt timed out";
+      } else if (state->err) {
+        ++rstats_.failures;
+        bool rethrow = false;
+        try {
+          std::rethrow_exception(state->err);
+        } catch (const RpcError& e) {
+          last = e.errc();
+          last_what = e.what();
+        } catch (...) {
+          // Not a transport-layer failure (handler bug, length error...):
+          // retrying will not help, so surface it to the caller.
+          rethrow = true;
+        }
+        if (rethrow) std::rethrow_exception(state->err);
+      } else {
+        co_return std::move(*state->resp);
+      }
+      if (attempt == policy_.max_attempts) break;
+      co_await backoff(attempt);
+      reconnect(last, attempt);
+    }
+    throw RpcError(RpcErrc::kRetriesExhausted,
+                   "rpc failed after " +
+                       std::to_string(policy_.max_attempts) +
+                       " attempts (last: " + last_what + ")");
+  }
+
+  void shutdown() override { ch_->shutdown(); }
+  void abort() override { ch_->abort(); }
+
+  ProtocolKind kind() const override { return kind_; }
+  /// The protocol currently carrying traffic (kEagerSendRecv once degraded).
+  ProtocolKind active_kind() const { return active_kind_; }
+  bool degraded() const { return active_kind_ != kind_; }
+  const ReliabilityStats& reliability() const { return rstats_; }
+  uint64_t server_replays() const { return dedupe_->replays; }
+
+  ChannelStats stats() const override {
+    ChannelStats s = stats_;
+    merge(s, ch_->stats());
+    for (const auto& dead : graveyard_) merge(s, dead->stats());
+    return s;
+  }
+
+ private:
+  /// Completion rendezvous between call() and the spawned attempt.
+  /// Shared so a timed-out attempt can outlive the call frame briefly
+  /// while it unwinds.
+  struct CallState {
+    explicit CallState(sim::Simulator& sim) : done(sim) {}
+    sim::Event done;
+    std::optional<Buffer> resp;
+    std::exception_ptr err;
+  };
+
+  /// Server-side idempotency: responses cached by sequence number so a
+  /// retried request is answered by replay, not re-execution. Shared across
+  /// reconnects — a rebuilt channel must still recognize old sequence
+  /// numbers.
+  struct DedupeState {
+    std::unordered_map<uint64_t, Buffer> cache;
+    std::deque<uint64_t> order;
+    uint64_t replays = 0;
+    static constexpr size_t kMaxCached = 256;
+  };
+
+  static void merge(ChannelStats& into, const ChannelStats& from) {
+    into.sends += from.sends;
+    into.writes += from.writes;
+    into.write_imms += from.write_imms;
+    into.reads += from.reads;
+    into.read_retries += from.read_retries;
+    into.client_registered += from.client_registered;
+    into.server_registered += from.server_registered;
+  }
+
+  Handler wrap_handler() {
+    auto dedupe = dedupe_;
+    Handler user = user_handler_;
+    return [dedupe, user](View req) -> sim::Task<Buffer> {
+      RpcHeader h = get_rpc_header(req.data());
+      if (auto it = dedupe->cache.find(h.seq); it != dedupe->cache.end()) {
+        ++dedupe->replays;
+        co_return it->second;
+      }
+      Buffer resp = co_await user(req.subspan(kRpcHeaderBytes, h.len));
+      dedupe->cache.emplace(h.seq, resp);
+      dedupe->order.push_back(h.seq);
+      while (dedupe->order.size() > DedupeState::kMaxCached) {
+        dedupe->cache.erase(dedupe->order.front());
+        dedupe->order.pop_front();
+      }
+      co_return resp;
+    };
+  }
+
+  Buffer frame(View req, uint64_t seq, uint32_t attempt) const {
+    Buffer b(kRpcHeaderBytes + req.size());
+    put_rpc_header(b.data(),
+                   RpcHeader{seq, attempt,
+                             static_cast<uint32_t>(req.size())});
+    std::copy(req.begin(), req.end(), b.begin() + kRpcHeaderBytes);
+    return b;
+  }
+
+  /// One attempt, run as its own task so call() can abandon it at the
+  /// deadline. Owns its framed request; always sets `done`.
+  static sim::Task<void> invoke(RpcChannel* ch,
+                                std::shared_ptr<CallState> state,
+                                Buffer framed, uint32_t hint) {
+    try {
+      state->resp = co_await ch->call(
+          View{framed.data(), framed.size()}, hint);
+    } catch (...) {
+      state->err = std::current_exception();
+    }
+    state->done.set();
+  }
+
+  sim::Task<void> backoff(int attempt) {
+    auto d = policy_.backoff_base.count();
+    for (int i = 1; i < attempt && d < policy_.backoff_max.count(); ++i)
+      d <<= 1;
+    d = std::min(d, policy_.backoff_max.count());
+    // Jitter: uniform in [d/2, d).
+    int64_t jittered = d / 2 + static_cast<int64_t>(
+                                   jitter_.bounded(
+                                       static_cast<uint64_t>(d - d / 2)));
+    co_await sim_.sleep(sim::Duration(jittered));
+  }
+
+  /// Retires the current channel and connects a fresh one; degrades to the
+  /// eager two-sided path when one-sided access keeps failing.
+  void reconnect(RpcErrc why, int attempt) {
+    ++rstats_.reconnects;
+    bool degrade = policy_.fallback_to_eager &&
+                   active_kind_ != ProtocolKind::kEagerSendRecv &&
+                   (why == RpcErrc::kRemoteAccess || attempt >= 2);
+    if (degrade) {
+      ++rstats_.fallbacks;
+      active_kind_ = ProtocolKind::kEagerSendRecv;
+    }
+    ch_->abort();
+    // The dead channel's serve loop may still be unwinding inside the
+    // simulator; keep the object alive until the channel itself dies.
+    graveyard_.push_back(std::move(ch_));
+    ch_ = make_channel(active_kind_, cl_, sv_, wrap_handler(), cfg_);
+  }
+
+  ProtocolKind kind_;
+  ProtocolKind active_kind_;
+  verbs::Node& cl_;
+  verbs::Node& sv_;
+  Handler user_handler_;
+  ChannelConfig cfg_;
+  RetryPolicy policy_;
+  sim::Simulator& sim_;
+  sim::Rng jitter_;
+  std::shared_ptr<DedupeState> dedupe_;
+  std::unique_ptr<RpcChannel> ch_;
+  std::vector<std::unique_ptr<RpcChannel>> graveyard_;
+  ReliabilityStats rstats_;
+  uint64_t next_seq_ = 0;
+};
+
+inline std::unique_ptr<ReliableChannel> make_reliable_channel(
+    ProtocolKind kind, verbs::Node& client, verbs::Node& server,
+    Handler handler, ChannelConfig cfg, RetryPolicy policy = {}) {
+  return std::make_unique<ReliableChannel>(kind, client, server,
+                                           std::move(handler), cfg, policy);
+}
+
+}  // namespace hatrpc::proto

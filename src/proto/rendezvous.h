@@ -9,6 +9,7 @@
 #pragma once
 
 #include "proto/base.h"
+#include "proto/error.h"
 
 namespace hatrpc::proto {
 
@@ -21,8 +22,12 @@ class RendezvousChannel : public ChannelBase {
     cli_resp_buf_ = alloc_client_mr(cfg_.max_msg);
     srv_payload_ = alloc_server_mr(cfg_.max_msg);
     srv_resp_src_ = alloc_server_mr(cfg_.max_msg);
-    cli_ctrl_src_ = alloc_client_mr(kCtrlBytes);
-    srv_ctrl_src_ = alloc_server_mr(kCtrlBytes);
+    // Ctrl SENDs are unsignaled and the payload is copied out in flight, so
+    // the source slots rotate: reusing one buffer would let a later message
+    // overwrite an earlier one that is still on the wire (FIN chased by the
+    // next call's RTS).
+    cli_ctrl_src_ = alloc_client_mr(kCtrlBytes * cfg_.eager_slots);
+    srv_ctrl_src_ = alloc_server_mr(kCtrlBytes * cfg_.eager_slots);
     cli_ctrl_ring_ = alloc_client_mr(kCtrlBytes * cfg_.eager_slots);
     srv_ctrl_ring_ = alloc_server_mr(kCtrlBytes * cfg_.eager_slots);
     for (uint32_t i = 0; i < cfg_.eager_slots; ++i) {
@@ -56,7 +61,7 @@ class RendezvousChannel : public ChannelBase {
       co_await send_ctrl(cqp_, cli_ctrl_src_, kCts, rts.len,
                          cli_resp_buf_->remote(0));
       verbs::Wc wc = co_await c_rcq_->wait(cfg_.client_poll);
-      if (!wc.success) throw std::runtime_error("rndv channel closed");
+      if (!wc.ok()) throw_wc("rndv recv-imm", wc.status);
       repost_from_wc(cqp_, cli_ctrl_ring_, wc);
       const std::byte* p = cli_resp_buf_->data();
       co_return Buffer(p, p + wc.imm);
@@ -75,7 +80,7 @@ class RendezvousChannel : public ChannelBase {
                                                      rts.len},
                                            .remote = rts.addr});
     verbs::Wc rwc = co_await c_scq_->wait(cfg_.client_poll);
-    if (!rwc.success) throw std::runtime_error("rndv channel closed");
+    if (!rwc.ok()) throw_wc("rndv read", rwc.status);
     // FIN releases the server's response buffer for the next call.
     co_await send_ctrl(cqp_, cli_ctrl_src_, kFin, 0, {});
     const std::byte* p = cli_resp_buf_->data();
@@ -90,17 +95,17 @@ class RendezvousChannel : public ChannelBase {
       if (kind_ == ProtocolKind::kWriteRndv) {
         Ctrl rts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
                                       cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_) break;
+        if (stop_ || rts.type != kRts) break;
         co_await send_ctrl(sqp_, srv_ctrl_src_, kCts, rts.len,
                            srv_payload_->remote(0));
         verbs::Wc wc = co_await s_rcq_->wait(cfg_.server_poll);
-        if (!wc.success) break;
+        if (!wc.ok()) break;
         repost_from_wc(sqp_, srv_ctrl_ring_, wc);
         req_len = wc.imm;
       } else {
         Ctrl rts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
                                       cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_) break;
+        if (stop_ || rts.type != kRts) break;
         ++stats_.reads;
         co_await sqp_->post_send(verbs::SendWr{
             .wr_id = 2,
@@ -108,7 +113,7 @@ class RendezvousChannel : public ChannelBase {
             .local = {srv_payload_->data(), rts.len},
             .remote = rts.addr});
         verbs::Wc rwc = co_await s_scq_->wait(cfg_.server_poll);
-        if (!rwc.success) break;
+        if (!rwc.ok()) break;
         req_len = rts.len;
       }
 
@@ -123,7 +128,7 @@ class RendezvousChannel : public ChannelBase {
         co_await send_ctrl(sqp_, srv_ctrl_src_, kRts, rlen, {});
         Ctrl cts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
                                       cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_) break;
+        if (stop_ || cts.type != kCts) break;
         ++stats_.write_imms;
         co_await sqp_->post_send(verbs::SendWr{
             .opcode = verbs::Opcode::kWriteImm,
@@ -135,9 +140,9 @@ class RendezvousChannel : public ChannelBase {
         co_await send_ctrl(sqp_, srv_ctrl_src_, kRts, rlen,
                            srv_resp_src_->remote(0));
         // Wait FIN before reusing the response buffer.
-        co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_, cfg_.server_poll,
-                           /*eof_ok=*/true);
-        if (stop_) break;
+        Ctrl fin = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
+                                      cfg_.server_poll, /*eof_ok=*/true);
+        if (stop_ || fin.type != kFin) break;
       }
     }
   }
@@ -158,7 +163,9 @@ class RendezvousChannel : public ChannelBase {
                             uint32_t type, uint32_t len,
                             verbs::RemoteAddr addr) {
     ++stats_.sends;
-    std::byte* p = src->data();
+    uint32_t& seq = qp == cqp_ ? cli_ctrl_seq_ : srv_ctrl_seq_;
+    std::byte* p = src->data() +
+                   static_cast<size_t>(seq++ % cfg_.eager_slots) * kCtrlBytes;
     put_u32(p, type);
     put_u32(p + 4, len);
     put_u64(p + 8, addr.addr);
@@ -172,9 +179,9 @@ class RendezvousChannel : public ChannelBase {
                             verbs::MemoryRegion* ring, sim::PollMode mode,
                             bool eof_ok = false) {
     verbs::Wc wc = co_await cq->wait(mode);
-    if (!wc.success) {
+    if (!wc.ok()) {
       if (eof_ok) co_return Ctrl{};
-      throw std::runtime_error("rndv channel closed");
+      throw_wc("rndv ctrl", wc.status);
     }
     const std::byte* p =
         ring->data() + static_cast<size_t>(wc.wr_id) * kCtrlBytes;
@@ -204,6 +211,8 @@ class RendezvousChannel : public ChannelBase {
   verbs::MemoryRegion* srv_ctrl_src_ = nullptr;
   verbs::MemoryRegion* cli_ctrl_ring_ = nullptr;
   verbs::MemoryRegion* srv_ctrl_ring_ = nullptr;
+  uint32_t cli_ctrl_seq_ = 0;
+  uint32_t srv_ctrl_seq_ = 0;
 };
 
 }  // namespace hatrpc::proto

@@ -22,4 +22,25 @@ inline uint64_t get_u64(const std::byte* p) {
   return v;
 }
 
+/// Framing header the reliability layer prepends to every request so
+/// retried attempts are idempotent: the server dedupes on `seq` and replays
+/// its cached response instead of re-executing the handler.
+struct RpcHeader {
+  uint64_t seq = 0;
+  uint32_t attempt = 0;
+  uint32_t len = 0;  // payload bytes following the header
+};
+
+inline constexpr size_t kRpcHeaderBytes = 16;
+
+inline void put_rpc_header(std::byte* p, const RpcHeader& h) {
+  put_u64(p, h.seq);
+  put_u32(p + 8, h.attempt);
+  put_u32(p + 12, h.len);
+}
+
+inline RpcHeader get_rpc_header(const std::byte* p) {
+  return RpcHeader{get_u64(p), get_u32(p + 8), get_u32(p + 12)};
+}
+
 }  // namespace hatrpc::proto

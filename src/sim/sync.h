@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -51,25 +52,47 @@ class WaitQueue {
 };
 
 /// One-shot event: waiters resume once set() is called; waits after set()
-/// complete immediately.
+/// complete immediately. State lives in a shared core so the timer task
+/// behind wait_until() stays valid even if the Event is destroyed first.
 class Event {
  public:
-  explicit Event(Simulator& sim) : q_(sim) {}
+  explicit Event(Simulator& sim) : core_(std::make_shared<Core>(sim)) {}
 
   Task<void> wait() {
-    while (!set_) co_await q_.wait();
+    auto core = core_;
+    while (!core->set) co_await core->q.wait();
+  }
+
+  /// Waits until set() or virtual time `deadline`, whichever comes first;
+  /// returns whether the event was set. The deadline is absolute.
+  Task<bool> wait_until(Time deadline) {
+    auto core = core_;
+    Simulator& sim = core->q.simulator();
+    if (!core->set && sim.now() < deadline) sim.spawn(wake_at(core, deadline));
+    while (!core->set && sim.now() < deadline) co_await core->q.wait();
+    co_return core->set;
   }
 
   void set() {
-    set_ = true;
-    q_.notify_all();
+    core_->set = true;
+    core_->q.notify_all();
   }
 
-  bool is_set() const { return set_; }
+  bool is_set() const { return core_->set; }
 
  private:
-  WaitQueue q_;
-  bool set_ = false;
+  struct Core {
+    explicit Core(Simulator& sim) : q(sim) {}
+    WaitQueue q;
+    bool set = false;
+  };
+
+  static Task<void> wake_at(std::shared_ptr<Core> core, Time deadline) {
+    co_await core->q.simulator().sleep_until(deadline);
+    core->q.notify_all();
+  }
+
+  std::shared_ptr<Core> core_;
 };
 
 /// Counting semaphore.

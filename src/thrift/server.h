@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "sim/sync.h"
 #include "thrift/transport.h"
@@ -40,10 +41,14 @@ class TServer {
   void stop() {
     stopping_ = true;
     listener_->close();
-    for (auto* s : conns_) s->close();
+    // serve_connection unregisters as it unwinds — iterate over a snapshot
+    // so the erase does not invalidate this loop.
+    std::vector<SimSocket*> open = conns_;
+    for (auto* s : open) s->close();
   }
 
   uint64_t requests_served() const { return served_; }
+  size_t open_connections() const { return conns_.size(); }
 
  private:
   sim::Task<void> accept_loop() {
@@ -62,14 +67,29 @@ class TServer {
   sim::Task<void> serve_connection(SimSocket* sock) {
     TFramedTransport framed(sock);
     while (!stopping_) {
-      auto req = co_await framed.recv();
+      // A connection dying mid-exchange (peer reset, stop() racing a
+      // request) must drop this connection only, never unwind the server.
+      std::optional<Buffer> req;
+      try {
+        req = co_await framed.recv();
+      } catch (const TTransportException&) {
+        break;
+      }
       if (!req) break;
       if (opts_.kind == ServerKind::kThreadPool) co_await pool_.acquire();
       Buffer resp = co_await processor_(*req);
       if (opts_.kind == ServerKind::kThreadPool) pool_.release();
       ++served_;
-      co_await framed.send(resp);
+      try {
+        co_await framed.send(resp);
+      } catch (const TTransportException&) {
+        break;
+      }
     }
+    // Unregister so conns_ tracks live connections only (it used to grow
+    // for the server's lifetime, and stop() would re-close dead sockets).
+    std::erase(conns_, sock);
+    sock->close();
   }
 
   SocketNet& net_;

@@ -42,6 +42,7 @@ Task<size_t> SimSocket::read(std::byte* p, size_t max) {
     // Data arrival wakes the blocked reader through the kernel.
     co_await net_.simulator().sleep(cm.rx_wakeup);
   }
+  if (closed_) co_return 0;  // local close() discards buffered receive data
   co_await node_.cpu().compute(cm.rx_syscall);
   size_t n = std::min(max, rx_.size());
   for (size_t i = 0; i < n; ++i) {

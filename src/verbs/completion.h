@@ -27,14 +27,44 @@ enum class WcOpcode : uint8_t {
   kRecvImm,
 };
 
+/// Completion status, mirroring ibv_wc_status. Anything but kSuccess means
+/// the QP has transitioned (or is transitioning) to the error state and
+/// every WR behind the failed one completes as kWrFlushErr.
+enum class WcStatus : uint8_t {
+  kSuccess = 0,
+  kLocLenErr,       // posted recv buffer too small for the incoming SEND
+  kLocProtErr,      // local memory violated the MR registration
+  kWrFlushErr,      // WR flushed: QP in error state or CQ shut down
+  kRemAccessErr,    // responder rkey/bounds/revocation NAK
+  kRemOpErr,        // responder could not complete the operation
+  kRnrRetryExcErr,  // RNR NAK retry counter exceeded (no recv posted)
+  kRetryExcErr,     // transport retry counter exceeded (peer dead / loss)
+};
+
+constexpr const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kLocLenErr: return "local-length-error";
+    case WcStatus::kLocProtErr: return "local-protection-error";
+    case WcStatus::kWrFlushErr: return "wr-flush-error";
+    case WcStatus::kRemAccessErr: return "remote-access-error";
+    case WcStatus::kRemOpErr: return "remote-operation-error";
+    case WcStatus::kRnrRetryExcErr: return "rnr-retry-exceeded";
+    case WcStatus::kRetryExcErr: return "transport-retry-exceeded";
+  }
+  return "unknown";
+}
+
 /// Work completion, mirroring ibv_wc.
 struct Wc {
   uint64_t wr_id = 0;
   WcOpcode opcode = WcOpcode::kSend;
   uint32_t byte_len = 0;
   uint32_t imm = 0;
-  bool success = true;
+  WcStatus status = WcStatus::kSuccess;
   uint32_t qp_num = 0;
+
+  bool ok() const { return status == WcStatus::kSuccess; }
 };
 
 class CompletionQueue {
@@ -69,7 +99,7 @@ class CompletionQueue {
     co_return co_await wait_inner(mode);
   }
 
-  /// Unblocks all waiters with a failed Wc; used for clean shutdown of
+  /// Unblocks all waiters with a kWrFlushErr Wc; used for clean shutdown of
   /// server polling loops.
   void close() {
     closed_ = true;
@@ -85,12 +115,12 @@ class CompletionQueue {
   Task<Wc> wait_inner(PollMode mode) {
     while (true) {
       while (cqes_.empty()) {
-        if (closed_) co_return Wc{.success = false};
+        if (closed_) co_return Wc{.status = WcStatus::kWrFlushErr};
         co_await avail_.wait();
       }
       co_await sim_.sleep(cpu_.pickup_delay(mode));
       if (!cqes_.empty()) break;  // lost a race with another poller
-      if (closed_) co_return Wc{.success = false};
+      if (closed_) co_return Wc{.status = WcStatus::kWrFlushErr};
     }
     co_await sim_.sleep(cost_.poll_cqe_cpu);
     Wc wc = cqes_.front();

@@ -2,11 +2,31 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace hatrpc::verbs {
 
 using sim::Task;
 using sim::Time;
+
+namespace {
+
+std::string wqe_tag(const QueuePair& qp, const SendWr& wr) {
+  return "qp=" + std::to_string(qp.qp_num()) +
+         " wr=" + std::to_string(wr.wr_id);
+}
+
+WcOpcode send_side_opcode(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return WcOpcode::kSend;
+    case Opcode::kRead: return WcOpcode::kRdmaRead;
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: return WcOpcode::kRdmaWrite;
+  }
+  return WcOpcode::kSend;
+}
+
+}  // namespace
 
 QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
                      CompletionQueue& recv_cq, uint32_t qp_num)
@@ -16,10 +36,52 @@ QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
 
 QueuePair* Node::create_qp(CompletionQueue& send_cq,
                            CompletionQueue& recv_cq) {
-  static uint32_t next_qpn = 1;
+  // QP numbers are per-fabric (not process-global) so traces that mention
+  // them are byte-identical across repeated runs in one process.
   qps_.push_back(std::make_unique<QueuePair>(fabric_, *this, send_cq, recv_cq,
-                                             next_qpn++));
-  return qps_.back().get();
+                                             fabric_.next_qpn_++));
+  QueuePair* qp = qps_.back().get();
+  if (crashed_) qp->enter_error();
+  return qp;
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Local QPs die instantly; peers discover the silence through the
+  // transport retry machinery (see the unreachable-peer path in
+  // Fabric::execute_wqe), not by magic.
+  for (auto& qp : qps_) qp->enter_error();
+  for (auto& cq : cqs_) cq->close();
+}
+
+void QueuePair::enter_error() {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  // Flush every posted receive back to the recv CQ, as an RC QP
+  // transitioning to the error state does.
+  while (auto wr = recv_queue_.try_pop()) {
+    recv_cq_.deliver(Wc{.wr_id = wr->wr_id,
+                        .opcode = WcOpcode::kRecv,
+                        .byte_len = 0,
+                        .imm = 0,
+                        .status = WcStatus::kWrFlushErr,
+                        .qp_num = qp_num_});
+  }
+  recv_queue_.close();  // releases RNR waiters: take_recv() returns nullopt
+}
+
+void QueuePair::post_recv(RecvWr wr) {
+  if (state_ == QpState::kError) {
+    recv_cq_.deliver(Wc{.wr_id = wr.wr_id,
+                        .opcode = WcOpcode::kRecv,
+                        .byte_len = 0,
+                        .imm = 0,
+                        .status = WcStatus::kWrFlushErr,
+                        .qp_num = qp_num_});
+    return;
+  }
+  recv_queue_.push(wr);
 }
 
 void Fabric::connect(QueuePair& a, QueuePair& b) {
@@ -28,10 +90,70 @@ void Fabric::connect(QueuePair& a, QueuePair& b) {
   b.peer_ = &a;
 }
 
-Task<RecvWr> QueuePair::take_recv() {
-  auto wr = co_await recv_queue_.pop();
-  if (!wr) throw std::runtime_error("recv queue closed");
-  co_return *wr;
+void Fabric::set_fault_plan(std::unique_ptr<FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+  if (!fault_plan_) return;
+  for (const auto& f : fault_plan_->scheduled()) sim_.spawn(apply_fault(f));
+}
+
+QueuePair* Fabric::find_qp(uint32_t qp_num) {
+  for (auto& n : nodes_)
+    for (auto& qp : n->qps_)
+      if (qp->qp_num() == qp_num) return qp.get();
+  return nullptr;
+}
+
+Task<void> Fabric::injected_delay(QueuePair& src, const SendWr& wr) {
+  FaultPlan* fp = fault_plan_.get();
+  if (!fp) co_return;
+  sim::Duration extra = fp->draw_delay();
+  if (extra.count() > 0) {
+    fp->note(sim_.now(), "delay " + wqe_tag(src, wr) + " ns=" +
+                             std::to_string(extra.count()));
+    co_await sim_.sleep(extra);
+  }
+}
+
+Task<void> Fabric::apply_fault(FaultPlan::Scheduled f) {
+  co_await sim_.sleep_until(f.at);
+  FaultPlan* fp = fault_plan_.get();
+  if (!fp) co_return;
+  switch (f.kind) {
+    case FaultPlan::Scheduled::Kind::kQpError:
+      if (QueuePair* qp = find_qp(f.id)) {
+        fp->note(sim_.now(), "qp-error qp=" + std::to_string(f.id));
+        qp->enter_error();
+      }
+      break;
+    case FaultPlan::Scheduled::Kind::kNodeCrash:
+      if (f.id < nodes_.size() && !nodes_[f.id]->crashed()) {
+        fp->note(sim_.now(), "node-crash node=" + std::to_string(f.id));
+        nodes_[f.id]->crash();
+      }
+      break;
+    case FaultPlan::Scheduled::Kind::kRevokeMrs:
+      if (f.id < nodes_.size()) {
+        fp->note(sim_.now(), "revoke-mrs node=" + std::to_string(f.id));
+        nodes_[f.id]->pd().revoke_all();
+      }
+      break;
+  }
+}
+
+void Fabric::fail_wqe(QueuePair& src, const SendWr& wr, WcStatus status) {
+  // Error completions are generated even for unsignaled WRs, and the QP
+  // moves to the error state so everything behind this WQE flushes.
+  src.send_cq().deliver(Wc{.wr_id = wr.wr_id,
+                           .opcode = send_side_opcode(wr.opcode),
+                           .byte_len = 0,
+                           .imm = 0,
+                           .status = status,
+                           .qp_num = src.qp_num()});
+  src.enter_error();
+}
+
+Task<std::optional<RecvWr>> QueuePair::take_recv() {
+  co_return co_await recv_queue_.pop();
 }
 
 Task<void> QueuePair::post_send(SendWr wr) {
@@ -85,10 +207,24 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
   Node& d = dst_qp->node();
   const CostModel& cm = cost_;
   const uint64_t bytes = wr.local.length;
+  FaultPlan* fp = fault_plan_.get();
+  const FaultProfile prof = fp ? fp->profile : FaultProfile{};
 
   // WQE fetch + NIC processing at the initiator.
   co_await sim_.sleep(cm.nic_wqe);
 
+  if (src.in_error()) {
+    fail_wqe(src, wr, WcStatus::kWrFlushErr);
+    co_return;
+  }
+  if (dst_qp->in_error() || d.crashed()) {
+    // Peer QP is gone: the transport retransmits into silence until the
+    // retry counter runs out, then reports it.
+    co_await sim_.sleep(prof.unreachable_penalty());
+    if (fp) fp->note(sim_.now(), "unreachable " + wqe_tag(src, wr));
+    fail_wqe(src, wr, WcStatus::kRetryExcErr);
+    co_return;
+  }
   switch (wr.opcode) {
     case Opcode::kSend:
     case Opcode::kWrite:
@@ -98,13 +234,71 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
         // wire (packets of different QPs still interleave). The lock spans
         // only wire occupancy — flight time pipelines across WQEs.
         auto order_guard = co_await src.sq_order_.scoped();
-        co_await wire_transfer(s.nic(), d.nic(), bytes == 0 ? 1 : bytes);
+        // Injected queueing delay sits INSIDE the ordered section: it must
+        // stall this QP's whole send queue, or a delayed WRITE could be
+        // overtaken by its own notify SEND (an RC ordering violation).
+        co_await injected_delay(src, wr);
+        unsigned attempt = 0;
+        while (true) {
+          co_await wire_transfer(s.nic(), d.nic(), bytes == 0 ? 1 : bytes);
+          if (!fp) break;
+          FaultPlan::LossKind loss = fp->draw_loss();
+          if (loss == FaultPlan::LossKind::kNone) {
+            if (fp->draw_duplicate()) {
+              // Duplicate delivery is PSN-deduped at the responder: it
+              // costs wire occupancy but has no semantic effect.
+              fp->note(sim_.now(), "dup " + wqe_tag(src, wr));
+              co_await wire_transfer(s.nic(), d.nic(),
+                                     bytes == 0 ? 1 : bytes);
+            }
+            break;
+          }
+          // Dropped on the wire (ack timeout) or corrupted in flight
+          // (ICRC mismatch, receiver discards): either way the transport
+          // waits out the retransmit timer and sends the payload again.
+          fp->note(sim_.now(),
+                   (loss == FaultPlan::LossKind::kDrop ? "drop " : "corrupt ") +
+                       wqe_tag(src, wr) + " attempt=" +
+                       std::to_string(attempt + 1));
+          if (++attempt > prof.retry_count) {
+            fp->note(sim_.now(), "retry-exhausted " + wqe_tag(src, wr));
+            fail_wqe(src, wr, WcStatus::kRetryExcErr);
+            co_return;
+          }
+          co_await sim_.sleep(prof.retransmit_timeout);
+        }
       }
       co_await sim_.sleep(cm.propagation);
+      // Re-check after time passed on the wire: a scheduled fault may have
+      // fired mid-flight.
+      if (src.in_error()) {
+        fail_wqe(src, wr, WcStatus::kWrFlushErr);
+        co_return;
+      }
+      if (dst_qp->in_error() || d.crashed()) {
+        co_await sim_.sleep(prof.unreachable_penalty());
+        if (fp) fp->note(sim_.now(), "unreachable " + wqe_tag(src, wr));
+        fail_wqe(src, wr, WcStatus::kRetryExcErr);
+        co_return;
+      }
       {
         if (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kWriteImm) {
           // One-sided placement into the registered remote region.
-          MemoryRegion* mr = d.pd().check(wr.remote, bytes);
+          MemoryRegion* mr = nullptr;
+          try {
+            mr = d.pd().check(wr.remote, bytes);
+          } catch (const std::exception&) {
+            // Responder NAKs the access (bad rkey, out of bounds, or a
+            // revoked registration); handled below — co_await is not
+            // allowed inside a handler.
+          }
+          if (!mr) {
+            if (fp)
+              fp->note(sim_.now(), "remote-access-nak " + wqe_tag(src, wr));
+            co_await sim_.sleep(cm.ack_delay + cm.nic_cqe);
+            fail_wqe(src, wr, WcStatus::kRemAccessErr);
+            co_return;
+          }
           if (bytes > 0)
             std::memcpy(reinterpret_cast<std::byte*>(wr.remote.addr),
                         wr.local.addr, bytes);
@@ -112,22 +306,60 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
         }
         if (wr.opcode == Opcode::kSend || wr.opcode == Opcode::kWriteImm) {
           // Two-sided: consume a posted receive at the target. Waiting here
-          // models RNR backpressure (which stalls this QP's later WQEs too,
-          // hence inside the ordering scope).
-          RecvWr rwr = co_await dst_qp->take_recv();
+          // models RNR backpressure; with a finite rnr_retry budget the
+          // probes are paced by rnr_timer and exhaustion surfaces as
+          // kRnrRetryExcErr at the requester.
+          std::optional<RecvWr> rwr;
+          if (fp && prof.rnr_retry != FaultProfile::kRnrInfinite) {
+            rwr = dst_qp->try_take_recv();
+            unsigned probes = 0;
+            while (!rwr && !dst_qp->in_error() && probes < prof.rnr_retry) {
+              co_await sim_.sleep(prof.rnr_timer);
+              rwr = dst_qp->try_take_recv();
+              ++probes;
+            }
+            if (!rwr && !dst_qp->in_error()) {
+              fp->note(sim_.now(), "rnr-exhausted " + wqe_tag(src, wr));
+              fail_wqe(src, wr, WcStatus::kRnrRetryExcErr);
+              co_return;
+            }
+          } else {
+            rwr = co_await dst_qp->take_recv();
+          }
+          if (!rwr) {
+            // Receiver QP errored out while we waited for a buffer.
+            co_await sim_.sleep(prof.unreachable_penalty());
+            if (fp) fp->note(sim_.now(), "unreachable " + wqe_tag(src, wr));
+            fail_wqe(src, wr, WcStatus::kRetryExcErr);
+            co_return;
+          }
           if (wr.opcode == Opcode::kSend) {
-            if (rwr.buf.length < bytes)
-              throw std::runtime_error("recv buffer too small for SEND");
-            if (bytes > 0) std::memcpy(rwr.buf.addr, wr.local.addr, bytes);
+            if (rwr->buf.length < bytes) {
+              // Local length error at the responder: its recv completes in
+              // error and its QP dies; the requester sees a remote-op NAK.
+              co_await sim_.sleep(cm.nic_cqe);
+              dst_qp->recv_cq().deliver(
+                  Wc{.wr_id = rwr->wr_id,
+                     .opcode = WcOpcode::kRecv,
+                     .byte_len = static_cast<uint32_t>(bytes),
+                     .imm = 0,
+                     .status = WcStatus::kLocLenErr,
+                     .qp_num = dst_qp->qp_num()});
+              dst_qp->enter_error();
+              co_await sim_.sleep(cm.ack_delay + cm.nic_cqe);
+              fail_wqe(src, wr, WcStatus::kRemOpErr);
+              co_return;
+            }
+            if (bytes > 0) std::memcpy(rwr->buf.addr, wr.local.addr, bytes);
           }
           co_await sim_.sleep(cm.nic_cqe);
           dst_qp->recv_cq().deliver(Wc{
-              .wr_id = rwr.wr_id,
+              .wr_id = rwr->wr_id,
               .opcode = wr.opcode == Opcode::kSend ? WcOpcode::kRecv
                                                    : WcOpcode::kRecvImm,
               .byte_len = static_cast<uint32_t>(bytes),
               .imm = wr.imm,
-              .success = true,
+              .status = WcStatus::kSuccess,
               .qp_num = dst_qp->qp_num()});
         }
       }
@@ -140,7 +372,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
                                                  : WcOpcode::kRdmaWrite,
             .byte_len = static_cast<uint32_t>(bytes),
             .imm = 0,
-            .success = true,
+            .status = WcStatus::kSuccess,
             .qp_num = src.qp_num()});
       }
       break;
@@ -149,6 +381,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
     case Opcode::kRead: {
       {
         auto order_guard = co_await src.sq_order_.scoped();
+        co_await injected_delay(src, wr);
         // Request packet to the responder (header-only on the wire).
         sim::Duration req_ser = cm.wire_time(0);
         Time start = std::max(sim_.now(), s.nic().tx_free());
@@ -156,6 +389,16 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
         co_await sim_.sleep_until(start + req_ser);
       }
       co_await sim_.sleep(cm.propagation);
+      if (src.in_error()) {
+        fail_wqe(src, wr, WcStatus::kWrFlushErr);
+        co_return;
+      }
+      if (dst_qp->in_error() || d.crashed()) {
+        co_await sim_.sleep(prof.unreachable_penalty());
+        if (fp) fp->note(sim_.now(), "unreachable " + wqe_tag(src, wr));
+        fail_wqe(src, wr, WcStatus::kRetryExcErr);
+        co_return;
+      }
 
       // Responder NIC serves the read in hardware: a non-posted PCIe DMA
       // read fetches the data (this PCIe round trip is what makes READ
@@ -164,10 +407,43 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
       // reaches the requester — so racing CPU stores at the responder
       // behave like real hardware.
       co_await sim_.sleep(cm.nic_read_response);
-      auto span = d.pd().resolve(wr.remote, bytes);
-      std::vector<std::byte> snapshot(span.begin(), span.end());
-      co_await wire_transfer(d.nic(), s.nic(), bytes == 0 ? 1 : bytes);
+      std::vector<std::byte> snapshot;
+      bool nak = false;
+      try {
+        auto span = d.pd().resolve(wr.remote, bytes);
+        snapshot.assign(span.begin(), span.end());
+      } catch (const std::exception&) {
+        nak = true;  // handled below — co_await is not allowed in a handler
+      }
+      if (nak) {
+        if (fp) fp->note(sim_.now(), "remote-access-nak " + wqe_tag(src, wr));
+        co_await sim_.sleep(cm.ack_delay + cm.nic_cqe);
+        fail_wqe(src, wr, WcStatus::kRemAccessErr);
+        co_return;
+      }
+      // Response data is subject to the same wire faults as a send.
+      unsigned attempt = 0;
+      while (true) {
+        co_await wire_transfer(d.nic(), s.nic(), bytes == 0 ? 1 : bytes);
+        if (!fp) break;
+        FaultPlan::LossKind loss = fp->draw_loss();
+        if (loss == FaultPlan::LossKind::kNone) break;
+        fp->note(sim_.now(),
+                 (loss == FaultPlan::LossKind::kDrop ? "drop " : "corrupt ") +
+                     wqe_tag(src, wr) + " attempt=" +
+                     std::to_string(attempt + 1));
+        if (++attempt > prof.retry_count) {
+          fp->note(sim_.now(), "retry-exhausted " + wqe_tag(src, wr));
+          fail_wqe(src, wr, WcStatus::kRetryExcErr);
+          co_return;
+        }
+        co_await sim_.sleep(prof.retransmit_timeout);
+      }
       co_await sim_.sleep(cm.propagation);
+      if (src.in_error()) {
+        fail_wqe(src, wr, WcStatus::kWrFlushErr);
+        co_return;
+      }
       if (bytes > 0) std::memcpy(wr.local.addr, snapshot.data(), bytes);
       if (wr.signaled) {
         co_await sim_.sleep(cm.nic_cqe);
@@ -176,7 +452,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
             .opcode = WcOpcode::kRdmaRead,
             .byte_len = static_cast<uint32_t>(bytes),
             .imm = 0,
-            .success = true,
+            .status = WcStatus::kSuccess,
             .qp_num = src.qp_num()});
       }
       break;

@@ -9,6 +9,7 @@
 
 #include "sim/simulator.h"
 #include "verbs/cost_model.h"
+#include "verbs/fault.h"
 #include "verbs/node.h"
 
 namespace hatrpc::verbs {
@@ -38,8 +39,17 @@ class Fabric {
   Node* node(size_t i) { return nodes_.at(i).get(); }
   size_t node_count() const { return nodes_.size(); }
 
+  /// Attaches a fault plan: stochastic wire faults apply to every WQE from
+  /// now on, and each scheduled fault is armed as a timer task. Pass
+  /// nullptr to restore fault-free operation.
+  void set_fault_plan(std::unique_ptr<FaultPlan> plan);
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+
+  QueuePair* find_qp(uint32_t qp_num);
+
  private:
   friend class QueuePair;
+  friend class Node;
 
   /// NIC-side execution of one WQE (spawned, runs in virtual time).
   sim::Task<void> execute_wqe(QueuePair& src, SendWr wr);
@@ -51,9 +61,23 @@ class Fabric {
   /// the last packet has been serialized; propagation is NOT included.
   sim::Task<void> wire_transfer(Nic& tx, Nic& rx, uint64_t bytes);
 
+  /// Timer task arming one scheduled fault from the attached plan.
+  sim::Task<void> apply_fault(FaultPlan::Scheduled f);
+
+  /// Draws and waits out the plan's stochastic queueing delay for one WQE.
+  /// Must be awaited under the QP's sq_order_ mutex so the delay stalls the
+  /// whole send queue (RC ordering).
+  sim::Task<void> injected_delay(QueuePair& src, const SendWr& wr);
+
+  /// Delivers an error CQE for `wr` (error completions are generated even
+  /// for unsignaled WRs) and moves the requester QP to the error state.
+  void fail_wqe(QueuePair& src, const SendWr& wr, WcStatus status);
+
   sim::Simulator& sim_;
   CostModel cost_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<FaultPlan> fault_plan_;
+  uint32_t next_qpn_ = 1;
 };
 
 }  // namespace hatrpc::verbs

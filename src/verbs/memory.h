@@ -58,6 +58,11 @@ class MemoryRegion {
   /// remote write lands).
   void zero_prefix(size_t n) { std::memset(data_.get(), 0, std::min(n, size_)); }
 
+  /// Withdraws remote access (fault injection: a server losing its exported
+  /// regions). Local use keeps working; remote ops NAK with kRemAccessErr.
+  void revoke() { revoked_ = true; }
+  bool revoked() const { return revoked_; }
+
   bool contains(uint64_t a, size_t len) const {
     return a >= addr() && a + len <= addr() + size();
   }
@@ -78,6 +83,7 @@ class MemoryRegion {
   size_t size_;
   uint32_t lkey_;
   uint32_t rkey_;
+  bool revoked_ = false;
 };
 
 /// Per-node protection domain: allocates/registers MRs and resolves rkeys,
@@ -107,9 +113,16 @@ class ProtectionDomain {
     auto it = by_rkey_.find(ra.rkey);
     if (it == by_rkey_.end()) throw std::runtime_error("bad rkey");
     MemoryRegion* mr = it->second;
+    if (mr->revoked()) throw std::runtime_error("remote access revoked");
     if (!mr->contains(ra.addr, len))
       throw std::runtime_error("remote access out of MR bounds");
     return mr;
+  }
+
+  /// Revokes remote access to every region currently registered (fault
+  /// injection; regions registered afterwards are unaffected).
+  void revoke_all() {
+    for (auto& m : mrs_) m->revoke();
   }
 
   std::span<std::byte> resolve(RemoteAddr ra, size_t len) {

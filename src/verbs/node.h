@@ -38,6 +38,12 @@ class Node {
 
   QueuePair* create_qp(CompletionQueue& send_cq, CompletionQueue& recv_cq);
 
+  /// Fault injection: fail-stop. Every QP on this node enters the error
+  /// state (as does its peer, once the transport discovers the silence),
+  /// and all of the node's CQs close so pollers unblock with flush errors.
+  void crash();
+  bool crashed() const { return crashed_; }
+
  private:
   Fabric& fabric_;
   uint32_t id_;
@@ -48,6 +54,7 @@ class Node {
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  bool crashed_ = false;
 
   friend class Fabric;
 };

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/sync.h"
@@ -45,6 +46,11 @@ struct RecvWr {
   Sge buf{};
 };
 
+/// The two states the simulator distinguishes: kRts (connected, working)
+/// and kError (fatal transport/protection fault or injected failure — all
+/// outstanding and future WRs complete as kWrFlushErr).
+enum class QpState : uint8_t { kRts, kError };
+
 /// A reliable-connected queue pair. Created via Node::create_qp and wired to
 /// its peer with Fabric::connect.
 class QueuePair {
@@ -66,8 +72,16 @@ class QueuePair {
   sim::Task<void> post_send_chain(std::vector<SendWr> wrs);
 
   /// Posts a receive buffer (no simulated cost; buffers are pre-posted off
-  /// the critical path in all protocols).
-  void post_recv(RecvWr wr) { recv_queue_.push(wr); }
+  /// the critical path in all protocols). Posting to an errored QP flushes
+  /// the WR straight back as a kWrFlushErr completion, like a real RC QP.
+  void post_recv(RecvWr wr);
+
+  QpState state() const { return state_; }
+  bool in_error() const { return state_ == QpState::kError; }
+
+  /// RTS -> ERR transition: posted recvs flush with kWrFlushErr, in-flight
+  /// RNR waiters are released, and every later WR fails.
+  void enter_error();
 
   Node& node() { return node_; }
   QueuePair* peer() { return peer_; }
@@ -84,14 +98,19 @@ class QueuePair {
   friend class Fabric;
 
   /// Fabric-side: takes the next posted recv, waiting (RNR backpressure)
-  /// if the application has not replenished the queue yet.
-  sim::Task<RecvWr> take_recv();
+  /// if the application has not replenished the queue yet. Returns nullopt
+  /// if the QP errors out while waiting.
+  sim::Task<std::optional<RecvWr>> take_recv();
+
+  /// Fabric-side, non-blocking variant for paced finite-RNR re-probing.
+  std::optional<RecvWr> try_take_recv() { return recv_queue_.try_pop(); }
 
   Fabric& fabric_;
   Node& node_;
   CompletionQueue& send_cq_;
   CompletionQueue& recv_cq_;
   uint32_t qp_num_;
+  QpState state_ = QpState::kRts;
   QueuePair* peer_ = nullptr;
   sim::Channel<RecvWr> recv_queue_;
   /// RC ordering: all packets of WQE n precede WQE n+1 on this QP, even

@@ -3,7 +3,8 @@
 
 #include "verbs/completion.h"  // IWYU pragma: export
 #include "verbs/cost_model.h"  // IWYU pragma: export
-#include "verbs/fabric.h"      // IWYU pragma: export
+#include "verbs/fabric.h"
+#include "verbs/fault.h"      // IWYU pragma: export
 #include "verbs/memory.h"      // IWYU pragma: export
 #include "verbs/nic.h"         // IWYU pragma: export
 #include "verbs/node.h"        // IWYU pragma: export

@@ -239,6 +239,65 @@ TEST(TServer, ThreadPoolBoundsConcurrency) {
   EXPECT_EQ(server.requests_served(), 6u);
 }
 
+TEST(TServer, ConnectionTrackingShrinksAndStopIsIdempotent) {
+  // conns_ must track LIVE connections only: a closed connection leaves the
+  // list as its serve loop unwinds, and stop() after that must not touch
+  // the dead socket again.
+  Net n;
+  TServer server(n.net, *n.b, 8, echo_processor(*n.b),
+                 {.kind = ServerKind::kThreaded});
+  server.start();
+  size_t open_while_connected = 0;
+  n.sim.spawn([](Net& n, TServer& server, size_t& open) -> Task<void> {
+    {
+      SimSocket* c1 = co_await n.net.connect(*n.a, *n.b, 8);
+      SocketRpcClient rpc1(c1);
+      co_await rpc1.call(view_of("one"));
+      SimSocket* c2 = co_await n.net.connect(*n.a, *n.b, 8);
+      SocketRpcClient rpc2(c2);
+      co_await rpc2.call(view_of("two"));
+      open = server.open_connections();
+      rpc1.close();
+      rpc2.close();
+    }
+    // Let both serve loops observe EOF and unregister.
+    co_await n.sim.sleep(1ms);
+    EXPECT_EQ(server.open_connections(), 0u);
+    server.stop();
+    server.stop();  // second stop over the same (empty) set: no-op
+  }(n, server, open_while_connected));
+  n.sim.run();
+  EXPECT_EQ(open_while_connected, 2u);
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(n.sim.live_tasks(), 0u);
+}
+
+TEST(TServer, StopClosesLiveConnections) {
+  Net n;
+  TServer server(n.net, *n.b, 9, echo_processor(*n.b),
+                 {.kind = ServerKind::kThreaded});
+  server.start();
+  bool server_hung_up = false;
+  n.sim.spawn([](Net& n, TServer& server, bool& hung_up) -> Task<void> {
+    SimSocket* c = co_await n.net.connect(*n.a, *n.b, 9);
+    SocketRpcClient rpc(c);
+    co_await rpc.call(view_of("hello"));
+    EXPECT_EQ(server.open_connections(), 1u);
+    server.stop();
+    bool threw = false;
+    try {
+      co_await rpc.call(view_of("after-stop"));
+    } catch (const TTransportException&) {
+      threw = true;
+    }
+    hung_up = threw;
+    rpc.close();
+  }(n, server, server_hung_up));
+  n.sim.run();
+  EXPECT_TRUE(server_hung_up);
+  EXPECT_EQ(n.sim.live_tasks(), 0u);
+}
+
 TEST(TRdma, SocketCompatibleProgrammingModel) {
   // The paper's key TRdma property: write / flush / read like TSocket.
   Simulator sim;

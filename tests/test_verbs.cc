@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "verbs/verbs.h"
 
@@ -298,6 +300,9 @@ TEST(Verbs, SendWaitsForPostedRecv) {
 }
 
 TEST(Verbs, RecvBufferTooSmallIsAnError) {
+  // A SEND larger than the posted recv completes in error on BOTH sides —
+  // kLocLenErr at the responder's recv CQ, kRemOpErr at the requester —
+  // and both QPs transition to the error state (no exception, like real RC).
   Pair p;
   MemoryRegion* src = p.a->pd().alloc_mr(64);
   MemoryRegion* dst = p.b->pd().alloc_mr(64);
@@ -305,8 +310,235 @@ TEST(Verbs, RecvBufferTooSmallIsAnError) {
     p.qb->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 4}});
     co_await p.qa->post_send(SendWr{
         .wr_id = 1, .opcode = Opcode::kSend, .local = {src->data(), 32}});
+    Wc rwc = co_await p.b_rcq->wait(PollMode::kBusy);
+    EXPECT_EQ(rwc.status, WcStatus::kLocLenErr);
+    Wc swc = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(swc.status, WcStatus::kRemOpErr);
+    EXPECT_EQ(swc.wr_id, 1u);
   }(p, src, dst));
-  EXPECT_THROW(p.sim.run(), std::runtime_error);
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_TRUE(p.qa->in_error());
+  EXPECT_TRUE(p.qb->in_error());
+}
+
+TEST(Verbs, CqCloseUnblocksWaiterWithFlushError) {
+  // Closing a CQ mid-wait releases the waiter with kWrFlushErr (the clean
+  // shutdown path every server loop relies on), for both disciplines.
+  for (PollMode mode : {PollMode::kBusy, PollMode::kEvent}) {
+    Pair p;
+    bool woke = false;
+    p.sim.spawn([](Pair& p, PollMode mode, bool& woke) -> Task<void> {
+      Wc wc = co_await p.b_rcq->wait(mode);
+      EXPECT_EQ(wc.status, WcStatus::kWrFlushErr);
+      EXPECT_FALSE(wc.ok());
+      woke = true;
+    }(p, mode, woke));
+    p.sim.spawn([](Pair& p) -> Task<void> {
+      co_await p.sim.sleep(5us);
+      p.b_rcq->close();
+    }(p));
+    p.sim.run();
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(p.sim.live_tasks(), 0u);
+  }
+}
+
+TEST(Verbs, QpErrorFlushesPostedRecvsAndLaterPosts) {
+  Pair p;
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.qb->post_recv(RecvWr{.wr_id = 11, .buf = {dst->data(), 64}});
+  p.qb->post_recv(RecvWr{.wr_id = 12, .buf = {dst->data(), 64}});
+  p.qb->enter_error();
+  EXPECT_TRUE(p.qb->in_error());
+  // Both pre-posted recvs flushed...
+  EXPECT_EQ(p.b_rcq->depth(), 2u);
+  auto wc1 = p.b_rcq->try_poll();
+  auto wc2 = p.b_rcq->try_poll();
+  ASSERT_TRUE(wc1 && wc2);
+  EXPECT_EQ(wc1->wr_id, 11u);
+  EXPECT_EQ(wc1->status, WcStatus::kWrFlushErr);
+  EXPECT_EQ(wc2->wr_id, 12u);
+  // ...and a post_recv on the errored QP flushes immediately too.
+  p.qb->post_recv(RecvWr{.wr_id = 13, .buf = {dst->data(), 64}});
+  auto wc3 = p.b_rcq->try_poll();
+  ASSERT_TRUE(wc3);
+  EXPECT_EQ(wc3->wr_id, 13u);
+  EXPECT_EQ(wc3->status, WcStatus::kWrFlushErr);
+}
+
+TEST(Verbs, SendToErroredPeerFailsWithRetryExceeded) {
+  // The peer QP is dead: the transport retransmits into silence, burns its
+  // retry budget, and reports kRetryExcErr — time must pass (ack timeouts).
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  p.qb->enter_error();
+  sim::Time done{};
+  p.sim.spawn([](Pair& p, MemoryRegion* src, sim::Time& done) -> Task<void> {
+    co_await p.qa->post_send(SendWr{
+        .wr_id = 21, .opcode = Opcode::kSend, .local = {src->data(), 8}});
+    Wc wc = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(wc.status, WcStatus::kRetryExcErr);
+    EXPECT_EQ(wc.wr_id, 21u);
+    done = p.sim.now();
+  }(p, src, done));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_TRUE(p.qa->in_error());
+  EXPECT_GE(done, FaultProfile{}.unreachable_penalty());
+}
+
+TEST(Verbs, FiniteRnrRetryExhausts) {
+  // With a finite rnr_retry budget and no recv ever posted, the SEND fails
+  // with kRnrRetryExcErr instead of waiting forever.
+  Pair p;
+  auto plan = std::make_unique<FaultPlan>(1);
+  plan->profile.rnr_retry = 3;
+  plan->profile.rnr_timer = std::chrono::microseconds(2);
+  p.fabric.set_fault_plan(std::move(plan));
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  p.sim.spawn([](Pair& p, MemoryRegion* src) -> Task<void> {
+    co_await p.qa->post_send(SendWr{
+        .wr_id = 31, .opcode = Opcode::kSend, .local = {src->data(), 8}});
+    Wc wc = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(wc.status, WcStatus::kRnrRetryExcErr);
+  }(p, src));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_EQ(p.fabric.fault_plan()->injected(), 1u);
+}
+
+TEST(Verbs, DropsAreRetransmittedTransparently) {
+  // Heavy loss but a generous retry budget: the payload still arrives
+  // intact, later than the fault-free run, and the plan records the drops.
+  auto run = [](double drop) {
+    Pair p;
+    auto plan = std::make_unique<FaultPlan>(42);
+    plan->profile.drop = drop;
+    p.fabric.set_fault_plan(std::move(plan));
+    MemoryRegion* src = p.a->pd().alloc_mr(64);
+    MemoryRegion* dst = p.b->pd().alloc_mr(64);
+    fill(src, "retransmit");
+    sim::Time done{};
+    p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst,
+                   sim::Time& done) -> Task<void> {
+      p.qb->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 64}});
+      co_await p.qa->post_send(SendWr{
+          .wr_id = 1, .opcode = Opcode::kSend, .local = {src->data(), 10}});
+      Wc wc = co_await p.b_rcq->wait(PollMode::kBusy);
+      EXPECT_TRUE(wc.ok());
+      done = p.sim.now();
+    }(p, src, dst, done));
+    p.sim.run();
+    EXPECT_EQ(read_back(dst, 10), "retransmit");
+    return std::pair(done, p.fabric.fault_plan()->injected());
+  };
+  auto [t_clean, n_clean] = run(0.0);
+  auto [t_lossy, n_lossy] = run(0.9);
+  EXPECT_EQ(n_clean, 0u);
+  EXPECT_GT(n_lossy, 0u);
+  EXPECT_GT(t_lossy, t_clean);
+}
+
+TEST(Verbs, ScheduledQpErrorSurfacesMidRun) {
+  // A QP scheduled to fail at t=50us: sends before that succeed, a send
+  // posted after it fails (flush at the requester, which is the failed QP).
+  Pair p;
+  auto plan = std::make_unique<FaultPlan>(7);
+  plan->fail_qp_at(p.qa->qp_num(), sim::Time(std::chrono::microseconds(50)));
+  p.fabric.set_fault_plan(std::move(plan));
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst) -> Task<void> {
+    p.qb->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 64}});
+    co_await p.qa->post_send(SendWr{
+        .wr_id = 1, .opcode = Opcode::kSend, .local = {src->data(), 8}});
+    Wc before = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_TRUE(before.ok());
+    co_await p.sim.sleep(100us);  // ride past the scheduled failure
+    co_await p.qa->post_send(SendWr{
+        .wr_id = 2, .opcode = Opcode::kSend, .local = {src->data(), 8}});
+    Wc after = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(after.status, WcStatus::kWrFlushErr);
+  }(p, src, dst));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  ASSERT_EQ(p.fabric.fault_plan()->trace().size(), 1u);
+  EXPECT_EQ(p.fabric.fault_plan()->trace()[0], "t=50000 qp-error qp=1");
+}
+
+TEST(Verbs, RevokedMrNaksRemoteAccess) {
+  // Revoking the responder's regions turns one-sided ops into
+  // kRemAccessErr completions; a fresh region registered afterwards works.
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.b->pd().revoke_all();
+  p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst) -> Task<void> {
+    co_await p.qa->post_send(SendWr{.wr_id = 1,
+                                    .opcode = Opcode::kWrite,
+                                    .local = {src->data(), 8},
+                                    .remote = dst->remote(0)});
+    Wc wc = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(wc.status, WcStatus::kRemAccessErr);
+  }(p, src, dst));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_TRUE(p.qa->in_error());
+}
+
+TEST(Verbs, NodeCrashClosesCqsAndErrorsQps) {
+  Pair p;
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.qb->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 64}});
+  p.b->crash();
+  EXPECT_TRUE(p.b->crashed());
+  EXPECT_TRUE(p.qb->in_error());
+  EXPECT_TRUE(p.b_rcq->is_closed());
+  EXPECT_TRUE(p.b_scq->is_closed());
+  // The surviving peer is NOT errored instantly — it discovers the crash
+  // through retransmission timeouts on its next send.
+  EXPECT_FALSE(p.qa->in_error());
+  // A QP created on a crashed node is born dead.
+  CompletionQueue* cq = p.b->create_cq();
+  QueuePair* q = p.b->create_qp(*cq, *cq);
+  EXPECT_TRUE(q->in_error());
+}
+
+TEST(Verbs, FaultDrawsAreSeedDeterministic) {
+  // Identical seeds produce identical traces and identical event counts;
+  // a different seed diverges (on this schedule).
+  auto run = [](uint64_t seed) {
+    Pair p;
+    auto plan = std::make_unique<FaultPlan>(seed);
+    plan->profile.drop = 0.3;
+    plan->profile.delay = 0.2;
+    p.fabric.set_fault_plan(std::move(plan));
+    MemoryRegion* src = p.a->pd().alloc_mr(64);
+    MemoryRegion* dst = p.b->pd().alloc_mr(64);
+    p.sim.spawn([](Pair& p, MemoryRegion* src,
+                   MemoryRegion* dst) -> Task<void> {
+      for (int i = 0; i < 20; ++i) {
+        p.qb->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 64}});
+        co_await p.qa->post_send(SendWr{.wr_id = static_cast<uint64_t>(i),
+                                        .opcode = Opcode::kSend,
+                                        .local = {src->data(), 16}});
+        Wc wc = co_await p.b_rcq->wait(PollMode::kBusy);
+        EXPECT_TRUE(wc.ok());
+        co_await p.a_scq->wait(PollMode::kBusy);
+      }
+    }(p, src, dst));
+    p.sim.run();
+    return std::pair(p.fabric.fault_plan()->trace(),
+                     p.sim.events_processed());
+  };
+  auto [trace1, events1] = run(123);
+  auto [trace2, events2] = run(123);
+  auto [trace3, events3] = run(321);
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(events1, events2);
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_NE(trace1, trace3);
 }
 
 TEST(Verbs, IncastSerializesOnServerRxLink) {
