@@ -31,7 +31,7 @@ void threshold_bench(benchmark::State& state, uint32_t threshold) {
                    sim::Time& total) -> Task<void> {
     proto::Buffer payload(kBytes, std::byte{0x3c});
     for (int i = 0; i < 32; ++i)
-      co_await ch.call(payload, uint32_t(kBytes));
+      (co_await ch.call(payload, uint32_t(kBytes))).value();
     total = bed.sim.now();
     ch.shutdown();
   }(bed, *ch, total));

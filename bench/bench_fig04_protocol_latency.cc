@@ -24,11 +24,14 @@ constexpr proto::ProtocolKind kProtocols[] = {
 void latency_bench(benchmark::State& state, proto::ProtocolKind kind,
                    size_t bytes, sim::PollMode poll) {
   sim::Duration lat{};
+  BenchProbe probe;
   for (auto _ : state) {
-    lat = measure_latency(kind, bytes, poll);
+    lat = measure_latency(kind, bytes, poll, /*iters=*/64,
+                          /*numa_local=*/true, &probe);
     state.SetIterationTime(sim::to_seconds(lat));
   }
   state.counters["latency_us"] = sim::to_micros(lat);
+  probe.report(state);
 }
 
 void register_all() {
@@ -55,8 +58,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  hatbench::parse_bench_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  hatbench::write_trace();
   benchmark::Shutdown();
   return 0;
 }

@@ -26,14 +26,16 @@ void throughput_bench(benchmark::State& state, proto::ProtocolKind kind,
   // Fewer per-client iterations at scale keeps total call counts sane.
   int iters = clients >= 128 ? 10 : (clients >= 28 ? 20 : 40);
   ThroughputResult r;
+  BenchProbe probe;
   for (auto _ : state) {
     r = measure_throughput(kind, bytes, clients, poll, iters,
-                           /*numa_bind=*/true);
+                           /*numa_bind=*/true, &probe);
     state.SetIterationTime(
         sim::to_seconds(r.mean_latency * int64_t(clients) * iters));
   }
   state.counters["mops"] = r.mops;
   state.counters["clients"] = clients;
+  probe.report(state);
 }
 
 void register_all() {
@@ -62,8 +64,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  hatbench::parse_bench_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  hatbench::write_trace();
   benchmark::Shutdown();
   return 0;
 }

@@ -13,11 +13,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hint/selection.h"
+#include "obs/obs.h"
 #include "proto/channel.h"
 #include "sim/rng.h"
 
@@ -28,6 +33,81 @@ using sim::Task;
 using namespace std::chrono_literals;
 
 constexpr int kClientNodes = 9;  // paper: 10-node cluster, 1 server
+
+// ---- Observability: --trace <file> + per-scenario percentile/counter ----
+// Each scenario runs in its own Testbed (its own Fabric-level Obs); when
+// tracing is on, scenarios absorb their events into one process-wide sink
+// under a fresh pid block so node timelines don't collide across scenarios.
+
+inline std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+inline obs::Tracer& trace_sink() {
+  static obs::Tracer sink;
+  return sink;
+}
+
+inline uint32_t next_trace_pid(uint32_t nodes_in_scenario) {
+  static uint32_t next = 0;
+  uint32_t base = next;
+  next += nodes_in_scenario;
+  return base;
+}
+
+/// Strips `--trace <file>` / `--trace=<file>` from argv (call BEFORE
+/// benchmark::Initialize, which rejects flags it doesn't know).
+inline void parse_bench_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path() = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path() = argv[i] + 8;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!trace_path().empty()) trace_sink().enable();
+}
+
+/// Writes the merged Chrome about:tracing JSON if --trace was given.
+inline void write_trace() {
+  if (trace_path().empty()) return;
+  std::ofstream os(trace_path());
+  trace_sink().write_json(os);
+  std::cerr << "trace: " << trace_sink().event_count() << " events -> "
+            << trace_path() << "\n";
+}
+
+struct Testbed;
+
+/// Per-scenario observability capture: call-latency histogram plus the
+/// scenario's fabric-wide counter totals, scaled per call for reporting.
+struct BenchProbe {
+  obs::Histogram hist;
+  obs::CounterSet totals;
+  uint64_t calls = 0;
+
+  void finish(Testbed& bed, uint64_t timed_calls, const std::string& label);
+  /// Emits the percentile/counter table into the benchmark's counters.
+  void report(benchmark::State& state) const {
+    state.counters["p50_us"] = double(hist.percentile_ns(0.50)) / 1e3;
+    state.counters["p95_us"] = double(hist.percentile_ns(0.95)) / 1e3;
+    state.counters["p99_us"] = double(hist.percentile_ns(0.99)) / 1e3;
+    double per = calls ? double(calls) : 1.0;
+    state.counters["doorbells_per_call"] =
+        double(totals.get(obs::Ctr::kDoorbells)) / per;
+    state.counters["wqes_per_call"] =
+        double(totals.get(obs::Ctr::kWqesPosted)) / per;
+    state.counters["copy_bytes_per_call"] =
+        double(totals.get(obs::Ctr::kCopyBytes)) / per;
+    state.counters["dma_bytes_per_call"] =
+        double(totals.get(obs::Ctr::kDmaBytes)) / per;
+  }
+};
 
 /// The payload ladder of Figs. 4 and 11.
 inline const std::vector<size_t>& latency_sizes() {
@@ -53,12 +133,27 @@ struct Testbed {
     server = fabric.add_node();
     for (int i = 0; i < kClientNodes; ++i)
       client_nodes.push_back(fabric.add_node());
+    if (!trace_path().empty()) fabric.obs().tracer.enable();
   }
 
   verbs::Node* client_node(int client_index) {
     return client_nodes[size_t(client_index) % client_nodes.size()];
   }
 };
+
+inline void BenchProbe::finish(Testbed& bed, uint64_t timed_calls,
+                               const std::string& label) {
+  calls += timed_calls;
+  for (size_t i = 0; i < size_t(obs::Ctr::kCount); ++i) {
+    obs::Ctr c = obs::Ctr(i);
+    totals.add(c, bed.fabric.obs().counters.node_total(c));
+  }
+  if (!trace_path().empty()) {
+    uint32_t base = next_trace_pid(uint32_t(1 + kClientNodes));
+    trace_sink().absorb(bed.fabric.obs().tracer, base);
+    trace_sink().set_process_name(base, label + "/server");
+  }
+}
 
 /// Echo-with-checksum handler (the ATB server work model: Thrift processor
 /// dispatch + a checksum whose cost grows with payload, §5.3).
@@ -75,29 +170,36 @@ inline proto::Handler checksum_handler(verbs::Node& server,
 /// Single-client mean RPC latency over `iters` calls.
 inline sim::Duration measure_latency(proto::ProtocolKind kind, size_t bytes,
                                      sim::PollMode poll, int iters = 64,
-                                     bool numa_local = true) {
+                                     bool numa_local = true,
+                                     BenchProbe* probe = nullptr) {
   Testbed bed;
   proto::ChannelConfig cfg;
-  cfg.client_poll = poll;
-  cfg.server_poll = poll;
-  cfg.max_msg = std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2);
-  cfg.client_numa_local = numa_local;
-  cfg.server_numa_local = numa_local;
+  cfg.with_poll(poll)
+      .with_max_msg(std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2))
+      .with_numa(numa_local, numa_local);
   auto ch = proto::make_channel(kind, *bed.client_node(0), *bed.server,
                                 checksum_handler(*bed.server), cfg);
   sim::Time total{};
   bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch, size_t bytes,
-                   int iters, sim::Time& total) -> Task<void> {
+                   int iters, sim::Time& total,
+                   BenchProbe* probe) -> Task<void> {
     proto::Buffer payload(bytes, std::byte{0x2a});
     // Warm-up call (connection/buffer effects).
-    co_await ch.call(payload, uint32_t(bytes));
+    (co_await ch.call(payload, uint32_t(bytes))).value();
     sim::Time t0 = bed.sim.now();
-    for (int i = 0; i < iters; ++i)
-      co_await ch.call(payload, uint32_t(bytes));
+    for (int i = 0; i < iters; ++i) {
+      sim::Time c0 = bed.sim.now();
+      (co_await ch.call(payload, uint32_t(bytes))).value();
+      if (probe) probe->hist.record(bed.sim.now() - c0);
+    }
     total = bed.sim.now() - t0;
     ch.shutdown();
-  }(bed, *ch, bytes, iters, total));
+  }(bed, *ch, bytes, iters, total, probe));
   bed.sim.run();
+  if (probe)
+    probe->finish(bed, uint64_t(iters) + 1,
+                  "lat/" + std::string(proto::to_string(kind)) + "/" +
+                      std::to_string(bytes) + "B");
   return total / iters;
 }
 
@@ -111,16 +213,15 @@ struct ThroughputResult {
 inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
                                            size_t bytes, int clients,
                                            sim::PollMode poll, int iters = 30,
-                                           bool numa_bind = false) {
+                                           bool numa_bind = false,
+                                           BenchProbe* probe = nullptr) {
   Testbed bed;
   proto::ChannelConfig cfg;
-  cfg.client_poll = poll;
-  cfg.server_poll = poll;
-  cfg.max_msg = std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2);
   // NUMA binding is beneficial (and applied) only under-subscription.
   bool numa_local = numa_bind && clients <= 16;
-  cfg.client_numa_local = numa_local;
-  cfg.server_numa_local = numa_local;
+  cfg.with_poll(poll)
+      .with_max_msg(std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2))
+      .with_numa(numa_local, numa_local);
 
   std::vector<std::unique_ptr<proto::RpcChannel>> channels;
   for (int c = 0; c < clients; ++c)
@@ -131,13 +232,17 @@ inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
   sim::WaitGroup wg(bed.sim);
   wg.add(size_t(clients));
   for (int c = 0; c < clients; ++c) {
-    bed.sim.spawn([](proto::RpcChannel& ch, size_t bytes, int iters,
-                     sim::WaitGroup& wg) -> Task<void> {
+    bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch, size_t bytes,
+                     int iters, sim::WaitGroup& wg,
+                     BenchProbe* probe) -> Task<void> {
       proto::Buffer payload(bytes, std::byte{0x5a});
-      for (int i = 0; i < iters; ++i)
-        co_await ch.call(payload, uint32_t(bytes));
+      for (int i = 0; i < iters; ++i) {
+        sim::Time c0 = bed.sim.now();
+        (co_await ch.call(payload, uint32_t(bytes))).value();
+        if (probe) probe->hist.record(bed.sim.now() - c0);
+      }
       wg.done();
-    }(*channels[size_t(c)], bytes, iters, wg));
+    }(bed, *channels[size_t(c)], bytes, iters, wg, probe));
   }
   sim::Time end{};
   bed.sim.spawn([](Testbed& bed, sim::WaitGroup& wg, sim::Time& end,
@@ -148,10 +253,15 @@ inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
     for (auto& ch : channels) ch->shutdown();
   }(bed, wg, end, channels));
   bed.sim.run();
+  uint64_t total_calls = uint64_t(clients) * uint64_t(iters);
+  if (probe)
+    probe->finish(bed, total_calls,
+                  "thr/" + std::string(proto::to_string(kind)) + "/" +
+                      std::to_string(bytes) + "B/c" +
+                      std::to_string(clients));
 
   ThroughputResult r;
   double secs = sim::to_seconds(end);
-  uint64_t total_calls = uint64_t(clients) * uint64_t(iters);
   r.mops = secs > 0 ? double(total_calls) / secs / 1e6 : 0;
   r.mean_latency = end / int64_t(total_calls ? total_calls : 1);
   return r;

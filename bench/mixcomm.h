@@ -79,11 +79,11 @@ inline MixResult measure_mixcomm(size_t bytes, int clients,
       for (int i = 0; i < iters; ++i) {
         if (rng.chance(0.5)) {
           sim::Time t0 = bed.sim.now();
-          co_await cc.lat->call(payload, uint32_t(bytes));
+          (co_await cc.lat->call(payload, uint32_t(bytes))).value();
           totals.lat_total += bed.sim.now() - t0;
           ++totals.lat_calls;
         } else {
-          co_await thr_ch.call(payload, uint32_t(bytes));
+          (co_await thr_ch.call(payload, uint32_t(bytes))).value();
           ++totals.thr_calls;
         }
       }

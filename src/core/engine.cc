@@ -128,7 +128,8 @@ Task<Buffer> HatConnection::call(std::string method, View payload) {
     reply = co_await rpc->call(envelope);
   } else {
     proto::RpcChannel& ch = channel_for(plan);
-    reply = co_await ch.call(envelope, plan.expected_payload);
+    proto::CallResult r = co_await ch.call(envelope, plan.expected_payload);
+    reply = std::move(r).value();
   }
 
   co_await charge_serialize(client_, reply.size());

@@ -1,0 +1,105 @@
+// Log-bucketed latency histogram (HDR-style: power-of-two octaves split
+// into linear sub-buckets) with percentile extraction. Values are virtual
+// nanoseconds; recording is O(1) and allocation-free after construction.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hatrpc::obs {
+
+class Histogram {
+ public:
+  /// 16 sub-buckets per octave: <= 6.25% relative error on percentiles.
+  static constexpr int kSubBits = 4;
+  static constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+
+  Histogram() : buckets_(kBucketCount, 0) {}
+
+  void record(sim::Duration d) {
+    record_ns(d.count() < 0 ? 0 : static_cast<uint64_t>(d.count()));
+  }
+  void record_ns(uint64_t v) {
+    ++count_;
+    total_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++buckets_[index_of(v)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min_ns() const { return count_ ? min_ : 0; }
+  uint64_t max_ns() const { return max_; }
+  double mean_ns() const {
+    return count_ ? static_cast<double>(total_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile `q` in (0, 1], conservatively reported as the upper
+  /// edge of the containing bucket (clamped to the observed max).
+  uint64_t percentile_ns(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    target = std::clamp<uint64_t>(target, 1, count_);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return std::min(bucket_upper(i), max_);
+    }
+    return max_;
+  }
+  sim::Duration percentile(double q) const {
+    return sim::Duration(static_cast<int64_t>(percentile_ns(q)));
+  }
+
+  /// "count=N min=.. p50=.. p95=.. p99=.. p999=.. max=.." (ns, integers —
+  /// deterministic text for dump comparisons).
+  std::string summary() const {
+    return "count=" + std::to_string(count_) +
+           " min=" + std::to_string(min_ns()) +
+           " p50=" + std::to_string(percentile_ns(0.50)) +
+           " p95=" + std::to_string(percentile_ns(0.95)) +
+           " p99=" + std::to_string(percentile_ns(0.99)) +
+           " p999=" + std::to_string(percentile_ns(0.999)) +
+           " max=" + std::to_string(max_);
+  }
+
+  static size_t index_of(uint64_t v) {
+    if (v < kSub) return static_cast<size_t>(v);
+    int msb = 63 - std::countl_zero(v);
+    int shift = msb - kSubBits;
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(msb - kSubBits + 1) << kSubBits) |
+        ((v >> shift) & (kSub - 1)));
+  }
+
+  /// Inclusive upper edge of bucket `i` (lowest buckets are exact).
+  static uint64_t bucket_upper(size_t i) {
+    if (i < kSub) return i;
+    uint64_t octave = i >> kSubBits;
+    uint64_t sub = i & (kSub - 1);
+    int msb = static_cast<int>(octave) + kSubBits - 1;
+    uint64_t lower =
+        (uint64_t{1} << msb) + (sub << (msb - kSubBits));
+    return lower + (uint64_t{1} << (msb - kSubBits)) - 1;
+  }
+
+ private:
+  static constexpr size_t kBucketCount =
+      static_cast<size_t>((64 - kSubBits + 1)) << kSubBits;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace hatrpc::obs

@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+namespace hatrpc::obs {
+
+namespace {
+
+// The names we emit are plain ASCII identifiers, but escape defensively so
+// the file is valid JSON no matter what a caller labels a span with.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Chrome's ts/dur fields are microseconds; emit them as fixed-point
+// integers-with-3-decimals so the output is deterministic (no
+// double-formatting variance) while keeping nanosecond precision.
+void write_us(std::ostream& os, int64_t ns) {
+  os << ns / 1000 << '.';
+  int64_t frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\",\"cat\":\"" << (e.cat ? e.cat : "sim") << "\",\"ts\":";
+    write_us(os, e.ts_ns);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_us(os, e.dur_ns);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace hatrpc::obs

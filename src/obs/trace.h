@@ -1,0 +1,89 @@
+// Virtual-time tracer: records spans and instants keyed to simulated
+// nanoseconds and exports Chrome about:tracing / Perfetto JSON. Disabled
+// tracers cost one branch per site; enabled ones append to a bounded
+// in-memory vector (deterministic — events appear in simulator order).
+//
+// Mapping: pid = node id (or a per-scenario base when traces are merged),
+// tid = channel id / QP number, ts/dur = virtual microseconds with
+// nanosecond precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hatrpc::obs {
+
+class Tracer {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  /// A completed span ("X" phase): [start, start+dur).
+  void complete(std::string name, const char* cat, sim::Time start,
+                sim::Duration dur, uint32_t pid, uint64_t tid) {
+    push({'X', std::move(name), cat, start.count(), dur.count(), pid, tid});
+  }
+
+  /// A point event ("i" phase).
+  void instant(std::string name, const char* cat, sim::Time at, uint32_t pid,
+               uint64_t tid) {
+    push({'i', std::move(name), cat, at.count(), 0, pid, tid});
+  }
+
+  /// Names the process `pid` in the viewer (metadata event).
+  void set_process_name(uint32_t pid, std::string name) {
+    process_names_.emplace_back(pid, std::move(name));
+  }
+
+  /// Copies every event (and process name) from `other`, offsetting pids by
+  /// `pid_base` — used to merge per-scenario traces into one file.
+  void absorb(const Tracer& other, uint32_t pid_base) {
+    for (const Event& e : other.events_) {
+      Event copy = e;
+      copy.pid += pid_base;
+      push(std::move(copy));
+    }
+    for (const auto& [pid, name] : other.process_names_)
+      process_names_.emplace_back(pid + pid_base, name);
+    dropped_ += other.dropped_;
+  }
+
+  size_t event_count() const { return events_.size(); }
+  size_t dropped() const { return dropped_; }
+
+  /// Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' (complete) or 'i' (instant)
+    std::string name;
+    const char* cat;
+    int64_t ts_ns;
+    int64_t dur_ns;
+    uint32_t pid;
+    uint64_t tid;
+  };
+
+  void push(Event e) {
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(e));
+  }
+
+  static constexpr size_t kMaxEvents = size_t{1} << 20;
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::vector<std::pair<uint32_t, std::string>> process_names_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace hatrpc::obs

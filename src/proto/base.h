@@ -1,6 +1,7 @@
-// Shared scaffolding for protocol implementations: connected endpoints
-// (QPs + CQs on both nodes), MR accounting, copy charging, and serve-loop
-// lifecycle. Each protocol subclass implements call() and serve().
+// Shared scaffolding for protocol implementations: one connected Endpoint
+// per side (QP + send/recv CQs + polling discipline), MR accounting, copy
+// charging, and serve-loop lifecycle. Each protocol subclass implements
+// do_call() and serve().
 //
 // Software-copy charging policy (kept consistent across protocols so the
 // comparison is fair — see DESIGN.md):
@@ -27,16 +28,14 @@ class ChannelBase : public RpcChannel {
 
   void shutdown() override {
     stop_ = true;
-    c_scq_->close();
-    c_rcq_->close();
-    s_scq_->close();
-    s_rcq_->close();
+    cep_.close();
+    sep_.close();
     extra_shutdown();
   }
 
   void abort() override {
-    cqp_->enter_error();
-    sqp_->enter_error();
+    cep_.enter_error();
+    sep_.enter_error();
     shutdown();
   }
 
@@ -45,16 +44,15 @@ class ChannelBase : public RpcChannel {
               Handler handler, ChannelConfig cfg)
       : kind_(kind), cl_(client), sv_(server), handler_(std::move(handler)),
         cfg_(cfg), cost_(client.fabric().cost()),
-        sim_(client.fabric().simulator()) {
-    c_scq_ = cl_.create_cq();
-    c_rcq_ = cl_.create_cq();
-    s_scq_ = sv_.create_cq();
-    s_rcq_ = sv_.create_cq();
-    cqp_ = cl_.create_qp(*c_scq_, *c_rcq_);
-    sqp_ = sv_.create_qp(*s_scq_, *s_rcq_);
-    cqp_->numa_local = cfg_.client_numa_local;
-    sqp_->numa_local = cfg_.server_numa_local;
-    verbs::Fabric::connect(*cqp_, *sqp_);
+        sim_(client.fabric().simulator()),
+        cep_(verbs::make_endpoint(client, cfg.client_poll)),
+        sep_(verbs::make_endpoint(server, cfg.server_poll)) {
+    cep_.qp->numa_local = cfg_.client_numa_local;
+    sep_.qp->numa_local = cfg_.server_numa_local;
+    verbs::connect(cep_, sep_);
+    bind_obs(client.fabric(), client.id());
+    cep_.qp->attach_counters(channel_counters());
+    sep_.qp->attach_counters(channel_counters());
   }
 
   /// Spawns the protocol's server loop(s); called by the factory after the
@@ -62,6 +60,16 @@ class ChannelBase : public RpcChannel {
   virtual void start() { sim_.spawn(serve()); }
   virtual sim::Task<void> serve() = 0;
   virtual void extra_shutdown() {}
+
+  /// Runs the user handler, wrapped in a virtual-time span when tracing.
+  sim::Task<Buffer> run_handler(View req) {
+    if (!obs_->tracer.enabled()) co_return co_await handler_(req);
+    const sim::Time t0 = sim_.now();
+    Buffer resp = co_await handler_(req);
+    obs_->tracer.complete("handler", "rpc", t0, sim_.now() - t0, sv_.id(),
+                          obs_channel_id());
+    co_return resp;
+  }
 
   verbs::MemoryRegion* alloc_client_mr(size_t n) {
     stats_.client_registered += n;
@@ -74,10 +82,14 @@ class ChannelBase : public RpcChannel {
 
   /// Eager-style staging copy at the client / server (see policy above).
   sim::Task<void> charge_client_copy(size_t bytes) {
+    cl_.counters().add(obs::Ctr::kCopyBytes, bytes);
+    channel_counters()->add(obs::Ctr::kCopyBytes, bytes);
     return cl_.cpu().compute(
         cost_.copy_time(bytes, cfg_.client_numa_local));
   }
   sim::Task<void> charge_server_copy(size_t bytes) {
+    sv_.counters().add(obs::Ctr::kCopyBytes, bytes);
+    channel_counters()->add(obs::Ctr::kCopyBytes, bytes);
     return sv_.cpu().compute(
         cost_.copy_time(bytes, cfg_.server_numa_local));
   }
@@ -89,12 +101,8 @@ class ChannelBase : public RpcChannel {
   ChannelConfig cfg_;
   const verbs::CostModel& cost_;
   sim::Simulator& sim_;
-  verbs::CompletionQueue* c_scq_;
-  verbs::CompletionQueue* c_rcq_;
-  verbs::CompletionQueue* s_scq_;
-  verbs::CompletionQueue* s_rcq_;
-  verbs::QueuePair* cqp_;
-  verbs::QueuePair* sqp_;
+  verbs::Endpoint cep_;  // client side
+  verbs::Endpoint sep_;  // server side
   bool stop_ = false;
 
   friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,

@@ -23,40 +23,10 @@
 namespace hatrpc::proto {
 
 class BypassChannel : public ChannelBase {
- public:
-  BypassChannel(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
-                Handler handler, ChannelConfig cfg)
-      : ChannelBase(kind, client, server, std::move(handler), cfg),
-        watch_(client.fabric().simulator()) {
-    cli_req_src_ = alloc_client_mr(kReqHdr + cfg_.max_msg);
-    cli_read_buf_ = alloc_client_mr(kMetaBytes + cfg_.max_msg);
-    srv_req_slot_ = alloc_server_mr(kReqHdr + cfg_.max_msg);
-    srv_req_slot_->zero_prefix(kReqHdr);   // polled before the first write
-    cli_read_buf_->zero_prefix(kExportHdr);
-    if (kind_ == ProtocolKind::kHerd) {
-      resp_pipe_.emplace(sv_, sqp_, s_scq_, cl_, cqp_, c_rcq_, cfg_,
-                         cfg_.server_numa_local, cfg_.client_numa_local,
-                         &stats_);
-      stats_.client_registered += resp_pipe_->ring_bytes();
-      stats_.server_registered += resp_pipe_->ring_bytes();
-    } else {
-      // Exported region the client READs: [meta1 16B][meta2 16B][payload].
-      srv_export_ = alloc_server_mr(kExportHdr + cfg_.max_msg);
-      srv_export_->zero_prefix(kExportHdr);
-    }
-    if (event_server()) {
-      for (uint32_t i = 0; i < cfg_.eager_slots; ++i)
-        sqp_->post_recv(verbs::RecvWr{.wr_id = i});
-    } else {
-      srv_req_slot_->set_write_watch(
-          [this](uint64_t, size_t) { watch_.notify_all(); });
-    }
-  }
-
-  sim::Task<Buffer> call(View req, uint32_t resp_size_hint) override {
+ protected:
+  sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
     if (req.size() > cfg_.max_msg)
       throw std::length_error("bypass protocol: request exceeds slot");
-    ++stats_.calls;
     const uint64_t seq = ++seq_;
     // Request: [u64 seq][u32 len][payload] written into the server slot.
     std::byte* p = cli_req_src_->data();
@@ -66,7 +36,7 @@ class BypassChannel : public ChannelBase {
     const uint32_t wire = kReqHdr + static_cast<uint32_t>(req.size());
     if (event_server()) {
       ++stats_.write_imms;
-      co_await cqp_->post_send(verbs::SendWr{
+      co_await cep_.qp->post_send(verbs::SendWr{
           .opcode = verbs::Opcode::kWriteImm,
           .local = {p, wire},
           .remote = srv_req_slot_->remote(0),
@@ -74,28 +44,28 @@ class BypassChannel : public ChannelBase {
           .signaled = false});
     } else {
       ++stats_.writes;
-      co_await cqp_->post_send(verbs::SendWr{.opcode = verbs::Opcode::kWrite,
-                                             .local = {p, wire},
-                                             .remote = srv_req_slot_->remote(0),
-                                             .signaled = false});
+      co_await cep_.qp->post_send(verbs::SendWr{
+          .opcode = verbs::Opcode::kWrite,
+          .local = {p, wire},
+          .remote = srv_req_slot_->remote(0),
+          .signaled = false});
     }
 
     if (kind_ == ProtocolKind::kHerd) {
-      auto resp = co_await resp_pipe_->recv(cfg_.client_poll);
+      auto resp = co_await resp_pipe_->recv();
       if (!resp) throw_wc("herd recv", resp_pipe_->last_status());
       co_return std::move(*resp);
     }
     co_return co_await fetch_response(seq, resp_size_hint);
   }
 
- protected:
   sim::Task<void> serve() override {
     while (!stop_) {
       uint32_t req_len = 0;
       if (event_server()) {
-        verbs::Wc wc = co_await s_rcq_->wait(sim::PollMode::kEvent);
+        verbs::Wc wc = co_await sep_.recv_wc();
         if (!wc.ok()) break;
-        sqp_->post_recv(verbs::RecvWr{.wr_id = wc.wr_id});
+        sep_.qp->post_recv(verbs::RecvWr{.wr_id = wc.wr_id});
         req_len = wc.imm - kReqHdr;
       } else {
         // CPU memory polling: spin (occupying a core) until the request
@@ -110,13 +80,13 @@ class BypassChannel : public ChannelBase {
       }
       served_ = get_u64(srv_req_slot_->data());
 
-      Buffer resp = co_await handler_(
+      Buffer resp = co_await run_handler(
           View{srv_req_slot_->data() + kReqHdr, req_len});
       if (resp.size() > cfg_.max_msg)
         throw std::length_error("bypass protocol: response exceeds slot");
 
       if (kind_ == ProtocolKind::kHerd) {
-        if (!co_await resp_pipe_->send(resp, cfg_.server_poll)) break;
+        if (!co_await resp_pipe_->send(resp)) break;
         continue;
       }
       // Place the response in the exported region (intrinsic server-side
@@ -134,6 +104,37 @@ class BypassChannel : public ChannelBase {
   void extra_shutdown() override { watch_.notify_all(); }
 
  private:
+  BypassChannel(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
+                Handler handler, ChannelConfig cfg)
+      : ChannelBase(kind, client, server, std::move(handler), cfg),
+        watch_(client.fabric().simulator()) {
+    cli_req_src_ = alloc_client_mr(kReqHdr + cfg_.max_msg);
+    cli_read_buf_ = alloc_client_mr(kMetaBytes + cfg_.max_msg);
+    srv_req_slot_ = alloc_server_mr(kReqHdr + cfg_.max_msg);
+    srv_req_slot_->zero_prefix(kReqHdr);   // polled before the first write
+    cli_read_buf_->zero_prefix(kExportHdr);
+    if (kind_ == ProtocolKind::kHerd) {
+      resp_pipe_.emplace(sep_, cep_, cfg_, &stats_, channel_counters());
+      stats_.client_registered += resp_pipe_->ring_bytes();
+      stats_.server_registered += resp_pipe_->ring_bytes();
+    } else {
+      // Exported region the client READs: [meta1 16B][meta2 16B][payload].
+      srv_export_ = alloc_server_mr(kExportHdr + cfg_.max_msg);
+      srv_export_->zero_prefix(kExportHdr);
+    }
+    if (event_server()) {
+      for (uint32_t i = 0; i < cfg_.eager_slots; ++i)
+        sep_.qp->post_recv(verbs::RecvWr{.wr_id = i});
+    } else {
+      srv_req_slot_->set_write_watch(
+          [this](uint64_t, size_t) { watch_.notify_all(); });
+    }
+  }
+
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
+
   static constexpr uint32_t kReqHdr = 12;    // [u64 seq][u32 len]
   static constexpr uint32_t kMetaBytes = 16;
   static constexpr uint32_t kExportHdr = 32;  // meta1 + meta2
@@ -145,12 +146,12 @@ class BypassChannel : public ChannelBase {
   sim::Task<verbs::Wc> issue_read(uint64_t remote_off, uint32_t len,
                                   uint64_t local_off = 0) {
     ++stats_.reads;
-    co_await cqp_->post_send(verbs::SendWr{
+    co_await cep_.qp->post_send(verbs::SendWr{
         .wr_id = 3,
         .opcode = verbs::Opcode::kRead,
         .local = {cli_read_buf_->data() + local_off, len},
         .remote = srv_export_->remote(remote_off)});
-    verbs::Wc wc = co_await c_scq_->wait(cfg_.client_poll);
+    verbs::Wc wc = co_await cep_.send_wc();
     if (!wc.ok()) throw_wc("bypass read", wc.status);
     co_return wc;
   }

@@ -6,6 +6,13 @@
 // Channels are REAL: request/response bytes move through registered memory
 // via the simulated verbs layer, and every protocol-specific cost (copies,
 // doorbells, control messages, memory polling) is charged where it occurs.
+//
+// API shape: call() is a non-virtual wrapper that owns the cross-cutting
+// concerns (call counting, failure accounting, virtual-time spans) and
+// folds transport failures into Result<Buffer, RpcError>; protocols
+// implement the protected do_call() and throw RpcError. Construction goes
+// through make_channel() — the concrete protocol classes are not
+// constructible directly.
 #pragma once
 
 #include <cstddef>
@@ -13,9 +20,12 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "proto/error.h"
+#include "proto/result.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -23,6 +33,10 @@ namespace hatrpc::proto {
 
 using Buffer = std::vector<std::byte>;
 using View = std::span<const std::byte>;
+
+/// What a call resolves to: the response bytes, or the typed transport
+/// error the reliability layer keys retries off.
+using CallResult = Result<Buffer, RpcError>;
 
 /// Server-side request processor. Runs on the server node; implementations
 /// charge their own compute via the node's Cpu.
@@ -60,6 +74,40 @@ struct ChannelConfig {
   /// NUMA placement of the driving threads relative to their NICs.
   bool client_numa_local = true;
   bool server_numa_local = true;
+
+  // Chainable named setters, so configurations read as a sentence:
+  //   ChannelConfig{}.with_poll(kEvent).with_max_msg(64 << 10)
+  ChannelConfig& with_client_poll(sim::PollMode m) {
+    client_poll = m;
+    return *this;
+  }
+  ChannelConfig& with_server_poll(sim::PollMode m) {
+    server_poll = m;
+    return *this;
+  }
+  ChannelConfig& with_poll(sim::PollMode m) {
+    client_poll = m;
+    server_poll = m;
+    return *this;
+  }
+  ChannelConfig& with_max_msg(uint32_t bytes) {
+    max_msg = bytes;
+    return *this;
+  }
+  ChannelConfig& with_eager(uint32_t slot_bytes, uint32_t slots) {
+    eager_slot = slot_bytes;
+    eager_slots = slots;
+    return *this;
+  }
+  ChannelConfig& with_rndv_threshold(uint32_t bytes) {
+    rndv_threshold = bytes;
+    return *this;
+  }
+  ChannelConfig& with_numa(bool client_local, bool server_local) {
+    client_numa_local = client_local;
+    server_numa_local = server_local;
+    return *this;
+  }
 };
 
 /// Per-channel operation counters, used by tests to pin down each
@@ -79,11 +127,12 @@ class RpcChannel {
  public:
   virtual ~RpcChannel() = default;
 
-  /// Issues one RPC: sends `req`, returns the server handler's response.
-  /// `resp_size_hint` bounds the expected response (protocols that fetch
-  /// the response with RDMA READ size their read from it; 0 = max_msg).
-  virtual sim::Task<Buffer> call(View req, uint32_t resp_size_hint) = 0;
-  sim::Task<Buffer> call(View req) { return call(req, 0); }
+  /// Issues one RPC: sends `req`, resolves to the server handler's response
+  /// or the RpcError that ended the attempt. `resp_size_hint` bounds the
+  /// expected response (protocols that fetch the response with RDMA READ
+  /// size their read from it; 0 = max_msg). Non-transport failures
+  /// (handler exceptions, oversized messages) propagate as exceptions.
+  sim::Task<CallResult> call(View req, uint32_t resp_size_hint = 0);
 
   /// Stops the server-side serve loop(s) so the simulation can drain.
   virtual void shutdown() = 0;
@@ -97,12 +146,60 @@ class RpcChannel {
   virtual ChannelStats stats() const { return stats_; }
 
  protected:
+  /// Protocol-specific call body. Throws RpcError for transport failures
+  /// (the call() wrapper folds those into the Result).
+  virtual sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) = 0;
+
+  /// Hooks this channel into the fabric's observability layer: allocates a
+  /// channel-scoped counter set and remembers the client node id as the
+  /// trace pid. Every constructor path calls this exactly once.
+  void bind_obs(verbs::Fabric& fabric, uint32_t client_node_id) {
+    obs_ = &fabric.obs();
+    sim_clock_ = &fabric.simulator();
+    obs_id_ = obs_->counters.register_channel();
+    obs_pid_ = client_node_id;
+  }
+  obs::CounterSet* channel_counters() {
+    return obs_ ? &obs_->counters.channel(obs_id_) : nullptr;
+  }
+  uint32_t obs_channel_id() const { return obs_id_; }
+  uint32_t obs_pid() const { return obs_pid_; }
+
   ChannelStats stats_;
+  obs::Obs* obs_ = nullptr;
+  sim::Simulator* sim_clock_ = nullptr;
+  uint32_t obs_id_ = 0;
+  uint32_t obs_pid_ = 0;
 };
+
+inline sim::Task<CallResult> RpcChannel::call(View req,
+                                              uint32_t resp_size_hint) {
+  ++stats_.calls;
+  const bool trace = obs_ && obs_->tracer.enabled();
+  const sim::Time t0 = trace ? sim_clock_->now() : sim::Time{};
+  try {
+    Buffer resp = co_await do_call(req, resp_size_hint);
+    if (trace)
+      obs_->tracer.complete("call/" + std::string(to_string(kind())), "rpc",
+                            t0, sim_clock_->now() - t0, obs_pid_, obs_id_);
+    co_return CallResult(std::move(resp));
+  } catch (const RpcError& e) {
+    if (obs_) {
+      obs_->counters.channel(obs_id_).add(obs::Ctr::kFailedCalls);
+      obs_->counters.node(obs_pid_).add(obs::Ctr::kFailedCalls);
+    }
+    if (trace)
+      obs_->tracer.complete(
+          "call-failed/" + std::string(to_string(kind())), "rpc", t0,
+          sim_clock_->now() - t0, obs_pid_, obs_id_);
+    co_return CallResult(e);
+  }
+}
 
 /// Creates a connected channel of the given protocol between two nodes and
 /// spawns its server loop with `handler`. The returned channel is ready for
-/// call() from a client-side task.
+/// call() from a client-side task. This is the single construction entry
+/// point for protocol channels (their constructors are private).
 std::unique_ptr<RpcChannel> make_channel(ProtocolKind kind,
                                          verbs::Node& client,
                                          verbs::Node& server, Handler handler,

@@ -15,7 +15,41 @@
 namespace hatrpc::proto {
 
 class DirectChannel : public ChannelBase {
- public:
+ protected:
+  sim::Task<Buffer> do_call(View req, uint32_t /*resp_size_hint*/) override {
+    if (req.size() > cfg_.max_msg)
+      throw std::length_error("direct protocol: request exceeds the "
+                              "pre-known buffer");
+    std::memcpy(cli_req_src_->data(), req.data(), req.size());
+    co_await push(cep_.qp, cli_req_src_, srv_req_buf_,
+                  static_cast<uint32_t>(req.size()), cli_notify_src_);
+    // Response arrives in the pre-known client buffer.
+    verbs::Wc wc = co_await cep_.recv_wc();
+    if (!wc.ok()) throw_wc("direct recv", wc.status);
+    uint32_t len = notified_len(wc, cli_notify_ring_);
+    repost(cep_.qp, cli_notify_ring_, static_cast<uint32_t>(wc.wr_id));
+    const std::byte* p = cli_resp_buf_->data();
+    co_return Buffer(p, p + len);
+  }
+
+  sim::Task<void> serve() override {
+    while (!stop_) {
+      verbs::Wc wc = co_await sep_.recv_wc();
+      if (!wc.ok()) break;
+      uint32_t len = notified_len(wc, srv_notify_ring_);
+      repost(sep_.qp, srv_notify_ring_, static_cast<uint32_t>(wc.wr_id));
+      Buffer resp =
+          co_await run_handler(View{srv_req_buf_->data(), len});
+      if (resp.size() > cfg_.max_msg)
+        throw std::length_error("direct protocol: response exceeds the "
+                                "pre-known buffer");
+      std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
+      co_await push(sep_.qp, srv_resp_src_, cli_resp_buf_,
+                    static_cast<uint32_t>(resp.size()), srv_notify_src_);
+    }
+  }
+
+ private:
   DirectChannel(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
                 Handler handler, ChannelConfig cfg)
       : ChannelBase(kind, client, server, std::move(handler), cfg) {
@@ -26,8 +60,8 @@ class DirectChannel : public ChannelBase {
     if (kind_ == ProtocolKind::kDirectWriteImm) {
       // WRITE_WITH_IMM consumes a (bufferless) posted recv on each side.
       for (uint32_t i = 0; i < cfg_.eager_slots; ++i) {
-        cqp_->post_recv(verbs::RecvWr{.wr_id = i});
-        sqp_->post_recv(verbs::RecvWr{.wr_id = i});
+        cep_.qp->post_recv(verbs::RecvWr{.wr_id = i});
+        sep_.qp->post_recv(verbs::RecvWr{.wr_id = i});
       }
     } else {
       cli_notify_src_ = alloc_client_mr(kNotifyBytes);
@@ -35,48 +69,16 @@ class DirectChannel : public ChannelBase {
       cli_notify_ring_ = alloc_client_mr(kNotifyBytes * cfg_.eager_slots);
       srv_notify_ring_ = alloc_server_mr(kNotifyBytes * cfg_.eager_slots);
       for (uint32_t i = 0; i < cfg_.eager_slots; ++i) {
-        post_notify_recv(cqp_, cli_notify_ring_, i);
-        post_notify_recv(sqp_, srv_notify_ring_, i);
+        post_notify_recv(cep_.qp, cli_notify_ring_, i);
+        post_notify_recv(sep_.qp, srv_notify_ring_, i);
       }
     }
   }
 
-  sim::Task<Buffer> call(View req, uint32_t /*resp_size_hint*/) override {
-    if (req.size() > cfg_.max_msg)
-      throw std::length_error("direct protocol: request exceeds the "
-                              "pre-known buffer");
-    ++stats_.calls;
-    std::memcpy(cli_req_src_->data(), req.data(), req.size());
-    co_await push(cqp_, cli_req_src_, srv_req_buf_,
-                  static_cast<uint32_t>(req.size()), cli_notify_src_);
-    // Response arrives in the pre-known client buffer.
-    verbs::Wc wc = co_await c_rcq_->wait(cfg_.client_poll);
-    if (!wc.ok()) throw_wc("direct recv", wc.status);
-    uint32_t len = notified_len(wc, cli_notify_ring_);
-    repost(cqp_, cli_notify_ring_, static_cast<uint32_t>(wc.wr_id));
-    const std::byte* p = cli_resp_buf_->data();
-    co_return Buffer(p, p + len);
-  }
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
 
- protected:
-  sim::Task<void> serve() override {
-    while (!stop_) {
-      verbs::Wc wc = co_await s_rcq_->wait(cfg_.server_poll);
-      if (!wc.ok()) break;
-      uint32_t len = notified_len(wc, srv_notify_ring_);
-      repost(sqp_, srv_notify_ring_, static_cast<uint32_t>(wc.wr_id));
-      Buffer resp =
-          co_await handler_(View{srv_req_buf_->data(), len});
-      if (resp.size() > cfg_.max_msg)
-        throw std::length_error("direct protocol: response exceeds the "
-                                "pre-known buffer");
-      std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
-      co_await push(sqp_, srv_resp_src_, cli_resp_buf_,
-                    static_cast<uint32_t>(resp.size()), srv_notify_src_);
-    }
-  }
-
- private:
   static constexpr uint32_t kNotifyBytes = 16;
 
   /// Delivers `len` bytes from `src` into the peer's pre-known `dst` buffer

@@ -12,24 +12,10 @@ namespace hatrpc::proto {
 
 class EagerChannel : public ChannelBase {
  public:
-  EagerChannel(verbs::Node& client, verbs::Node& server, Handler handler,
-               ChannelConfig cfg)
-      : ChannelBase(ProtocolKind::kEagerSendRecv, client, server,
-                    std::move(handler), cfg),
-        c2s_(cl_, cqp_, c_scq_, sv_, sqp_, s_rcq_, cfg_,
-             cfg_.client_numa_local, cfg_.server_numa_local, &stats_),
-        s2c_(sv_, sqp_, s_scq_, cl_, cqp_, c_rcq_, cfg_,
-             cfg_.server_numa_local, cfg_.client_numa_local, &stats_) {
-    // Each pipe pins one ring per side.
-    stats_.client_registered += c2s_.ring_bytes() + s2c_.ring_bytes();
-    stats_.server_registered += c2s_.ring_bytes() + s2c_.ring_bytes();
-  }
-
-  sim::Task<Buffer> call(View req, uint32_t /*resp_size_hint*/) override {
-    ++stats_.calls;
-    if (!co_await c2s_.send(req, cfg_.client_poll))
+  sim::Task<Buffer> do_call(View req, uint32_t /*resp_size_hint*/) override {
+    if (!co_await c2s_.send(req))
       throw_wc("eager send", c2s_.last_status());
-    auto resp = co_await s2c_.recv(cfg_.client_poll);
+    auto resp = co_await s2c_.recv();
     if (!resp) throw_wc("eager recv", s2c_.last_status());
     co_return std::move(*resp);
   }
@@ -37,14 +23,29 @@ class EagerChannel : public ChannelBase {
  protected:
   sim::Task<void> serve() override {
     while (!stop_) {
-      auto req = co_await c2s_.recv(cfg_.server_poll);
+      auto req = co_await c2s_.recv();
       if (!req) break;
-      Buffer resp = co_await handler_(*req);
-      if (!co_await s2c_.send(resp, cfg_.server_poll)) break;
+      Buffer resp = co_await run_handler(*req);
+      if (!co_await s2c_.send(resp)) break;
     }
   }
 
  private:
+  EagerChannel(verbs::Node& client, verbs::Node& server, Handler handler,
+               ChannelConfig cfg)
+      : ChannelBase(ProtocolKind::kEagerSendRecv, client, server,
+                    std::move(handler), cfg),
+        c2s_(cep_, sep_, cfg_, &stats_, channel_counters()),
+        s2c_(sep_, cep_, cfg_, &stats_, channel_counters()) {
+    // Each pipe pins one ring per side.
+    stats_.client_registered += c2s_.ring_bytes() + s2c_.ring_bytes();
+    stats_.server_registered += c2s_.ring_bytes() + s2c_.ring_bytes();
+  }
+
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
+
   EagerPipe c2s_;
   EagerPipe s2c_;
 };

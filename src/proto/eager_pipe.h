@@ -4,6 +4,10 @@
 // a staging copy on both sides — eager's intrinsic cost that makes it a
 // small-message protocol. Used by Eager-SendRecv (both directions), the
 // hybrid baselines (below-threshold path), and HERD (response direction).
+//
+// Each side is an Endpoint: the pipe stages into a ring on src's node and
+// assembles from a ring on dst's node, polling each side's CQs with that
+// side's configured discipline.
 #pragma once
 
 #include <optional>
@@ -16,19 +20,16 @@ namespace hatrpc::proto {
 
 class EagerPipe {
  public:
-  /// Sender stages into `send_ring` on `src`; receiver assembles from
-  /// `recv_ring` on `dst`, with recvs pre-posted on dst's QP.
-  EagerPipe(verbs::Node& src, verbs::QueuePair* src_qp,
-            verbs::CompletionQueue* src_scq, verbs::Node& dst,
-            verbs::QueuePair* dst_qp, verbs::CompletionQueue* dst_rcq,
-            const ChannelConfig& cfg, bool src_numa_local, bool dst_numa_local,
-            ChannelStats* stats)
-      : src_(src), src_qp_(src_qp), src_scq_(src_scq), dst_(dst),
-        dst_qp_(dst_qp), dst_rcq_(dst_rcq), cfg_(cfg),
-        src_numa_(src_numa_local), dst_numa_(dst_numa_local), stats_(stats),
-        cost_(src.fabric().cost()) {
-    send_ring_ = src_.pd().alloc_mr(ring_bytes());
-    recv_ring_ = dst_.pd().alloc_mr(ring_bytes());
+  /// Sender stages into a ring on `src`'s node; receiver assembles from a
+  /// ring on `dst`'s node, with recvs pre-posted on dst's QP. `chan` (may
+  /// be null) mirrors staging-copy bytes into the owning channel's scope.
+  EagerPipe(verbs::Endpoint& src, verbs::Endpoint& dst,
+            const ChannelConfig& cfg, ChannelStats* stats,
+            obs::CounterSet* chan)
+      : src_(src), dst_(dst), cfg_(cfg), stats_(stats), chan_(chan),
+        cost_(src.node->fabric().cost()) {
+    send_ring_ = src_.node->pd().alloc_mr(ring_bytes());
+    recv_ring_ = dst_.node->pd().alloc_mr(ring_bytes());
     for (uint32_t i = 0; i < cfg_.eager_slots; ++i) post_recv_slot(i);
   }
 
@@ -40,7 +41,7 @@ class EagerPipe {
   /// pipe; slot reuse is gated on send completions (polled with the
   /// sender's discipline). Returns false (with last_status() set) if a send
   /// completes in error.
-  sim::Task<bool> send(View msg, sim::PollMode sender_poll) {
+  sim::Task<bool> send(View msg) {
     const uint32_t slot = cfg_.eager_slot;
     const uint32_t nslots = cfg_.eager_slots;
     size_t off = 0;
@@ -48,7 +49,7 @@ class EagerPipe {
     bool first = true;
     // Lazily reclaim completions from previous messages (no charge when
     // they are already visible — ibv_poll_cq batch semantics).
-    while (outstanding_ > 0 && src_scq_->try_poll()) --outstanding_;
+    while (outstanding_ > 0 && src_.scq->try_poll()) --outstanding_;
     while (first || off < msg.size()) {
       uint32_t idx = seg % nslots;
       std::byte* s = send_ring_->data() + static_cast<size_t>(idx) * slot;
@@ -57,18 +58,20 @@ class EagerPipe {
           std::min<size_t>(slot - hdr, msg.size() - off));
       // Slot reuse: the ring is full, wait for the oldest send to complete.
       while (outstanding_ >= nslots) {
-        verbs::Wc wc = co_await src_scq_->wait(sender_poll);
+        verbs::Wc wc = co_await src_.send_wc();
         if (!wc.ok()) {
           last_status_ = wc.status;
           co_return false;
         }
         --outstanding_;
       }
-      co_await src_.cpu().compute(cost_.eager_match_cpu +
-                                  cost_.copy_time(take, src_numa_));
+      charge_copy(*src_.node, take);
+      co_await src_.node->cpu().compute(
+          cost_.eager_match_cpu +
+          cost_.copy_time(take, src_.qp->numa_local));
       if (first) put_u32(s, static_cast<uint32_t>(msg.size()));
       if (take > 0) std::memcpy(s + hdr, msg.data() + off, take);
-      co_await src_qp_->post_send(verbs::SendWr{
+      co_await src_.qp->post_send(verbs::SendWr{
           .wr_id = idx,
           .opcode = verbs::Opcode::kSend,
           .local = {s, hdr + take},
@@ -83,7 +86,7 @@ class EagerPipe {
   }
 
   /// Receives one message; nullopt when the CQ is closed (shutdown).
-  sim::Task<std::optional<Buffer>> recv(sim::PollMode mode) {
+  sim::Task<std::optional<Buffer>> recv() {
     Buffer out;
     size_t total = 0;
     bool first = true;
@@ -94,7 +97,7 @@ class EagerPipe {
         wc = *pending;
         pending.reset();
       } else {
-        wc = co_await dst_rcq_->wait(mode);
+        wc = co_await dst_.recv_wc();
         if (!wc.ok()) {
           last_status_ = wc.status;
           co_return std::nullopt;
@@ -110,13 +113,15 @@ class EagerPipe {
         first = false;
       }
       uint32_t take = wc.byte_len - hdr;
-      co_await dst_.cpu().compute(cost_.eager_match_cpu +
-                                  cost_.copy_time(take, dst_numa_));
+      charge_copy(*dst_.node, take);
+      co_await dst_.node->cpu().compute(
+          cost_.eager_match_cpu +
+          cost_.copy_time(take, dst_.qp->numa_local));
       out.insert(out.end(), s + hdr, s + hdr + take);
       post_recv_slot(idx);
       // Batch-drain CQEs that are already visible (ibv_poll_cq semantics) —
       // this is what keeps event-mode pickups per batch, not per segment.
-      if (out.size() < total) pending = dst_rcq_->try_poll();
+      if (out.size() < total) pending = dst_.rcq->try_poll();
     }
     co_return out;
   }
@@ -125,23 +130,23 @@ class EagerPipe {
   verbs::WcStatus last_status() const { return last_status_; }
 
  private:
+  void charge_copy(verbs::Node& node, uint64_t bytes) {
+    node.counters().add(obs::Ctr::kCopyBytes, bytes);
+    if (chan_) chan_->add(obs::Ctr::kCopyBytes, bytes);
+  }
+
   void post_recv_slot(uint32_t idx) {
-    dst_qp_->post_recv(verbs::RecvWr{
+    dst_.qp->post_recv(verbs::RecvWr{
         .wr_id = idx,
         .buf = {recv_ring_->data() + static_cast<size_t>(idx) * cfg_.eager_slot,
                 cfg_.eager_slot}});
   }
 
-  verbs::Node& src_;
-  verbs::QueuePair* src_qp_;
-  verbs::CompletionQueue* src_scq_;
-  verbs::Node& dst_;
-  verbs::QueuePair* dst_qp_;
-  verbs::CompletionQueue* dst_rcq_;
+  verbs::Endpoint& src_;
+  verbs::Endpoint& dst_;
   ChannelConfig cfg_;
-  bool src_numa_;
-  bool dst_numa_;
   ChannelStats* stats_;
+  obs::CounterSet* chan_;
   const verbs::CostModel& cost_;
   verbs::MemoryRegion* send_ring_;
   verbs::MemoryRegion* recv_ring_;

@@ -31,29 +31,31 @@ std::unique_ptr<RpcChannel> make_channel(ProtocolKind kind,
                                          verbs::Node& client,
                                          verbs::Node& server, Handler handler,
                                          ChannelConfig cfg) {
-  auto start = [](auto ch) -> std::unique_ptr<RpcChannel> {
-    ch->start();
+  // Channel constructors are private (make_channel is the single entry
+  // point), so the concrete objects are built with plain new.
+  auto start = [](auto* raw) -> std::unique_ptr<RpcChannel> {
+    std::unique_ptr<RpcChannel> ch(raw);
+    raw->start();
     return ch;
   };
   switch (kind) {
     case ProtocolKind::kEagerSendRecv:
-      return start(std::make_unique<EagerChannel>(client, server,
-                                                  std::move(handler), cfg));
+      return start(new EagerChannel(client, server, std::move(handler), cfg));
     case ProtocolKind::kDirectWriteSend:
     case ProtocolKind::kChainedWriteSend:
     case ProtocolKind::kDirectWriteImm:
-      return start(std::make_unique<DirectChannel>(kind, client, server,
-                                                   std::move(handler), cfg));
+      return start(
+          new DirectChannel(kind, client, server, std::move(handler), cfg));
     case ProtocolKind::kWriteRndv:
     case ProtocolKind::kReadRndv:
-      return start(std::make_unique<RendezvousChannel>(
-          kind, client, server, std::move(handler), cfg));
+      return start(new RendezvousChannel(kind, client, server,
+                                         std::move(handler), cfg));
     case ProtocolKind::kPilaf:
     case ProtocolKind::kFarm:
     case ProtocolKind::kRfp:
     case ProtocolKind::kHerd:
-      return start(std::make_unique<BypassChannel>(kind, client, server,
-                                                   std::move(handler), cfg));
+      return start(
+          new BypassChannel(kind, client, server, std::move(handler), cfg));
     case ProtocolKind::kHybridEagerRndv:
     case ProtocolKind::kArGrpc: {
       auto eager = make_channel(ProtocolKind::kEagerSendRecv, client, server,
@@ -62,9 +64,9 @@ std::unique_ptr<RpcChannel> make_channel(ProtocolKind kind,
                                    ? ProtocolKind::kReadRndv
                                    : ProtocolKind::kWriteRndv,
                                client, server, std::move(handler), cfg);
-      return std::make_unique<HybridChannel>(kind, std::move(eager),
-                                             std::move(rndv),
-                                             cfg.rndv_threshold);
+      return std::unique_ptr<RpcChannel>(
+          new HybridChannel(kind, client, std::move(eager), std::move(rndv),
+                            cfg.rndv_threshold));
     }
   }
   throw std::invalid_argument("unknown protocol kind");

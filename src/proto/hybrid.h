@@ -15,19 +15,6 @@ namespace hatrpc::proto {
 
 class HybridChannel : public RpcChannel {
  public:
-  HybridChannel(ProtocolKind kind, std::unique_ptr<RpcChannel> eager,
-                std::unique_ptr<RpcChannel> rndv, uint32_t threshold)
-      : kind_(kind), eager_(std::move(eager)), rndv_(std::move(rndv)),
-        threshold_(threshold) {}
-
-  sim::Task<Buffer> call(View req, uint32_t resp_size_hint) override {
-    ++stats_.calls;
-    size_t decisive = std::max<size_t>(req.size(), resp_size_hint);
-    if (decisive <= threshold_)
-      co_return co_await eager_->call(req, resp_size_hint);
-    co_return co_await rndv_->call(req, resp_size_hint);
-  }
-
   void shutdown() override {
     eager_->shutdown();
     rndv_->shutdown();
@@ -58,7 +45,28 @@ class HybridChannel : public RpcChannel {
   RpcChannel& eager_path() { return *eager_; }
   RpcChannel& rndv_path() { return *rndv_; }
 
+ protected:
+  sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
+    size_t decisive = std::max<size_t>(req.size(), resp_size_hint);
+    RpcChannel& path = decisive <= threshold_ ? *eager_ : *rndv_;
+    CallResult r = co_await path.call(req, resp_size_hint);
+    if (!r) throw r.error();
+    co_return std::move(*r);
+  }
+
  private:
+  HybridChannel(ProtocolKind kind, verbs::Node& client,
+                std::unique_ptr<RpcChannel> eager,
+                std::unique_ptr<RpcChannel> rndv, uint32_t threshold)
+      : kind_(kind), eager_(std::move(eager)), rndv_(std::move(rndv)),
+        threshold_(threshold) {
+    bind_obs(client.fabric(), client.id());
+  }
+
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
+
   ProtocolKind kind_;
   std::unique_ptr<RpcChannel> eager_;
   std::unique_ptr<RpcChannel> rndv_;

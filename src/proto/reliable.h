@@ -63,16 +63,37 @@ class ReliableChannel : public RpcChannel {
         user_handler_(std::move(handler)), cfg_(cfg), policy_(policy),
         sim_(client.fabric().simulator()), jitter_(policy.jitter_seed),
         dedupe_(std::make_shared<DedupeState>()) {
+    bind_obs(client.fabric(), client.id());
     ch_ = make_channel(kind_, cl_, sv_, wrap_handler(), cfg_);
   }
 
-  sim::Task<Buffer> call(View req, uint32_t resp_size_hint) override {
-    ++stats_.calls;
+  void shutdown() override { ch_->shutdown(); }
+  void abort() override { ch_->abort(); }
+
+  ProtocolKind kind() const override { return kind_; }
+  /// The protocol currently carrying traffic (kEagerSendRecv once degraded).
+  ProtocolKind active_kind() const { return active_kind_; }
+  bool degraded() const { return active_kind_ != kind_; }
+  const ReliabilityStats& reliability() const { return rstats_; }
+  uint64_t server_replays() const { return dedupe_->replays; }
+
+  ChannelStats stats() const override {
+    ChannelStats s = stats_;
+    merge(s, ch_->stats());
+    for (const auto& dead : graveyard_) merge(s, dead->stats());
+    return s;
+  }
+
+ protected:
+  sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
     const uint64_t seq = ++next_seq_;
     RpcErrc last = RpcErrc::kTimeout;
     std::string last_what = "no attempt made";
     for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
       ++rstats_.attempts;
+      if (attempt > 1 && obs_->tracer.enabled())
+        obs_->tracer.instant("retry-attempt", "reliable", sim_.now(),
+                             obs_pid(), obs_channel_id());
       auto state = std::make_shared<CallState>(sim_);
       sim_.spawn(invoke(ch_.get(), state,
                         frame(req, seq, static_cast<uint32_t>(attempt)),
@@ -84,6 +105,7 @@ class ReliableChannel : public RpcChannel {
         // channel down so the inner call unwinds (flush completions), then
         // join it before the channel object is retired.
         ++rstats_.timeouts;
+        count(obs::Ctr::kTimeouts);
         ch_->abort();
         co_await state->done.wait();
         last = RpcErrc::kTimeout;
@@ -115,25 +137,8 @@ class ReliableChannel : public RpcChannel {
                        " attempts (last: " + last_what + ")");
   }
 
-  void shutdown() override { ch_->shutdown(); }
-  void abort() override { ch_->abort(); }
-
-  ProtocolKind kind() const override { return kind_; }
-  /// The protocol currently carrying traffic (kEagerSendRecv once degraded).
-  ProtocolKind active_kind() const { return active_kind_; }
-  bool degraded() const { return active_kind_ != kind_; }
-  const ReliabilityStats& reliability() const { return rstats_; }
-  uint64_t server_replays() const { return dedupe_->replays; }
-
-  ChannelStats stats() const override {
-    ChannelStats s = stats_;
-    merge(s, ch_->stats());
-    for (const auto& dead : graveyard_) merge(s, dead->stats());
-    return s;
-  }
-
  private:
-  /// Completion rendezvous between call() and the spawned attempt.
+  /// Completion rendezvous between do_call() and the spawned attempt.
   /// Shared so a timed-out attempt can outlive the call frame briefly
   /// while it unwinds.
   struct CallState {
@@ -164,13 +169,24 @@ class ReliableChannel : public RpcChannel {
     into.server_registered += from.server_registered;
   }
 
+  /// Counts a reliability event in this channel's scope and on the client
+  /// node (where the retry machinery runs).
+  void count(obs::Ctr c) {
+    channel_counters()->add(c);
+    cl_.counters().add(c);
+  }
+
   Handler wrap_handler() {
     auto dedupe = dedupe_;
     Handler user = user_handler_;
-    return [dedupe, user](View req) -> sim::Task<Buffer> {
+    obs::CounterSet* chan = channel_counters();
+    obs::CounterSet* node = &sv_.counters();
+    return [dedupe, user, chan, node](View req) -> sim::Task<Buffer> {
       RpcHeader h = get_rpc_header(req.data());
       if (auto it = dedupe->cache.find(h.seq); it != dedupe->cache.end()) {
         ++dedupe->replays;
+        chan->add(obs::Ctr::kReplays);
+        node->add(obs::Ctr::kReplays);
         co_return it->second;
       }
       Buffer resp = co_await user(req.subspan(kRpcHeaderBytes, h.len));
@@ -193,14 +209,20 @@ class ReliableChannel : public RpcChannel {
     return b;
   }
 
-  /// One attempt, run as its own task so call() can abandon it at the
-  /// deadline. Owns its framed request; always sets `done`.
+  /// One attempt, run as its own task so do_call() can abandon it at the
+  /// deadline. Owns its framed request; always sets `done`. The inner
+  /// call() resolves to a Result; the error arm is re-raised here so the
+  /// retry loop can classify it alongside non-transport exceptions.
   static sim::Task<void> invoke(RpcChannel* ch,
                                 std::shared_ptr<CallState> state,
                                 Buffer framed, uint32_t hint) {
     try {
-      state->resp = co_await ch->call(
+      CallResult r = co_await ch->call(
           View{framed.data(), framed.size()}, hint);
+      if (r)
+        state->resp = std::move(*r);
+      else
+        state->err = std::make_exception_ptr(r.error());
     } catch (...) {
       state->err = std::current_exception();
     }
@@ -208,6 +230,7 @@ class ReliableChannel : public RpcChannel {
   }
 
   sim::Task<void> backoff(int attempt) {
+    count(obs::Ctr::kBackoffSleeps);
     auto d = policy_.backoff_base.count();
     for (int i = 1; i < attempt && d < policy_.backoff_max.count(); ++i)
       d <<= 1;
@@ -223,11 +246,13 @@ class ReliableChannel : public RpcChannel {
   /// eager two-sided path when one-sided access keeps failing.
   void reconnect(RpcErrc why, int attempt) {
     ++rstats_.reconnects;
+    count(obs::Ctr::kReconnects);
     bool degrade = policy_.fallback_to_eager &&
                    active_kind_ != ProtocolKind::kEagerSendRecv &&
                    (why == RpcErrc::kRemoteAccess || attempt >= 2);
     if (degrade) {
       ++rstats_.fallbacks;
+      count(obs::Ctr::kFallbacks);
       active_kind_ = ProtocolKind::kEagerSendRecv;
     }
     ch_->abort();

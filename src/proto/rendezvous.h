@@ -14,7 +14,110 @@
 namespace hatrpc::proto {
 
 class RendezvousChannel : public ChannelBase {
- public:
+ protected:
+  sim::Task<Buffer> do_call(View req, uint32_t /*resp_size_hint*/) override {
+    if (req.size() > cfg_.max_msg)
+      throw std::length_error("rendezvous: request exceeds payload pool");
+    std::memcpy(cli_payload_->data(), req.data(), req.size());
+    const uint32_t len = static_cast<uint32_t>(req.size());
+
+    if (kind_ == ProtocolKind::kWriteRndv) {
+      // RTS -> wait CTS -> WRITE_IMM payload into the server's buffer.
+      co_await send_ctrl(cep_, cli_ctrl_src_, kRts, len, {});
+      Ctrl cts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
+      ++stats_.write_imms;
+      co_await cep_.qp->post_send(verbs::SendWr{
+          .opcode = verbs::Opcode::kWriteImm,
+          .local = {cli_payload_->data(), len},
+          .remote = cts.addr,
+          .imm = len,
+          .signaled = false});
+      // Response (reverse Write-RNDV): RTS' -> we reply CTS -> recv-imm.
+      Ctrl rts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
+      co_await send_ctrl(cep_, cli_ctrl_src_, kCts, rts.len,
+                         cli_resp_buf_->remote(0));
+      verbs::Wc wc = co_await cep_.recv_wc();
+      if (!wc.ok()) throw_wc("rndv recv-imm", wc.status);
+      repost_from_wc(cep_, cli_ctrl_ring_, wc);
+      const std::byte* p = cli_resp_buf_->data();
+      co_return Buffer(p, p + wc.imm);
+    }
+
+    // Read-RNDV: RTS carries our buffer; the server READs the request.
+    co_await send_ctrl(cep_, cli_ctrl_src_, kRts, len,
+                       cli_payload_->remote(0));
+    // Server processes, then announces its response buffer.
+    Ctrl rts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
+    ++stats_.reads;
+    co_await cep_.qp->post_send(verbs::SendWr{.wr_id = 1,
+                                              .opcode = verbs::Opcode::kRead,
+                                              .local = {cli_resp_buf_->data(),
+                                                        rts.len},
+                                              .remote = rts.addr});
+    verbs::Wc rwc = co_await cep_.send_wc();
+    if (!rwc.ok()) throw_wc("rndv read", rwc.status);
+    // FIN releases the server's response buffer for the next call.
+    co_await send_ctrl(cep_, cli_ctrl_src_, kFin, 0, {});
+    const std::byte* p = cli_resp_buf_->data();
+    co_return Buffer(p, p + rts.len);
+  }
+
+  sim::Task<void> serve() override {
+    while (!stop_) {
+      // Request arrival.
+      uint32_t req_len = 0;
+      if (kind_ == ProtocolKind::kWriteRndv) {
+        Ctrl rts = co_await recv_ctrl(sep_, srv_ctrl_ring_, /*eof_ok=*/true);
+        if (stop_ || rts.type != kRts) break;
+        co_await send_ctrl(sep_, srv_ctrl_src_, kCts, rts.len,
+                           srv_payload_->remote(0));
+        verbs::Wc wc = co_await sep_.recv_wc();
+        if (!wc.ok()) break;
+        repost_from_wc(sep_, srv_ctrl_ring_, wc);
+        req_len = wc.imm;
+      } else {
+        Ctrl rts = co_await recv_ctrl(sep_, srv_ctrl_ring_, /*eof_ok=*/true);
+        if (stop_ || rts.type != kRts) break;
+        ++stats_.reads;
+        co_await sep_.qp->post_send(verbs::SendWr{
+            .wr_id = 2,
+            .opcode = verbs::Opcode::kRead,
+            .local = {srv_payload_->data(), rts.len},
+            .remote = rts.addr});
+        verbs::Wc rwc = co_await sep_.send_wc();
+        if (!rwc.ok()) break;
+        req_len = rts.len;
+      }
+
+      Buffer resp =
+          co_await run_handler(View{srv_payload_->data(), req_len});
+      if (resp.size() > cfg_.max_msg)
+        throw std::length_error("rendezvous: response exceeds payload pool");
+      std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
+      const uint32_t rlen = static_cast<uint32_t>(resp.size());
+
+      if (kind_ == ProtocolKind::kWriteRndv) {
+        co_await send_ctrl(sep_, srv_ctrl_src_, kRts, rlen, {});
+        Ctrl cts = co_await recv_ctrl(sep_, srv_ctrl_ring_, /*eof_ok=*/true);
+        if (stop_ || cts.type != kCts) break;
+        ++stats_.write_imms;
+        co_await sep_.qp->post_send(verbs::SendWr{
+            .opcode = verbs::Opcode::kWriteImm,
+            .local = {srv_resp_src_->data(), rlen},
+            .remote = cts.addr,
+            .imm = rlen,
+            .signaled = false});
+      } else {
+        co_await send_ctrl(sep_, srv_ctrl_src_, kRts, rlen,
+                           srv_resp_src_->remote(0));
+        // Wait FIN before reusing the response buffer.
+        Ctrl fin = co_await recv_ctrl(sep_, srv_ctrl_ring_, /*eof_ok=*/true);
+        if (stop_ || fin.type != kFin) break;
+      }
+    }
+  }
+
+ private:
   RendezvousChannel(ProtocolKind kind, verbs::Node& client,
                     verbs::Node& server, Handler handler, ChannelConfig cfg)
       : ChannelBase(kind, client, server, std::move(handler), cfg) {
@@ -31,123 +134,15 @@ class RendezvousChannel : public ChannelBase {
     cli_ctrl_ring_ = alloc_client_mr(kCtrlBytes * cfg_.eager_slots);
     srv_ctrl_ring_ = alloc_server_mr(kCtrlBytes * cfg_.eager_slots);
     for (uint32_t i = 0; i < cfg_.eager_slots; ++i) {
-      post_ctrl_recv(cqp_, cli_ctrl_ring_, i);
-      post_ctrl_recv(sqp_, srv_ctrl_ring_, i);
+      post_ctrl_recv(cep_, cli_ctrl_ring_, i);
+      post_ctrl_recv(sep_, srv_ctrl_ring_, i);
     }
   }
 
-  sim::Task<Buffer> call(View req, uint32_t /*resp_size_hint*/) override {
-    if (req.size() > cfg_.max_msg)
-      throw std::length_error("rendezvous: request exceeds payload pool");
-    ++stats_.calls;
-    std::memcpy(cli_payload_->data(), req.data(), req.size());
-    const uint32_t len = static_cast<uint32_t>(req.size());
+  friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
+                                                  verbs::Node&, verbs::Node&,
+                                                  Handler, ChannelConfig);
 
-    if (kind_ == ProtocolKind::kWriteRndv) {
-      // RTS -> wait CTS -> WRITE_IMM payload into the server's buffer.
-      co_await send_ctrl(cqp_, cli_ctrl_src_, kRts, len, {});
-      Ctrl cts = co_await recv_ctrl(cqp_, c_rcq_, cli_ctrl_ring_,
-                                    cfg_.client_poll);
-      ++stats_.write_imms;
-      co_await cqp_->post_send(verbs::SendWr{
-          .opcode = verbs::Opcode::kWriteImm,
-          .local = {cli_payload_->data(), len},
-          .remote = cts.addr,
-          .imm = len,
-          .signaled = false});
-      // Response (reverse Write-RNDV): RTS' -> we reply CTS -> recv-imm.
-      Ctrl rts = co_await recv_ctrl(cqp_, c_rcq_, cli_ctrl_ring_,
-                                    cfg_.client_poll);
-      co_await send_ctrl(cqp_, cli_ctrl_src_, kCts, rts.len,
-                         cli_resp_buf_->remote(0));
-      verbs::Wc wc = co_await c_rcq_->wait(cfg_.client_poll);
-      if (!wc.ok()) throw_wc("rndv recv-imm", wc.status);
-      repost_from_wc(cqp_, cli_ctrl_ring_, wc);
-      const std::byte* p = cli_resp_buf_->data();
-      co_return Buffer(p, p + wc.imm);
-    }
-
-    // Read-RNDV: RTS carries our buffer; the server READs the request.
-    co_await send_ctrl(cqp_, cli_ctrl_src_, kRts, len,
-                       cli_payload_->remote(0));
-    // Server processes, then announces its response buffer.
-    Ctrl rts = co_await recv_ctrl(cqp_, c_rcq_, cli_ctrl_ring_,
-                                  cfg_.client_poll);
-    ++stats_.reads;
-    co_await cqp_->post_send(verbs::SendWr{.wr_id = 1,
-                                           .opcode = verbs::Opcode::kRead,
-                                           .local = {cli_resp_buf_->data(),
-                                                     rts.len},
-                                           .remote = rts.addr});
-    verbs::Wc rwc = co_await c_scq_->wait(cfg_.client_poll);
-    if (!rwc.ok()) throw_wc("rndv read", rwc.status);
-    // FIN releases the server's response buffer for the next call.
-    co_await send_ctrl(cqp_, cli_ctrl_src_, kFin, 0, {});
-    const std::byte* p = cli_resp_buf_->data();
-    co_return Buffer(p, p + rts.len);
-  }
-
- protected:
-  sim::Task<void> serve() override {
-    while (!stop_) {
-      // Request arrival.
-      uint32_t req_len = 0;
-      if (kind_ == ProtocolKind::kWriteRndv) {
-        Ctrl rts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
-                                      cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_ || rts.type != kRts) break;
-        co_await send_ctrl(sqp_, srv_ctrl_src_, kCts, rts.len,
-                           srv_payload_->remote(0));
-        verbs::Wc wc = co_await s_rcq_->wait(cfg_.server_poll);
-        if (!wc.ok()) break;
-        repost_from_wc(sqp_, srv_ctrl_ring_, wc);
-        req_len = wc.imm;
-      } else {
-        Ctrl rts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
-                                      cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_ || rts.type != kRts) break;
-        ++stats_.reads;
-        co_await sqp_->post_send(verbs::SendWr{
-            .wr_id = 2,
-            .opcode = verbs::Opcode::kRead,
-            .local = {srv_payload_->data(), rts.len},
-            .remote = rts.addr});
-        verbs::Wc rwc = co_await s_scq_->wait(cfg_.server_poll);
-        if (!rwc.ok()) break;
-        req_len = rts.len;
-      }
-
-      Buffer resp =
-          co_await handler_(View{srv_payload_->data(), req_len});
-      if (resp.size() > cfg_.max_msg)
-        throw std::length_error("rendezvous: response exceeds payload pool");
-      std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
-      const uint32_t rlen = static_cast<uint32_t>(resp.size());
-
-      if (kind_ == ProtocolKind::kWriteRndv) {
-        co_await send_ctrl(sqp_, srv_ctrl_src_, kRts, rlen, {});
-        Ctrl cts = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
-                                      cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_ || cts.type != kCts) break;
-        ++stats_.write_imms;
-        co_await sqp_->post_send(verbs::SendWr{
-            .opcode = verbs::Opcode::kWriteImm,
-            .local = {srv_resp_src_->data(), rlen},
-            .remote = cts.addr,
-            .imm = rlen,
-            .signaled = false});
-      } else {
-        co_await send_ctrl(sqp_, srv_ctrl_src_, kRts, rlen,
-                           srv_resp_src_->remote(0));
-        // Wait FIN before reusing the response buffer.
-        Ctrl fin = co_await recv_ctrl(sqp_, s_rcq_, srv_ctrl_ring_,
-                                      cfg_.server_poll, /*eof_ok=*/true);
-        if (stop_ || fin.type != kFin) break;
-      }
-    }
-  }
-
- private:
   static constexpr uint32_t kCtrlBytes = 32;
   static constexpr uint32_t kRts = 1;
   static constexpr uint32_t kCts = 2;
@@ -159,26 +154,25 @@ class RendezvousChannel : public ChannelBase {
     verbs::RemoteAddr addr{};
   };
 
-  sim::Task<void> send_ctrl(verbs::QueuePair* qp, verbs::MemoryRegion* src,
+  sim::Task<void> send_ctrl(verbs::Endpoint& ep, verbs::MemoryRegion* src,
                             uint32_t type, uint32_t len,
                             verbs::RemoteAddr addr) {
     ++stats_.sends;
-    uint32_t& seq = qp == cqp_ ? cli_ctrl_seq_ : srv_ctrl_seq_;
+    uint32_t& seq = &ep == &cep_ ? cli_ctrl_seq_ : srv_ctrl_seq_;
     std::byte* p = src->data() +
                    static_cast<size_t>(seq++ % cfg_.eager_slots) * kCtrlBytes;
     put_u32(p, type);
     put_u32(p + 4, len);
     put_u64(p + 8, addr.addr);
     put_u32(p + 16, addr.rkey);
-    co_await qp->post_send(verbs::SendWr{.opcode = verbs::Opcode::kSend,
-                                         .local = {p, 20},
-                                         .signaled = false});
+    co_await ep.qp->post_send(verbs::SendWr{.opcode = verbs::Opcode::kSend,
+                                            .local = {p, 20},
+                                            .signaled = false});
   }
 
-  sim::Task<Ctrl> recv_ctrl(verbs::QueuePair* qp, verbs::CompletionQueue* cq,
-                            verbs::MemoryRegion* ring, sim::PollMode mode,
+  sim::Task<Ctrl> recv_ctrl(verbs::Endpoint& ep, verbs::MemoryRegion* ring,
                             bool eof_ok = false) {
-    verbs::Wc wc = co_await cq->wait(mode);
+    verbs::Wc wc = co_await ep.recv_wc();
     if (!wc.ok()) {
       if (eof_ok) co_return Ctrl{};
       throw_wc("rndv ctrl", wc.status);
@@ -186,21 +180,21 @@ class RendezvousChannel : public ChannelBase {
     const std::byte* p =
         ring->data() + static_cast<size_t>(wc.wr_id) * kCtrlBytes;
     Ctrl c{get_u32(p), get_u32(p + 4), {get_u64(p + 8), get_u32(p + 16)}};
-    repost_from_wc(qp, ring, wc);
+    repost_from_wc(ep, ring, wc);
     co_return c;
   }
 
-  void post_ctrl_recv(verbs::QueuePair* qp, verbs::MemoryRegion* ring,
+  void post_ctrl_recv(verbs::Endpoint& ep, verbs::MemoryRegion* ring,
                       uint32_t idx) {
-    qp->post_recv(verbs::RecvWr{
+    ep.qp->post_recv(verbs::RecvWr{
         .wr_id = idx,
         .buf = {ring->data() + static_cast<size_t>(idx) * kCtrlBytes,
                 kCtrlBytes}});
   }
 
-  void repost_from_wc(verbs::QueuePair* qp, verbs::MemoryRegion* ring,
+  void repost_from_wc(verbs::Endpoint& ep, verbs::MemoryRegion* ring,
                       const verbs::Wc& wc) {
-    post_ctrl_recv(qp, ring, static_cast<uint32_t>(wc.wr_id));
+    post_ctrl_recv(ep, ring, static_cast<uint32_t>(wc.wr_id));
   }
 
   verbs::MemoryRegion* cli_payload_ = nullptr;

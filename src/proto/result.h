@@ -1,0 +1,49 @@
+// Result<T, E>: a call either produced a value or a typed error. Channels
+// return this from call() so every caller sees transport failures the same
+// way the reliability layer classifies them (RpcErrc), instead of each
+// call site inventing its own try/catch shape. Errors a retry cannot fix
+// (handler bugs, oversized messages) still propagate as exceptions.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+namespace hatrpc::proto {
+
+template <typename T, typename E>
+class Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; only valid when ok().
+  T& operator*() & { return std::get<0>(v_); }
+  const T& operator*() const& { return std::get<0>(v_); }
+  T&& operator*() && { return std::get<0>(std::move(v_)); }
+  T* operator->() { return &std::get<0>(v_); }
+  const T* operator->() const { return &std::get<0>(v_); }
+
+  /// The error; only valid when !ok().
+  E& error() & { return std::get<1>(v_); }
+  const E& error() const& { return std::get<1>(v_); }
+
+  /// The value, or — when this holds an error and E is throwable — the
+  /// error raised as an exception. Bridges Result-style call sites back
+  /// into exception-style control flow.
+  T& value() & {
+    if (!ok()) throw std::get<1>(v_);
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::get<1>(std::move(v_));
+    return std::get<0>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+}  // namespace hatrpc::proto

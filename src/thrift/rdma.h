@@ -45,11 +45,13 @@ class TRdma final : public MessageTransport {
   }
 
   /// Sends the buffered request through the RDMA engine and latches the
-  /// response for read().
+  /// response for read(). Transport failures surface as RpcError (the
+  /// Result's error arm re-raised), matching TSocket's exception shape.
   sim::Task<void> flush() {
     Buffer req = std::move(out_);
     out_.clear();
-    in_ = co_await ep_.channel().call(req, resp_hint_);
+    proto::CallResult r = co_await ep_.channel().call(req, resp_hint_);
+    in_ = std::move(r).value();
     rpos_ = 0;
   }
 

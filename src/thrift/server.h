@@ -56,16 +56,19 @@ class TServer {
       SimSocket* sock = co_await listener_->accept();
       if (!sock) break;
       conns_.push_back(sock);
+      const uint64_t conn_id = next_conn_id_++;
       if (opts_.kind == ServerKind::kSimple) {
-        co_await serve_connection(sock);  // serial: next accept after close
+        // serial: next accept after close
+        co_await serve_connection(sock, conn_id);
       } else {
-        net_.simulator().spawn(serve_connection(sock));
+        net_.simulator().spawn(serve_connection(sock, conn_id));
       }
     }
   }
 
-  sim::Task<void> serve_connection(SimSocket* sock) {
+  sim::Task<void> serve_connection(SimSocket* sock, uint64_t conn_id) {
     TFramedTransport framed(sock);
+    obs::Obs& obs = node_.obs();
     while (!stopping_) {
       // A connection dying mid-exchange (peer reset, stop() racing a
       // request) must drop this connection only, never unwind the server.
@@ -77,7 +80,12 @@ class TServer {
       }
       if (!req) break;
       if (opts_.kind == ServerKind::kThreadPool) co_await pool_.acquire();
+      node_.counters().add(obs::Ctr::kRequests);
+      const sim::Time t0 = net_.simulator().now();
       Buffer resp = co_await processor_(*req);
+      if (obs.tracer.enabled())
+        obs.tracer.complete("tserver/request", "thrift", t0,
+                            net_.simulator().now() - t0, node_.id(), conn_id);
       if (opts_.kind == ServerKind::kThreadPool) pool_.release();
       ++served_;
       try {
@@ -101,6 +109,7 @@ class TServer {
   std::vector<SimSocket*> conns_;
   bool stopping_ = false;
   uint64_t served_ = 0;
+  uint64_t next_conn_id_ = 0;
 };
 
 /// Client-side message RPC over a framed socket: the "Thrift over IPoIB"

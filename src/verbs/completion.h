@@ -8,6 +8,7 @@
 #include <deque>
 #include <optional>
 
+#include "obs/counters.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -69,8 +70,9 @@ struct Wc {
 
 class CompletionQueue {
  public:
-  CompletionQueue(sim::Simulator& sim, sim::Cpu& cpu, const CostModel& cost)
-      : sim_(sim), cpu_(cpu), cost_(cost), avail_(sim) {}
+  CompletionQueue(sim::Simulator& sim, sim::Cpu& cpu, const CostModel& cost,
+                  obs::CounterSet* ctrs = nullptr)
+      : sim_(sim), cpu_(cpu), cost_(cost), ctrs_(ctrs), avail_(sim) {}
 
   /// Called by the fabric when the NIC DMAs a CQE to host memory.
   void deliver(Wc wc) {
@@ -86,6 +88,7 @@ class CompletionQueue {
     Wc wc = cqes_.front();
     cqes_.pop_front();
     ++consumed_;
+    if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
     return wc;
   }
 
@@ -126,12 +129,14 @@ class CompletionQueue {
     Wc wc = cqes_.front();
     cqes_.pop_front();
     ++consumed_;
+    if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
     co_return wc;
   }
 
   sim::Simulator& sim_;
   sim::Cpu& cpu_;
   const CostModel& cost_;
+  obs::CounterSet* ctrs_;
   sim::WaitQueue avail_;
   std::deque<Wc> cqes_;
   bool closed_ = false;

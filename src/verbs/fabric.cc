@@ -26,6 +26,23 @@ WcOpcode send_side_opcode(Opcode op) {
   return WcOpcode::kSend;
 }
 
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return "send";
+    case Opcode::kWrite: return "write";
+    case Opcode::kWriteImm: return "write_imm";
+    case Opcode::kRead: return "read";
+  }
+  return "unknown";
+}
+
+/// Charges a counter to the requester's node scope and, when the QP is
+/// bound to a channel, to the channel scope as well.
+void count_qp(QueuePair& qp, obs::Ctr c, uint64_t v = 1) {
+  qp.node().counters().add(c, v);
+  if (obs::CounterSet* chan = qp.channel_counters()) chan->add(c, v);
+}
+
 }  // namespace
 
 QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
@@ -140,7 +157,21 @@ Task<void> Fabric::apply_fault(FaultPlan::Scheduled f) {
   }
 }
 
+void QueuePair::count_post(uint64_t wqes) {
+  obs::CounterSet& n = node_.counters();
+  n.add(obs::Ctr::kDoorbells);
+  n.add(obs::Ctr::kWqesPosted, wqes);
+  if (chan_ctrs_) {
+    chan_ctrs_->add(obs::Ctr::kDoorbells);
+    chan_ctrs_->add(obs::Ctr::kWqesPosted, wqes);
+  }
+}
+
 void Fabric::fail_wqe(QueuePair& src, const SendWr& wr, WcStatus status) {
+  count_qp(src, obs::Ctr::kWqeErrors);
+  if (obs_.tracer.enabled())
+    obs_.tracer.instant(std::string("wqe-error/") + to_string(status),
+                        "verbs", sim_.now(), src.node().id(), src.qp_num());
   // Error completions are generated even for unsignaled WRs, and the QP
   // moves to the error state so everything behind this WQE flushes.
   src.send_cq().deliver(Wc{.wr_id = wr.wr_id,
@@ -162,6 +193,7 @@ Task<void> QueuePair::post_send(SendWr wr) {
   sim::Duration sw = cm.post_wqe_cpu + cm.mmio_doorbell;
   if (!numa_local) sw += cm.numa_remote_penalty;
   co_await node_.cpu().compute(sw);
+  count_post(1);
   fabric_.simulator().spawn(fabric_.execute_wqe(*this, wr));
 }
 
@@ -173,6 +205,7 @@ Task<void> QueuePair::post_send_chain(std::vector<SendWr> wrs) {
                      cm.mmio_doorbell;
   if (!numa_local) sw += cm.numa_remote_penalty;
   co_await node_.cpu().compute(sw);
+  count_post(wrs.size());
   fabric_.simulator().spawn(fabric_.execute_chain(*this, std::move(wrs)));
 }
 
@@ -202,6 +235,20 @@ Task<void> Fabric::execute_chain(QueuePair& src, std::vector<SendWr> wrs) {
 }
 
 Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
+  if (!obs_.tracer.enabled()) {
+    co_await execute_wqe_inner(src, wr);
+    co_return;
+  }
+  // WR post -> completion span: one per WQE, keyed to the requester.
+  Time t0 = sim_.now();
+  uint32_t pid = src.node().id();
+  uint32_t qpn = src.qp_num();
+  co_await execute_wqe_inner(src, wr);
+  obs_.tracer.complete(std::string("wqe/") + opcode_name(wr.opcode), "verbs",
+                       t0, sim_.now() - t0, pid, qpn);
+}
+
+Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
   Node& s = src.node();
   QueuePair* dst_qp = src.peer();
   Node& d = dst_qp->node();
@@ -247,6 +294,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
             if (fp->draw_duplicate()) {
               // Duplicate delivery is PSN-deduped at the responder: it
               // costs wire occupancy but has no semantic effect.
+              count_qp(src, obs::Ctr::kDuplicates);
               fp->note(sim_.now(), "dup " + wqe_tag(src, wr));
               co_await wire_transfer(s.nic(), d.nic(),
                                      bytes == 0 ? 1 : bytes);
@@ -256,6 +304,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
           // Dropped on the wire (ack timeout) or corrupted in flight
           // (ICRC mismatch, receiver discards): either way the transport
           // waits out the retransmit timer and sends the payload again.
+          count_qp(src, obs::Ctr::kRetransmits);
           fp->note(sim_.now(),
                    (loss == FaultPlan::LossKind::kDrop ? "drop " : "corrupt ") +
                        wqe_tag(src, wr) + " attempt=" +
@@ -267,6 +316,11 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
           }
           co_await sim_.sleep(prof.retransmit_timeout);
         }
+        // Payload crossed the wire: DMA engines touched it at both ends.
+        s.counters().add(obs::Ctr::kDmaBytes, bytes);
+        d.counters().add(obs::Ctr::kDmaBytes, bytes);
+        if (obs::CounterSet* chan = src.channel_counters())
+          chan->add(obs::Ctr::kDmaBytes, bytes);
       }
       co_await sim_.sleep(cm.propagation);
       // Re-check after time passed on the wire: a scheduled fault may have
@@ -314,6 +368,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
             rwr = dst_qp->try_take_recv();
             unsigned probes = 0;
             while (!rwr && !dst_qp->in_error() && probes < prof.rnr_retry) {
+              count_qp(src, obs::Ctr::kRnrEvents);
               co_await sim_.sleep(prof.rnr_timer);
               rwr = dst_qp->try_take_recv();
               ++probes;
@@ -324,6 +379,9 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
               co_return;
             }
           } else {
+            // Unbounded RNR: count the stall only when we actually wait.
+            if (dst_qp->posted_recvs() == 0 && !dst_qp->in_error())
+              count_qp(src, obs::Ctr::kRnrEvents);
             rwr = co_await dst_qp->take_recv();
           }
           if (!rwr) {
@@ -428,6 +486,7 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
         if (!fp) break;
         FaultPlan::LossKind loss = fp->draw_loss();
         if (loss == FaultPlan::LossKind::kNone) break;
+        count_qp(src, obs::Ctr::kRetransmits);
         fp->note(sim_.now(),
                  (loss == FaultPlan::LossKind::kDrop ? "drop " : "corrupt ") +
                      wqe_tag(src, wr) + " attempt=" +
@@ -439,6 +498,12 @@ Task<void> Fabric::execute_wqe(QueuePair& src, SendWr wr) {
         }
         co_await sim_.sleep(prof.retransmit_timeout);
       }
+      // Read response crossed the wire: responder-side DMA fetch plus the
+      // requester-side placement.
+      s.counters().add(obs::Ctr::kDmaBytes, bytes);
+      d.counters().add(obs::Ctr::kDmaBytes, bytes);
+      if (obs::CounterSet* chan = src.channel_counters())
+        chan->add(obs::Ctr::kDmaBytes, bytes);
       co_await sim_.sleep(cm.propagation);
       if (src.in_error()) {
         fail_wqe(src, wr, WcStatus::kWrFlushErr);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "verbs/cost_model.h"
 #include "verbs/fault.h"
@@ -25,7 +26,8 @@ class Fabric {
 
   Node* add_node(sim::Cpu::Params cpu_params) {
     nodes_.push_back(std::make_unique<Node>(
-        *this, static_cast<uint32_t>(nodes_.size()), cpu_params, sim_, cost_));
+        *this, static_cast<uint32_t>(nodes_.size()), cpu_params, sim_, cost_,
+        obs_));
     return nodes_.back().get();
   }
   Node* add_node() { return add_node(sim::Cpu::Params{}); }
@@ -36,6 +38,11 @@ class Fabric {
 
   sim::Simulator& simulator() { return sim_; }
   const CostModel& cost() const { return cost_; }
+
+  /// The fabric's observability domain: per-node/per-channel counters and
+  /// the virtual-time tracer every layer above charges into.
+  obs::Obs& obs() { return obs_; }
+  const obs::Obs& obs() const { return obs_; }
   Node* node(size_t i) { return nodes_.at(i).get(); }
   size_t node_count() const { return nodes_.size(); }
 
@@ -51,8 +58,11 @@ class Fabric {
   friend class QueuePair;
   friend class Node;
 
-  /// NIC-side execution of one WQE (spawned, runs in virtual time).
+  /// NIC-side execution of one WQE (spawned, runs in virtual time). The
+  /// outer function wraps the state machine in a post->completion trace
+  /// span when the tracer is enabled.
   sim::Task<void> execute_wqe(QueuePair& src, SendWr wr);
+  sim::Task<void> execute_wqe_inner(QueuePair& src, SendWr wr);
   sim::Task<void> execute_chain(QueuePair& src, std::vector<SendWr> wrs);
 
   /// Moves `bytes` from tx to rx at line rate, multiplexed with other
@@ -75,6 +85,7 @@ class Fabric {
 
   sim::Simulator& sim_;
   CostModel cost_;
+  obs::Obs obs_;  // before nodes_: Node constructors register into it
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<FaultPlan> fault_plan_;
   uint32_t next_qpn_ = 1;

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.h"
+
 namespace hatrpc::verbs {
 
 /// (address, rkey) pair naming remote registered memory, as exchanged
@@ -92,6 +94,9 @@ class ProtectionDomain {
  public:
   explicit ProtectionDomain(uint32_t node_id) : node_id_(node_id) {}
 
+  /// Wires registration accounting into the node's counter scope.
+  void set_counters(obs::CounterSet* ctrs) { ctrs_ = ctrs; }
+
   /// Allocates and registers a fresh region.
   MemoryRegion* alloc_mr(size_t size) {
     uint32_t key = next_key_++;
@@ -99,6 +104,7 @@ class ProtectionDomain {
     MemoryRegion* raw = mr.get();
     by_rkey_[raw->rkey()] = raw;
     mrs_.push_back(std::move(mr));
+    if (ctrs_) ctrs_->add(obs::Ctr::kMrBytes, size);
     return raw;
   }
 
@@ -140,6 +146,7 @@ class ProtectionDomain {
 
  private:
   uint32_t node_id_;
+  obs::CounterSet* ctrs_ = nullptr;
   uint32_t next_key_ = 1;
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::unordered_map<uint32_t, MemoryRegion*> by_rkey_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/cpu.h"
 #include "verbs/completion.h"
 #include "verbs/memory.h"
@@ -18,9 +19,11 @@ class Fabric;
 class Node {
  public:
   Node(Fabric& fabric, uint32_t id, sim::Cpu::Params cpu_params,
-       sim::Simulator& sim, const CostModel& cost)
+       sim::Simulator& sim, const CostModel& cost, obs::Obs& obs)
       : fabric_(fabric), id_(id), cpu_(sim, cpu_params), pd_(id), cost_(cost),
-        sim_(sim) {}
+        sim_(sim), obs_(obs), ctrs_(&obs.counters.node(id)) {
+    pd_.set_counters(ctrs_);
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -30,9 +33,12 @@ class Node {
   sim::Cpu& cpu() { return cpu_; }
   Nic& nic() { return nic_; }
   ProtectionDomain& pd() { return pd_; }
+  obs::Obs& obs() { return obs_; }
+  obs::CounterSet& counters() { return *ctrs_; }
 
   CompletionQueue* create_cq() {
-    cqs_.push_back(std::make_unique<CompletionQueue>(sim_, cpu_, cost_));
+    cqs_.push_back(
+        std::make_unique<CompletionQueue>(sim_, cpu_, cost_, ctrs_));
     return cqs_.back().get();
   }
 
@@ -52,6 +58,8 @@ class Node {
   ProtectionDomain pd_;
   const CostModel& cost_;
   sim::Simulator& sim_;
+  obs::Obs& obs_;
+  obs::CounterSet* ctrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
   bool crashed_ = false;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/counters.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "verbs/memory.h"
@@ -90,6 +91,11 @@ class QueuePair {
   uint32_t qp_num() const { return qp_num_; }
   size_t posted_recvs() const { return recv_queue_.size(); }
 
+  /// Mirrors this QP's doorbell/WQE/DMA charges into a channel-scoped
+  /// counter set (on top of the always-on node scope).
+  void attach_counters(obs::CounterSet* ctrs) { chan_ctrs_ = ctrs; }
+  obs::CounterSet* channel_counters() { return chan_ctrs_; }
+
   /// NUMA placement of the thread driving this QP relative to the NIC.
   /// Off-socket posting pays CostModel::numa_remote_penalty per doorbell.
   bool numa_local = true;
@@ -105,6 +111,10 @@ class QueuePair {
   /// Fabric-side, non-blocking variant for paced finite-RNR re-probing.
   std::optional<RecvWr> try_take_recv() { return recv_queue_.try_pop(); }
 
+  /// Counts one doorbell ring carrying `wqes` work requests (node scope
+  /// always, channel scope when attached). Defined in fabric.cc.
+  void count_post(uint64_t wqes);
+
   Fabric& fabric_;
   Node& node_;
   CompletionQueue& send_cq_;
@@ -112,6 +122,7 @@ class QueuePair {
   uint32_t qp_num_;
   QpState state_ = QpState::kRts;
   QueuePair* peer_ = nullptr;
+  obs::CounterSet* chan_ctrs_ = nullptr;
   sim::Channel<RecvWr> recv_queue_;
   /// RC ordering: all packets of WQE n precede WQE n+1 on this QP, even
   /// though the wire multiplexes packets across different QPs.

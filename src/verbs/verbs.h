@@ -3,6 +3,7 @@
 
 #include "verbs/completion.h"  // IWYU pragma: export
 #include "verbs/cost_model.h"  // IWYU pragma: export
+#include "verbs/endpoint.h"    // IWYU pragma: export
 #include "verbs/fabric.h"
 #include "verbs/fault.h"      // IWYU pragma: export
 #include "verbs/memory.h"      // IWYU pragma: export

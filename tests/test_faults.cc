@@ -90,19 +90,11 @@ ChaosResult run_chaos(ProtocolKind kind, uint64_t seed) {
                ChaosResult& r) -> Task<void> {
     for (int i = 0; i < kCalls; ++i) {
       std::string want = payload_for(i);
-      bool failed = false;
-      RpcErrc errc{};
-      Buffer resp;
-      try {
-        resp = co_await ch.call(proto::to_buffer(want), 0);
-      } catch (const RpcError& e) {
-        failed = true;
-        errc = e.errc();
-      }
-      if (failed)
-        r.outcomes.emplace_back(to_string(errc));
+      proto::CallResult res = co_await ch.call(proto::to_buffer(want));
+      if (!res)
+        r.outcomes.emplace_back(to_string(res.error().errc()));
       else
-        r.outcomes.emplace_back(proto::as_string(resp) == want ? "ok" : "BAD");
+        r.outcomes.emplace_back(proto::as_string(*res) == want ? "ok" : "BAD");
       co_await sim.sleep(20us);
     }
     ch.abort();
@@ -172,7 +164,7 @@ TEST(Faults, TimedOutAttemptIsReplayedNotReexecuted) {
   fabric.set_fault_plan(std::move(plan));
   std::string got;
   sim.spawn([](ReliableChannel& ch, std::string& got) -> Task<void> {
-    Buffer resp = co_await ch.call(proto::to_buffer("needs-retry"), 0);
+    Buffer resp = (co_await ch.call(proto::to_buffer("needs-retry"))).value();
     got = proto::as_string(resp);
     ch.abort();
   }(*ch, got));
@@ -200,18 +192,12 @@ TEST(Faults, ServerCrashFailsTypedNeverHangs) {
   std::vector<std::string> outcomes;
   sim.spawn([](Simulator& sim, ReliableChannel& ch,
                std::vector<std::string>& outcomes) -> Task<void> {
-    Buffer ok = co_await ch.call(proto::to_buffer("pre-crash"), 0);
+    Buffer ok = (co_await ch.call(proto::to_buffer("pre-crash"))).value();
     outcomes.emplace_back(proto::as_string(ok));
     co_await sim.sleep(150us);  // the server is dead now
-    bool failed = false;
-    RpcErrc errc{};
-    try {
-      co_await ch.call(proto::to_buffer("post-crash"), 0);
-    } catch (const RpcError& e) {
-      failed = true;
-      errc = e.errc();
-    }
-    outcomes.emplace_back(failed ? to_string(errc) : "unexpected-ok");
+    proto::CallResult post = co_await ch.call(proto::to_buffer("post-crash"));
+    outcomes.emplace_back(post ? "unexpected-ok"
+                               : to_string(post.error().errc()));
     ch.abort();
   }(sim, *ch, outcomes));
   sim.run();
@@ -240,12 +226,12 @@ TEST(Faults, RevokedExportDegradesToEagerPath) {
     fabric.set_fault_plan(std::move(plan));
     int ok = 0;
     sim.spawn([](Simulator& sim, ReliableChannel& ch, int& ok) -> Task<void> {
-      Buffer r = co_await ch.call(proto::to_buffer("one-sided"), 0);
+      Buffer r = (co_await ch.call(proto::to_buffer("one-sided"))).value();
       if (proto::as_string(r) == "one-sided") ++ok;
       co_await sim.sleep_until(sim::Time(50us));
       for (int i = 0; i < 3; ++i) {
         std::string want = "degraded-" + std::to_string(i);
-        Buffer d = co_await ch.call(proto::to_buffer(want), 0);
+        Buffer d = (co_await ch.call(proto::to_buffer(want))).value();
         if (proto::as_string(d) == want) ++ok;
       }
       ch.abort();

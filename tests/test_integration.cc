@@ -54,7 +54,7 @@ ThroughputRun run_many_clients(proto::ProtocolKind kind, size_t bytes,
                  sim::WaitGroup& wg) -> Task<void> {
       proto::Buffer payload(bytes, std::byte{0x1});
       for (int i = 0; i < 12; ++i)
-        co_await ch.call(payload, uint32_t(bytes));
+        (co_await ch.call(payload, uint32_t(bytes))).value();
       wg.done();
     }(*chans.back(), bytes, wg));
   }
@@ -143,7 +143,7 @@ TEST(FigureShapes, FunctionIsolationProtectsLatencyRpc) {
     bool bulk_done = false;
     sim.spawn([](proto::RpcChannel& ch, bool& done) -> Task<void> {
       proto::Buffer big(128 << 10, std::byte{0x2});
-      for (int i = 0; i < 20; ++i) co_await ch.call(big, 128 << 10);
+      for (int i = 0; i < 20; ++i) (co_await ch.call(big, 128 << 10)).value();
       done = true;
     }(*bulk, bulk_done));
     sim.spawn([](Simulator& sim, proto::RpcChannel& ch,
@@ -152,7 +152,7 @@ TEST(FigureShapes, FunctionIsolationProtectsLatencyRpc) {
       proto::Buffer small(256, std::byte{0x3});
       while (!bulk_done) {
         sim::Time t0 = sim.now();
-        co_await ch.call(small, 256);
+        (co_await ch.call(small, 256)).value();
         total += sim.now() - t0;
         ++calls;
       }

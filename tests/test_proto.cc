@@ -62,8 +62,8 @@ RpcResult run_rpc(ProtocolKind kind, const std::string& payload,
   sim.spawn([](Simulator& sim, RpcChannel& ch, const std::string& payload,
                int repeats, RpcResult& result) -> Task<void> {
     for (int i = 0; i < repeats; ++i) {
-      Buffer resp = co_await ch.call(
-          to_buffer(payload), static_cast<uint32_t>(payload.size()));
+      Buffer resp = (co_await ch.call(
+          to_buffer(payload), static_cast<uint32_t>(payload.size()))).value();
       result.response = as_string(resp);
     }
     result.elapsed = sim.now();
@@ -177,7 +177,8 @@ TEST(ProtocolFootprint, RfpUndersizedHintPaysASecondRead) {
   sim.spawn([](RpcChannel& ch, const std::string& payload,
                std::string& got) -> Task<void> {
     for (int i = 0; i < 5; ++i) {
-      Buffer resp = co_await ch.call(to_buffer(payload), /*hint=*/128);
+      Buffer resp =
+          (co_await ch.call(to_buffer(payload), /*hint=*/128)).value();
       got = as_string(resp);
     }
     ch.shutdown();
@@ -318,8 +319,8 @@ TEST(ProtocolSequencing, ManySequentialCallsStayCorrect) {
       for (int i = 0; i < 50; ++i) {
         std::string payload = "call-" + std::to_string(i) + "-" +
                               payload_of(17 * (i % 9));
-        Buffer resp = co_await ch.call(
-            to_buffer(payload), static_cast<uint32_t>(payload.size()));
+        Buffer resp = (co_await ch.call(
+            to_buffer(payload), static_cast<uint32_t>(payload.size()))).value();
         if (as_string(resp) != upcased(payload)) ++mismatches;
       }
       ch.shutdown();
@@ -344,8 +345,8 @@ TEST(ProtocolSequencing, TwoChannelsOnOneServerAreIndependent) {
   auto client = [](RpcChannel& ch, std::string msg,
                    std::string& got) -> Task<void> {
     for (int i = 0; i < 10; ++i) {
-      Buffer resp = co_await ch.call(to_buffer(msg),
-                                     static_cast<uint32_t>(msg.size()));
+      Buffer resp = (co_await ch.call(
+          to_buffer(msg), static_cast<uint32_t>(msg.size()))).value();
       got = as_string(resp);
     }
     ch.shutdown();

@@ -381,7 +381,7 @@ TEST(TRdmaTransport, HandshakeEstablishesEndpointOverTcp) {
         *cl, proto::ProtocolKind::kDirectWriteImm, cfg);
     t = sim.now();  // handshake cost real virtual time
     proto::Buffer req = proto::to_buffer("post-handshake");
-    proto::Buffer resp = co_await ep->channel().call(req, 64);
+    proto::Buffer resp = (co_await ep->channel().call(req, 64)).value();
     got = std::string(proto::as_string(resp));
     transport.stop();
   }(sim, transport, cl, got, handshake_done));
@@ -411,8 +411,8 @@ TEST(TRdmaTransport, ManyClientsHandshakeConcurrently) {
       TRdmaEndPoint* ep = co_await transport.connect(
           *cl, proto::ProtocolKind::kEagerSendRecv, proto::ChannelConfig{});
       std::string msg = "client-" + std::to_string(c);
-      proto::Buffer resp = co_await ep->channel().call(
-          proto::to_buffer(msg), 64);
+      proto::Buffer resp = (co_await ep->channel().call(
+          proto::to_buffer(msg), 64)).value();
       if (proto::as_string(resp) == msg) ++ok;
       wg.done();
     }(transport, cl, c, ok, wg));
