@@ -25,21 +25,26 @@ void throughput_bench(benchmark::State& state, proto::ProtocolKind kind,
                       size_t bytes, int clients, sim::PollMode poll) {
   // Fewer per-client iterations at scale keeps total call counts sane.
   int iters = clients >= 128 ? 10 : (clients >= 28 ? 20 : 40);
+  // A window needs enough calls per client to actually fill it.
+  iters = std::max<int>(iters, int(2 * bench_window()));
   ThroughputResult r;
   BenchProbe probe;
   for (auto _ : state) {
     r = measure_throughput(kind, bytes, clients, poll, iters,
                            /*numa_bind=*/true, &probe);
-    state.SetIterationTime(
-        sim::to_seconds(r.mean_latency * int64_t(clients) * iters));
+    // Achieved throughput = calls over the run's elapsed virtual time (NOT
+    // latency x calls, which overstates the span once calls overlap).
+    state.SetIterationTime(sim::to_seconds(r.elapsed));
   }
   state.counters["mops"] = r.mops;
   state.counters["clients"] = clients;
+  state.counters["window"] = bench_window();
+  state.counters["mean_latency_us"] = sim::to_seconds(r.mean_latency) * 1e6;
   probe.report(state);
 }
 
 void register_all() {
-  for (size_t bytes : {size_t(512), size_t(128 << 10)}) {
+  for (size_t bytes : {size_t(64), size_t(512), size_t(128 << 10)}) {
     for (auto kind : kProtocols) {
       for (int clients : client_counts()) {
         for (auto poll : {sim::PollMode::kBusy, sim::PollMode::kEvent}) {

@@ -56,8 +56,16 @@ inline uint32_t next_trace_pid(uint32_t nodes_in_scenario) {
   return base;
 }
 
-/// Strips `--trace <file>` / `--trace=<file>` from argv (call BEFORE
-/// benchmark::Initialize, which rejects flags it doesn't know).
+/// Channel window used by the throughput scenarios (`--window N`). 1 keeps
+/// the classic one-outstanding-call-per-connection closed loop.
+inline uint32_t& bench_window() {
+  static uint32_t w = 1;
+  return w;
+}
+
+/// Strips `--trace <file>` / `--trace=<file>` and `--window <n>` /
+/// `--window=<n>` from argv (call BEFORE benchmark::Initialize, which
+/// rejects flags it doesn't know).
 inline void parse_bench_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +73,10 @@ inline void parse_bench_flags(int& argc, char** argv) {
       trace_path() = argv[++i];
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path() = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      bench_window() = uint32_t(std::max(1, std::atoi(argv[++i])));
+    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      bench_window() = uint32_t(std::max(1, std::atoi(argv[i] + 9)));
     } else {
       argv[out++] = argv[i];
     }
@@ -204,24 +216,32 @@ inline sim::Duration measure_latency(proto::ProtocolKind kind, size_t bytes,
 }
 
 struct ThroughputResult {
-  double mops = 0;            // aggregate million ops/s
-  sim::Duration mean_latency{};
+  double mops = 0;            // aggregate million ops/s (calls / elapsed)
+  sim::Duration mean_latency{};  // mean of the real per-call durations
+  sim::Duration elapsed{};    // virtual makespan of the whole run
 };
 
 /// Multi-client closed-loop throughput: `clients` concurrent clients, each
-/// issuing `iters` calls on its own connection.
+/// issuing `iters` calls on its own connection. When bench_window() > 1 the
+/// channels are windowed and each client drives `window` concurrent lanes
+/// (its iters split across them), so the window is actually filled.
+/// Achieved ops/s is total calls over the elapsed VIRTUAL time of the whole
+/// run; mean latency is averaged over the real per-call durations (under
+/// pipelining the two are no longer each other's reciprocal).
 inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
                                            size_t bytes, int clients,
                                            sim::PollMode poll, int iters = 30,
                                            bool numa_bind = false,
                                            BenchProbe* probe = nullptr) {
   Testbed bed;
+  const uint32_t window = bench_window();
   proto::ChannelConfig cfg;
   // NUMA binding is beneficial (and applied) only under-subscription.
   bool numa_local = numa_bind && clients <= 16;
   cfg.with_poll(poll)
       .with_max_msg(std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2))
-      .with_numa(numa_local, numa_local);
+      .with_numa(numa_local, numa_local)
+      .with_window(window);
 
   std::vector<std::unique_ptr<proto::RpcChannel>> channels;
   for (int c = 0; c < clients; ++c)
@@ -230,19 +250,28 @@ inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
                                            checksum_handler(*bed.server),
                                            cfg));
   sim::WaitGroup wg(bed.sim);
-  wg.add(size_t(clients));
+  sim::Duration lat_sum{};
   for (int c = 0; c < clients; ++c) {
-    bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch, size_t bytes,
-                     int iters, sim::WaitGroup& wg,
-                     BenchProbe* probe) -> Task<void> {
-      proto::Buffer payload(bytes, std::byte{0x5a});
-      for (int i = 0; i < iters; ++i) {
-        sim::Time c0 = bed.sim.now();
-        (co_await ch.call(payload, uint32_t(bytes))).value();
-        if (probe) probe->hist.record(bed.sim.now() - c0);
-      }
-      wg.done();
-    }(bed, *channels[size_t(c)], bytes, iters, wg, probe));
+    for (uint32_t l = 0; l < window; ++l) {
+      // Spread the client's call budget over its window lanes.
+      int lane_iters = iters / int(window) +
+                       (int(l) < iters % int(window) ? 1 : 0);
+      if (lane_iters == 0) continue;
+      wg.add(1);
+      bed.sim.spawn([](Testbed& bed, proto::RpcChannel& ch, size_t bytes,
+                       int lane_iters, sim::WaitGroup& wg,
+                       sim::Duration& lat_sum,
+                       BenchProbe* probe) -> Task<void> {
+        proto::Buffer payload(bytes, std::byte{0x5a});
+        for (int i = 0; i < lane_iters; ++i) {
+          sim::Time c0 = bed.sim.now();
+          (co_await ch.call(payload, uint32_t(bytes))).value();
+          lat_sum += bed.sim.now() - c0;
+          if (probe) probe->hist.record(bed.sim.now() - c0);
+        }
+        wg.done();
+      }(bed, *channels[size_t(c)], bytes, lane_iters, wg, lat_sum, probe));
+    }
   }
   sim::Time end{};
   bed.sim.spawn([](Testbed& bed, sim::WaitGroup& wg, sim::Time& end,
@@ -263,7 +292,8 @@ inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
   ThroughputResult r;
   double secs = sim::to_seconds(end);
   r.mops = secs > 0 ? double(total_calls) / secs / 1e6 : 0;
-  r.mean_latency = end / int64_t(total_calls ? total_calls : 1);
+  r.mean_latency = lat_sum / int64_t(total_calls ? total_calls : 1);
+  r.elapsed = end;
   return r;
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the Fig. 5 protocol-throughput benchmark and emits a JSON baseline
+# (BENCH_fig05.json by default). All timing is simulated, so the output is
+# bit-reproducible across machines and runs.
+#
+# Environment overrides:
+#   BUILD_DIR  build tree containing bench/ binaries   (default: build)
+#   FILTER     --benchmark_filter regex                (default: all Fig05)
+#   WINDOW     channel window driven per connection    (default: 1)
+#   OUT        output JSON path                        (default: BENCH_fig05.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+FILTER="${FILTER:-.}"
+WINDOW="${WINDOW:-1}"
+OUT="${OUT:-BENCH_fig05.json}"
+
+BIN="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+"$BIN" --window "$WINDOW" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT (window=$WINDOW, filter=$FILTER)"

@@ -33,6 +33,10 @@ enum class Ctr : uint8_t {
   kFallbacks,      // degradations to the eager path
   kReplays,        // server-side dedupe hits (response replayed)
   kRequests,       // thrift server requests processed
+  kDoorbellCoalescedWqes,  // WQEs that rode another post's doorbell MMIO
+  kSrqPosts,       // recv WRs posted to a shared receive queue
+  kCqBatchPolls,   // batched CQ drains (one pickup, many CQEs)
+  kWindowStalls,   // call() blocked because the channel window was full
   kCount,
 };
 
@@ -55,6 +59,10 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kFallbacks: return "fallbacks";
     case Ctr::kReplays: return "replays";
     case Ctr::kRequests: return "requests";
+    case Ctr::kDoorbellCoalescedWqes: return "doorbell_coalesced_wqes";
+    case Ctr::kSrqPosts: return "srq_posts";
+    case Ctr::kCqBatchPolls: return "cq_batch_polls";
+    case Ctr::kWindowStalls: return "window_stalls";
     case Ctr::kCount: break;
   }
   return "unknown";

@@ -22,6 +22,17 @@
 
 namespace hatrpc::proto {
 
+/// One in-flight call's rendezvous point between do_call() and the
+/// channel's completion dispatcher: the dispatcher fills len/status and
+/// fires done; do_call() resumes and reads its slot's buffers.
+struct PendingCall {
+  explicit PendingCall(sim::Simulator& sim) : done(sim) {}
+  sim::Event done;
+  uint32_t len = 0;
+  Buffer resp;  // used by protocols whose dispatcher owns the resp bytes
+  verbs::WcStatus status = verbs::WcStatus::kSuccess;
+};
+
 class ChannelBase : public RpcChannel {
  public:
   ProtocolKind kind() const override { return kind_; }
@@ -46,13 +57,18 @@ class ChannelBase : public RpcChannel {
         cfg_(cfg), cost_(client.fabric().cost()),
         sim_(client.fabric().simulator()),
         cep_(verbs::make_endpoint(client, cfg.client_poll)),
-        sep_(verbs::make_endpoint(server, cfg.server_poll)) {
+        sep_(verbs::make_endpoint(server, cfg.server_poll)),
+        free_slots_(client.fabric().simulator()) {
     cep_.qp->numa_local = cfg_.client_numa_local;
     sep_.qp->numa_local = cfg_.server_numa_local;
     verbs::connect(cep_, sep_);
     bind_obs(client.fabric(), client.id());
     cep_.qp->attach_counters(channel_counters());
     sep_.qp->attach_counters(channel_counters());
+    if (cfg_.window == 0) cfg_.window = 1;
+    if (cfg_.window > kMaxWindow)
+      throw std::length_error("channel window exceeds the slot-tag range");
+    for (uint32_t s = 0; s < cfg_.window; ++s) free_slots_.push(s);
   }
 
   /// Spawns the protocol's server loop(s); called by the factory after the
@@ -94,6 +110,45 @@ class ChannelBase : public RpcChannel {
         cost_.copy_time(bytes, cfg_.server_numa_local));
   }
 
+  // ---- Sliding-window scaffolding ---------------------------------------
+  // Completions carry the originating call's window slot in the top byte of
+  // the 32-bit imm (the low 24 bits keep the length), so a dispatcher can
+  // route each completion to the right pending call().
+  static constexpr uint32_t kSlotShift = 24;
+  static constexpr uint32_t kLenMask = (1u << kSlotShift) - 1;
+  static constexpr uint32_t kMaxWindow = 256;
+  static constexpr uint32_t slot_imm(uint32_t slot, uint32_t len) {
+    return (slot << kSlotShift) | len;
+  }
+  static constexpr uint32_t imm_slot(uint32_t imm) {
+    return imm >> kSlotShift;
+  }
+  static constexpr uint32_t imm_len(uint32_t imm) { return imm & kLenMask; }
+
+  /// Claims a window slot, blocking (and counting a window_stall) while all
+  /// cfg_.window slots are in flight.
+  sim::Task<uint32_t> acquire_slot() {
+    if (free_slots_.size() == 0) {
+      cl_.counters().add(obs::Ctr::kWindowStalls);
+      channel_counters()->add(obs::Ctr::kWindowStalls);
+    }
+    auto s = co_await free_slots_.pop();
+    if (!s)  // the pool is never closed; defensive
+      throw RpcError(RpcErrc::kChannelClosed, "window slot pool closed");
+    co_return *s;
+  }
+  void release_slot(uint32_t s) { free_slots_.push(s); }
+
+  /// Once a dispatcher consumes a terminal completion the channel is dead:
+  /// calls that acquire a slot after that point fail immediately instead of
+  /// waiting for a response that will never be routed.
+  void mark_dead(verbs::WcStatus st) {
+    if (!dead_) {
+      dead_ = true;
+      dead_status_ = st;
+    }
+  }
+
   ProtocolKind kind_;
   verbs::Node& cl_;
   verbs::Node& sv_;
@@ -103,7 +158,10 @@ class ChannelBase : public RpcChannel {
   sim::Simulator& sim_;
   verbs::Endpoint cep_;  // client side
   verbs::Endpoint sep_;  // server side
+  sim::Channel<uint32_t> free_slots_;
   bool stop_ = false;
+  bool dead_ = false;
+  verbs::WcStatus dead_status_ = verbs::WcStatus::kWrFlushErr;
 
   friend std::unique_ptr<RpcChannel> make_channel(ProtocolKind,
                                                   verbs::Node&, verbs::Node&,

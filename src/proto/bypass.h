@@ -14,6 +14,14 @@
 // With a busy-polling server the request WRITE is detected by CPU memory
 // polling (no completion); with an event server the request is sent as
 // WRITE_WITH_IMM so an interrupt can be raised.
+//
+// Pipelining (window > 1): the request slot and export region become rings
+// of per-slot strides. The busy server scans every slot per wakeup (one
+// pickup charge per detected batch) and spawns a handler per ready slot;
+// the event server recovers the slot from the imm tag. Client READs are
+// tagged wr_id=slot and routed by a send-CQ dispatcher so concurrent
+// fetches never steal each other's completions. window=1 keeps the classic
+// single-slot layout and charges bit-for-bit.
 #pragma once
 
 #include "proto/base.h"
@@ -27,6 +35,7 @@ class BypassChannel : public ChannelBase {
   sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
     if (req.size() > cfg_.max_msg)
       throw std::length_error("bypass protocol: request exceeds slot");
+    if (cfg_.window > 1) co_return co_await do_call_w(req, resp_size_hint);
     const uint64_t seq = ++seq_;
     // Request: [u64 seq][u32 len][payload] written into the server slot.
     std::byte* p = cli_req_src_->data();
@@ -60,12 +69,19 @@ class BypassChannel : public ChannelBase {
   }
 
   sim::Task<void> serve() override {
+    if (cfg_.window > 1) {
+      if (event_server())
+        co_await serve_event_w();
+      else
+        co_await serve_busy_w();
+      co_return;
+    }
     while (!stop_) {
       uint32_t req_len = 0;
       if (event_server()) {
         verbs::Wc wc = co_await sep_.recv_wc();
         if (!wc.ok()) break;
-        sep_.qp->post_recv(verbs::RecvWr{.wr_id = wc.wr_id});
+        repost_recv(static_cast<uint32_t>(wc.wr_id));
         req_len = wc.imm - kReqHdr;
       } else {
         // CPU memory polling: spin (occupying a core) until the request
@@ -101,30 +117,72 @@ class BypassChannel : public ChannelBase {
     }
   }
 
+  void start() override {
+    ChannelBase::start();
+    if (cfg_.window > 1) {
+      if (kind_ == ProtocolKind::kHerd)
+        sim_.spawn(herd_dispatch());
+      else
+        sim_.spawn(read_dispatch());
+    }
+  }
+
   void extra_shutdown() override { watch_.notify_all(); }
 
  private:
   BypassChannel(ProtocolKind kind, verbs::Node& client, verbs::Node& server,
                 Handler handler, ChannelConfig cfg)
       : ChannelBase(kind, client, server, std::move(handler), cfg),
-        watch_(client.fabric().simulator()) {
-    cli_req_src_ = alloc_client_mr(kReqHdr + cfg_.max_msg);
-    cli_read_buf_ = alloc_client_mr(kMetaBytes + cfg_.max_msg);
-    srv_req_slot_ = alloc_server_mr(kReqHdr + cfg_.max_msg);
-    srv_req_slot_->zero_prefix(kReqHdr);   // polled before the first write
-    cli_read_buf_->zero_prefix(kExportHdr);
+        watch_(client.fabric().simulator()),
+        srv_send_mu_(client.fabric().simulator()) {
+    const uint32_t w = cfg_.window;
+    req_stride_ = kReqHdr + cfg_.max_msg;
+    exp_stride_ = kExportHdr + cfg_.max_msg;
+    if (w > 1 && event_server() && req_stride_ > kLenMask)
+      throw std::length_error("bypass protocol: max_msg exceeds the 24-bit "
+                              "imm length field");
+    cli_req_src_ = alloc_client_mr(size_t(req_stride_) * w);
+    srv_req_slot_ = alloc_server_mr(size_t(req_stride_) * w);
+    if (w == 1) {
+      cli_read_buf_ = alloc_client_mr(kMetaBytes + cfg_.max_msg);
+      srv_req_slot_->zero_prefix(kReqHdr);  // polled before the first write
+      cli_read_buf_->zero_prefix(kExportHdr);
+    } else {
+      cli_read_buf_ = alloc_client_mr(size_t(exp_stride_) * w);
+      for (uint32_t s = 0; s < w; ++s) {
+        std::memset(srv_req_slot_->data() + size_t(s) * req_stride_, 0,
+                    kReqHdr);
+        std::memset(cli_read_buf_->data() + size_t(s) * exp_stride_, 0,
+                    kExportHdr);
+      }
+      served_v_.assign(w, 0);
+      if (kind_ == ProtocolKind::kHerd) {
+        pending_.resize(w);
+      } else {
+        for (uint32_t s = 0; s < w; ++s)
+          read_done_.push_back(
+              std::make_unique<sim::Channel<verbs::WcStatus>>(sim_));
+      }
+    }
     if (kind_ == ProtocolKind::kHerd) {
       resp_pipe_.emplace(sep_, cep_, cfg_, &stats_, channel_counters());
       stats_.client_registered += resp_pipe_->ring_bytes();
       stats_.server_registered += resp_pipe_->ring_bytes();
     } else {
       // Exported region the client READs: [meta1 16B][meta2 16B][payload].
-      srv_export_ = alloc_server_mr(kExportHdr + cfg_.max_msg);
-      srv_export_->zero_prefix(kExportHdr);
+      srv_export_ = alloc_server_mr(size_t(exp_stride_) * w);
+      if (w == 1)
+        srv_export_->zero_prefix(kExportHdr);
+      else
+        for (uint32_t s = 0; s < w; ++s)
+          std::memset(srv_export_->data() + size_t(s) * exp_stride_, 0,
+                      kExportHdr);
     }
     if (event_server()) {
-      for (uint32_t i = 0; i < cfg_.eager_slots; ++i)
-        sep_.qp->post_recv(verbs::RecvWr{.wr_id = i});
+      if (cfg_.server_srq) sep_.qp->set_srq(cfg_.server_srq);
+      const uint32_t ring = std::max(cfg_.eager_slots, w);
+      for (uint32_t i = 0; i < ring; ++i)
+        if (!cfg_.server_srq) sep_.qp->post_recv(verbs::RecvWr{.wr_id = i});
     } else {
       srv_req_slot_->set_write_watch(
           [this](uint64_t, size_t) { watch_.notify_all(); });
@@ -141,6 +199,13 @@ class BypassChannel : public ChannelBase {
 
   bool event_server() const {
     return cfg_.server_poll == sim::PollMode::kEvent;
+  }
+
+  void repost_recv(uint32_t idx) {
+    if (verbs::SharedReceiveQueue* srq = sep_.qp->srq())
+      srq->post_recv(verbs::RecvWr{.wr_id = idx}, channel_counters());
+    else
+      sep_.qp->post_recv(verbs::RecvWr{.wr_id = idx});
   }
 
   sim::Task<verbs::Wc> issue_read(uint64_t remote_off, uint32_t len,
@@ -228,14 +293,256 @@ class BypassChannel : public ChannelBase {
     }
   }
 
+  // ---- Windowed path ----------------------------------------------------
+
+  sim::Task<Buffer> do_call_w(View req, uint32_t hint) {
+    uint32_t slot = co_await acquire_slot();
+    if (dead_) {
+      release_slot(slot);
+      throw_wc("bypass", dead_status_);
+    }
+    try {
+      Buffer out = co_await run_call_w(slot, req, hint);
+      release_slot(slot);
+      co_return out;
+    } catch (...) {
+      release_slot(slot);
+      throw;
+    }
+  }
+
+  sim::Task<Buffer> run_call_w(uint32_t slot, View req, uint32_t hint) {
+    const uint64_t seq = ++seq_;
+    std::byte* p = cli_req_src_->data() + size_t(slot) * req_stride_;
+    put_u64(p, seq);
+    put_u32(p + 8, static_cast<uint32_t>(req.size()));
+    std::memcpy(p + kReqHdr, req.data(), req.size());
+    const uint32_t wire = kReqHdr + static_cast<uint32_t>(req.size());
+    std::shared_ptr<PendingCall> pend;
+    if (kind_ == ProtocolKind::kHerd) {
+      pend = std::make_shared<PendingCall>(sim_);
+      pending_[slot] = pend;
+    }
+    if (event_server()) {
+      ++stats_.write_imms;
+      co_await cep_.qp->post_send(verbs::SendWr{
+          .opcode = verbs::Opcode::kWriteImm,
+          .local = {p, wire},
+          .remote = srv_req_slot_->remote(size_t(slot) * req_stride_),
+          .imm = slot_imm(slot, wire),
+          .signaled = false});
+    } else {
+      ++stats_.writes;
+      co_await cep_.qp->post_send(verbs::SendWr{
+          .opcode = verbs::Opcode::kWrite,
+          .local = {p, wire},
+          .remote = srv_req_slot_->remote(size_t(slot) * req_stride_),
+          .signaled = false});
+    }
+    if (kind_ == ProtocolKind::kHerd) {
+      co_await pend->done.wait();
+      pending_[slot].reset();
+      if (pend->status != verbs::WcStatus::kSuccess)
+        throw_wc("herd recv", pend->status);
+      co_return std::move(pend->resp);
+    }
+    co_return co_await fetch_response_w(slot, seq, hint);
+  }
+
+  /// Slot-tagged READ: wr_id carries the slot so read_dispatch can route
+  /// the completion back to this call's mailbox.
+  sim::Task<void> issue_read_w(uint32_t slot, uint64_t remote_off,
+                               uint32_t len, uint64_t local_off = 0) {
+    ++stats_.reads;
+    const size_t base = size_t(slot) * exp_stride_;
+    co_await cep_.qp->post_send(verbs::SendWr{
+        .wr_id = slot,
+        .opcode = verbs::Opcode::kRead,
+        .local = {cli_read_buf_->data() + base + local_off, len},
+        .remote = srv_export_->remote(base + remote_off)});
+    auto st = co_await read_done_[slot]->pop();
+    if (!st || *st != verbs::WcStatus::kSuccess)
+      throw_wc("bypass read", st ? *st : verbs::WcStatus::kWrFlushErr);
+  }
+
+  sim::Task<Buffer> fetch_response_w(uint32_t slot, uint64_t seq,
+                                     uint32_t hint) {
+    const std::byte* b = cli_read_buf_->data() + size_t(slot) * exp_stride_;
+    switch (kind_) {
+      case ProtocolKind::kPilaf: {
+        while (true) {
+          co_await issue_read_w(slot, 0, kMetaBytes);
+          if (get_u64(b) == seq) break;
+          ++stats_.read_retries;
+        }
+        co_await issue_read_w(slot, 16, kMetaBytes);
+        uint32_t len = get_u32(b + 8);
+        co_await issue_read_w(slot, kExportHdr, len);
+        co_return Buffer(b, b + len);
+      }
+      case ProtocolKind::kFarm: {
+        uint32_t len = 0;
+        while (true) {
+          co_await issue_read_w(slot, 0, kExportHdr);
+          if (get_u64(b) == seq) {
+            len = get_u32(b + 24);
+            break;
+          }
+          ++stats_.read_retries;
+        }
+        co_await issue_read_w(slot, kExportHdr, len);
+        co_return Buffer(b, b + len);
+      }
+      case ProtocolKind::kRfp: {
+        uint32_t guess = hint > 0 ? std::min(hint, cfg_.max_msg)
+                                  : cfg_.eager_slot;
+        sim::Time t0 = sim_.now();
+        if (fetch_delay_ > sim::Duration{0}) co_await sim_.sleep(fetch_delay_);
+        co_await issue_read_w(slot, 0, kExportHdr + guess);
+        if (get_u64(b) != seq) {
+          ++stats_.read_retries;
+          while (true) {
+            co_await issue_read_w(slot, 0, kExportHdr);
+            if (get_u64(b) == seq) break;
+            ++stats_.read_retries;
+          }
+          sim::Duration observed = sim_.now() - t0;
+          fetch_delay_ = (fetch_delay_ * 3 + observed) / 4;
+          uint32_t len = get_u32(b + 24);
+          co_await issue_read_w(slot, kExportHdr, len, kExportHdr);
+          co_return Buffer(b + kExportHdr, b + kExportHdr + len);
+        }
+        fetch_delay_ = fetch_delay_ * 7 / 8;
+        uint32_t len = get_u32(b + 24);
+        if (len > guess) {
+          co_await issue_read_w(slot, kExportHdr + guess, len - guess,
+                                kExportHdr + guess);
+        }
+        co_return Buffer(b + kExportHdr, b + kExportHdr + len);
+      }
+      default:
+        throw std::logic_error("not a bypass protocol");
+    }
+  }
+
+  /// Routes slot-tagged READ completions to their fetch; a terminal
+  /// completion fails every slot and marks the channel dead.
+  sim::Task<void> read_dispatch() {
+    for (;;) {
+      auto wcs = co_await cep_.send_wcs(cfg_.window);
+      for (verbs::Wc& wc : wcs) {
+        if (!wc.ok()) {
+          mark_dead(wc.status);
+          for (auto& m : read_done_) m->push(wc.status);
+          co_return;
+        }
+        read_done_[wc.wr_id]->push(wc.status);
+      }
+    }
+  }
+
+  /// HERD: routes slot-prefixed SEND responses to their pending calls.
+  sim::Task<void> herd_dispatch() {
+    for (;;) {
+      auto m = co_await resp_pipe_->recv();
+      if (!m) {
+        mark_dead(resp_pipe_->last_status());
+        for (auto& p : pending_)
+          if (p) {
+            p->status = dead_status_;
+            p->done.set();
+          }
+        co_return;
+      }
+      uint32_t slot = get_u32(m->data());
+      if (slot < pending_.size()) {
+        if (auto& p = pending_[slot]) {
+          p->resp.assign(m->begin() + 4, m->end());
+          p->status = verbs::WcStatus::kSuccess;
+          p->done.set();
+        }
+      }
+    }
+  }
+
+  sim::Task<void> serve_event_w() {
+    for (;;) {
+      auto wcs = co_await sep_.recv_wcs(cfg_.window);
+      for (verbs::Wc& wc : wcs) {
+        if (!wc.ok()) co_return;
+        repost_recv(static_cast<uint32_t>(wc.wr_id));
+        const uint32_t slot = imm_slot(wc.imm);
+        const uint32_t wire = imm_len(wc.imm);
+        served_v_[slot] = get_u64(slot_req(slot));
+        sim_.spawn(handle_slot(slot, wire - kReqHdr));
+      }
+    }
+  }
+
+  sim::Task<void> serve_busy_w() {
+    std::vector<uint32_t> found;
+    while (!stop_) {
+      found.clear();
+      {
+        auto guard = sv_.cpu().busy_guard();
+        for (;;) {
+          for (uint32_t s = 0; s < cfg_.window; ++s)
+            if (get_u64(slot_req(s)) != served_v_[s]) found.push_back(s);
+          if (!found.empty() || stop_) break;
+          co_await watch_.wait();
+        }
+      }
+      if (stop_) break;
+      // One pickup charge covers the whole detected batch.
+      co_await sim_.sleep(sv_.cpu().pickup_delay(sim::PollMode::kBusy));
+      for (uint32_t s : found) {
+        served_v_[s] = get_u64(slot_req(s));
+        sim_.spawn(handle_slot(s, get_u32(slot_req(s) + 8)));
+      }
+    }
+  }
+
+  sim::Task<void> handle_slot(uint32_t slot, uint32_t req_len) {
+    const std::byte* r = slot_req(slot);
+    const uint64_t seq = get_u64(r);
+    Buffer resp = co_await run_handler(View{r + kReqHdr, req_len});
+    if (resp.size() > cfg_.max_msg)
+      throw std::length_error("bypass protocol: response exceeds slot");
+    if (kind_ == ProtocolKind::kHerd) {
+      Buffer framed(4 + resp.size());
+      put_u32(framed.data(), slot);
+      if (!resp.empty())
+        std::memcpy(framed.data() + 4, resp.data(), resp.size());
+      auto guard = co_await srv_send_mu_.scoped();
+      co_await resp_pipe_->send(framed);
+      co_return;
+    }
+    co_await charge_server_copy(resp.size());
+    std::byte* e = srv_export_->data() + size_t(slot) * exp_stride_;
+    std::memcpy(e + kExportHdr, resp.data(), resp.size());
+    put_u64(e + 16, seq);
+    put_u32(e + 24, static_cast<uint32_t>(resp.size()));
+    put_u64(e, seq);
+  }
+
+  std::byte* slot_req(uint32_t slot) const {
+    return srv_req_slot_->data() + size_t(slot) * req_stride_;
+  }
+
   verbs::MemoryRegion* cli_req_src_ = nullptr;
   verbs::MemoryRegion* cli_read_buf_ = nullptr;
   verbs::MemoryRegion* srv_req_slot_ = nullptr;
   verbs::MemoryRegion* srv_export_ = nullptr;
   std::optional<EagerPipe> resp_pipe_;  // HERD response path
   sim::WaitQueue watch_;
+  sim::Mutex srv_send_mu_;  // serializes windowed HERD pipe responses
   uint64_t seq_ = 0;
-  uint64_t served_ = 0;
+  uint64_t served_ = 0;                  // window=1: last served request seq
+  std::vector<uint64_t> served_v_;       // window>1: per-slot served seq
+  uint32_t req_stride_ = 0;
+  uint32_t exp_stride_ = 0;
+  std::vector<std::unique_ptr<sim::Channel<verbs::WcStatus>>> read_done_;
+  std::vector<std::shared_ptr<PendingCall>> pending_;  // HERD window>1
   sim::Duration fetch_delay_{};  // RFP adaptive-fetch delay estimate
 };
 

@@ -71,6 +71,16 @@ struct ChannelConfig {
   uint32_t eager_slots = 16;
   /// Hybrid protocols switch from eager to rendezvous above this.
   uint32_t rndv_threshold = 4096;
+  /// Sliding window: how many calls may be in flight on the channel at
+  /// once. Every protocol allocates `window` slots of its per-connection
+  /// rings; call() blocks (and counts a window_stall) when all slots are
+  /// busy. window=1 is the classic one-outstanding-call channel.
+  uint32_t window = 1;
+  /// When set, the server side of recv-consuming protocols (Direct-WriteIMM
+  /// and event-polled bypass) attaches its QP to this shared receive queue
+  /// instead of posting per-connection recvs. Owned by the caller
+  /// (typically thrift::TServerRdma), which also replenishes it.
+  verbs::SharedReceiveQueue* server_srq = nullptr;
   /// NUMA placement of the driving threads relative to their NICs.
   bool client_numa_local = true;
   bool server_numa_local = true;
@@ -101,6 +111,14 @@ struct ChannelConfig {
   }
   ChannelConfig& with_rndv_threshold(uint32_t bytes) {
     rndv_threshold = bytes;
+    return *this;
+  }
+  ChannelConfig& with_window(uint32_t n) {
+    window = n == 0 ? 1 : n;
+    return *this;
+  }
+  ChannelConfig& with_server_srq(verbs::SharedReceiveQueue* srq) {
+    server_srq = srq;
     return *this;
   }
   ChannelConfig& with_numa(bool client_local, bool server_local) {

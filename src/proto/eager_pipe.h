@@ -37,21 +37,22 @@ class EagerPipe {
     return static_cast<size_t>(cfg_.eager_slot) * cfg_.eager_slots;
   }
 
-  /// Sends one (possibly segmented) message. Single outstanding message per
-  /// pipe; slot reuse is gated on send completions (polled with the
-  /// sender's discipline). Returns false (with last_status() set) if a send
-  /// completes in error.
+  /// Sends one (possibly segmented) message. Multiple whole messages may be
+  /// in flight back-to-back (windowed callers serialize send() itself); the
+  /// staging cursor therefore persists across messages, and slot reuse is
+  /// gated on send completions (polled with the sender's discipline) so a
+  /// new message never overwrites a slot whose send is still outstanding.
+  /// Returns false (with last_status() set) if a send completes in error.
   sim::Task<bool> send(View msg) {
     const uint32_t slot = cfg_.eager_slot;
     const uint32_t nslots = cfg_.eager_slots;
     size_t off = 0;
-    uint32_t seg = 0;
     bool first = true;
     // Lazily reclaim completions from previous messages (no charge when
     // they are already visible — ibv_poll_cq batch semantics).
     while (outstanding_ > 0 && src_.scq->try_poll()) --outstanding_;
     while (first || off < msg.size()) {
-      uint32_t idx = seg % nslots;
+      uint32_t idx = cursor_ % nslots;
       std::byte* s = send_ring_->data() + static_cast<size_t>(idx) * slot;
       uint32_t hdr = first ? 4u : 0u;
       uint32_t take = static_cast<uint32_t>(
@@ -79,7 +80,7 @@ class EagerPipe {
       ++stats_->sends;
       ++outstanding_;
       off += take;
-      ++seg;
+      ++cursor_;
       first = false;
     }
     co_return true;
@@ -151,6 +152,7 @@ class EagerPipe {
   verbs::MemoryRegion* send_ring_;
   verbs::MemoryRegion* recv_ring_;
   uint32_t outstanding_ = 0;
+  uint32_t cursor_ = 0;  // staging slot cursor, persistent across messages
   verbs::WcStatus last_status_ = verbs::WcStatus::kSuccess;
 };
 

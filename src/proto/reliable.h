@@ -91,6 +91,10 @@ class ReliableChannel : public RpcChannel {
     std::string last_what = "no attempt made";
     for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
       ++rstats_.attempts;
+      // With a windowed channel several calls retry concurrently; remember
+      // which incarnation this attempt ran on so only the FIRST failure of
+      // an incarnation rebuilds it (the others retry on the new channel).
+      const uint64_t at_epoch = epoch_;
       if (attempt > 1 && obs_->tracer.enabled())
         obs_->tracer.instant("retry-attempt", "reliable", sim_.now(),
                              obs_pid(), obs_channel_id());
@@ -129,7 +133,7 @@ class ReliableChannel : public RpcChannel {
       }
       if (attempt == policy_.max_attempts) break;
       co_await backoff(attempt);
-      reconnect(last, attempt);
+      reconnect(last, attempt, at_epoch);
     }
     throw RpcError(RpcErrc::kRetriesExhausted,
                    "rpc failed after " +
@@ -243,8 +247,12 @@ class ReliableChannel : public RpcChannel {
   }
 
   /// Retires the current channel and connects a fresh one; degrades to the
-  /// eager two-sided path when one-sided access keeps failing.
-  void reconnect(RpcErrc why, int attempt) {
+  /// eager two-sided path when one-sided access keeps failing. A no-op when
+  /// the failing attempt ran on an already-replaced incarnation (its
+  /// rebuild is done; aborting again would kill the replacement's traffic).
+  void reconnect(RpcErrc why, int attempt, uint64_t at_epoch) {
+    if (at_epoch != epoch_) return;
+    ++epoch_;
     ++rstats_.reconnects;
     count(obs::Ctr::kReconnects);
     bool degrade = policy_.fallback_to_eager &&
@@ -276,6 +284,7 @@ class ReliableChannel : public RpcChannel {
   std::vector<std::unique_ptr<RpcChannel>> graveyard_;
   ReliabilityStats rstats_;
   uint64_t next_seq_ = 0;
+  uint64_t epoch_ = 0;  // bumped on every rebuild; guards double-reconnect
 };
 
 inline std::unique_ptr<ReliableChannel> make_reliable_channel(

@@ -113,6 +113,7 @@ class TRdmaTransport {
     p.writeI32(static_cast<int32_t>(client.id()));
     p.writeI32(static_cast<int32_t>(cfg.max_msg));
     p.writeI32(static_cast<int32_t>(cfg.eager_slots));
+    p.writeI32(static_cast<int32_t>(cfg.window));
     p.writeByte(cfg.client_poll == sim::PollMode::kBusy ? 1 : 0);
     p.writeByte(cfg.server_poll == sim::PollMode::kBusy ? 1 : 0);
     co_await framed.send(req.view());
@@ -149,6 +150,7 @@ class TRdmaTransport {
       proto::ChannelConfig cfg;
       cfg.max_msg = static_cast<uint32_t>(rp.readI32());
       cfg.eager_slots = static_cast<uint32_t>(rp.readI32());
+      cfg.window = static_cast<uint32_t>(rp.readI32());
       cfg.client_poll = rp.readByte() ? sim::PollMode::kBusy
                                       : sim::PollMode::kEvent;
       cfg.server_poll = rp.readByte() ? sim::PollMode::kBusy
@@ -178,13 +180,33 @@ class TRdmaTransport {
 /// TServerRdma is the factory/owner of endpoints on the server node.
 class TServerRdma {
  public:
+  struct Options {
+    /// When nonzero the server creates one shared receive queue, pre-posts
+    /// this many recv tokens, and attaches every accepted recv-consuming
+    /// channel to it (the ibv_srq deployment pattern: one recv pool instead
+    /// of per-connection recv rings, so posted-recv memory scales with the
+    /// expected burst, not with the connection count).
+    uint32_t srq_depth = 0;
+  };
+
   TServerRdma(verbs::Node& node, proto::Handler processor)
-      : node_(node), processor_(std::move(processor)) {}
+      : TServerRdma(node, std::move(processor), Options{}) {}
+
+  TServerRdma(verbs::Node& node, proto::Handler processor, Options opts)
+      : node_(node), processor_(std::move(processor)) {
+    if (opts.srq_depth > 0) {
+      srq_ = node_.create_srq();
+      for (uint32_t i = 0; i < opts.srq_depth; ++i)
+        srq_->post_recv(verbs::RecvWr{.wr_id = i});
+    }
+  }
 
   /// Accepts a new connection from `client` using `kind`; the simulation
-  /// analogue of TRdmaTransport's QP handshake + buffer exchange.
+  /// analogue of TRdmaTransport's QP handshake + buffer exchange. When the
+  /// server runs an SRQ, the accepted channel's server side drains it.
   TRdmaEndPoint* accept(verbs::Node& client, proto::ProtocolKind kind,
                         proto::ChannelConfig cfg) {
+    if (srq_) cfg.with_server_srq(srq_);
     endpoints_.push_back(std::make_unique<TRdmaEndPoint>(
         proto::make_channel(kind, client, node_, processor_, cfg)));
     return endpoints_.back().get();
@@ -192,14 +214,17 @@ class TServerRdma {
 
   void stop() {
     for (auto& ep : endpoints_) ep->shutdown();
+    if (srq_) srq_->close();
   }
 
   verbs::Node& node() { return node_; }
+  verbs::SharedReceiveQueue* srq() { return srq_; }
   size_t connections() const { return endpoints_.size(); }
 
  private:
   verbs::Node& node_;
   proto::Handler processor_;
+  verbs::SharedReceiveQueue* srq_ = nullptr;
   std::vector<std::unique_ptr<TRdmaEndPoint>> endpoints_;
 };
 

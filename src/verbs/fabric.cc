@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "verbs/srq.h"
+
 namespace hatrpc::verbs {
 
 using sim::Task;
@@ -49,7 +51,7 @@ QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
                      CompletionQueue& recv_cq, uint32_t qp_num)
     : fabric_(fabric), node_(node), send_cq_(send_cq), recv_cq_(recv_cq),
       qp_num_(qp_num), recv_queue_(fabric.simulator()),
-      sq_order_(fabric.simulator()) {}
+      db_flushed_(fabric.simulator()), sq_order_(fabric.simulator()) {}
 
 QueuePair* Node::create_qp(CompletionQueue& send_cq,
                            CompletionQueue& recv_cq) {
@@ -70,6 +72,7 @@ void Node::crash() {
   // Fabric::execute_wqe), not by magic.
   for (auto& qp : qps_) qp->enter_error();
   for (auto& cq : cqs_) cq->close();
+  for (auto& srq : srqs_) srq->close();
 }
 
 void QueuePair::enter_error() {
@@ -161,9 +164,14 @@ void QueuePair::count_post(uint64_t wqes) {
   obs::CounterSet& n = node_.counters();
   n.add(obs::Ctr::kDoorbells);
   n.add(obs::Ctr::kWqesPosted, wqes);
+  // Every WQE past the first rode this doorbell instead of ringing its own
+  // (a chained post or a coalesced batch — same MMIO arithmetic).
+  if (wqes > 1) n.add(obs::Ctr::kDoorbellCoalescedWqes, wqes - 1);
   if (chan_ctrs_) {
     chan_ctrs_->add(obs::Ctr::kDoorbells);
     chan_ctrs_->add(obs::Ctr::kWqesPosted, wqes);
+    if (wqes > 1)
+      chan_ctrs_->add(obs::Ctr::kDoorbellCoalescedWqes, wqes - 1);
   }
 }
 
@@ -190,11 +198,34 @@ Task<std::optional<RecvWr>> QueuePair::take_recv() {
 Task<void> QueuePair::post_send(SendWr wr) {
   if (!peer_) throw std::logic_error("QP not connected");
   const CostModel& cm = fabric_.cost();
+  sq_pending_.push_back(wr);
+  if (db_flushing_) {
+    // Another poster's doorbell MMIO on this QP is still in flight: its
+    // tail write sweeps every WQE in the queue, including ours. Charge the
+    // WR build (overlapped with that MMIO) and wait for the sweep.
+    uint64_t target = db_flush_seq_ + 1;
+    co_await node_.cpu().compute(cm.post_wqe_cpu);
+    while (db_flush_seq_ < target) co_await db_flushed_.wait();
+    co_return;
+  }
+  db_flushing_ = true;
+  // Build + doorbell MMIO in one charge — identical cost to an uncoalesced
+  // post when nobody else shows up before the MMIO lands.
   sim::Duration sw = cm.post_wqe_cpu + cm.mmio_doorbell;
   if (!numa_local) sw += cm.numa_remote_penalty;
   co_await node_.cpu().compute(sw);
-  count_post(1);
-  fabric_.simulator().spawn(fabric_.execute_wqe(*this, wr));
+  flush_sends();
+}
+
+void QueuePair::flush_sends() {
+  std::vector<SendWr> batch;
+  batch.swap(sq_pending_);
+  count_post(batch.size());
+  for (auto& w : batch)
+    fabric_.simulator().spawn(fabric_.execute_wqe(*this, w));
+  ++db_flush_seq_;
+  db_flushing_ = false;
+  db_flushed_.notify_all();
 }
 
 Task<void> QueuePair::post_send_chain(std::vector<SendWr> wrs) {
@@ -364,19 +395,32 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
           // probes are paced by rnr_timer and exhaustion surfaces as
           // kRnrRetryExcErr at the requester.
           std::optional<RecvWr> rwr;
+          SharedReceiveQueue* srq = dst_qp->srq();
           if (fp && prof.rnr_retry != FaultProfile::kRnrInfinite) {
-            rwr = dst_qp->try_take_recv();
+            rwr = srq ? srq->try_take() : dst_qp->try_take_recv();
             unsigned probes = 0;
-            while (!rwr && !dst_qp->in_error() && probes < prof.rnr_retry) {
+            while (!rwr && !dst_qp->in_error() &&
+                   !(srq && srq->is_closed()) && probes < prof.rnr_retry) {
               count_qp(src, obs::Ctr::kRnrEvents);
               co_await sim_.sleep(prof.rnr_timer);
-              rwr = dst_qp->try_take_recv();
+              rwr = srq ? srq->try_take() : dst_qp->try_take_recv();
               ++probes;
             }
-            if (!rwr && !dst_qp->in_error()) {
+            if (!rwr && !dst_qp->in_error() &&
+                !(srq && srq->is_closed())) {
               fp->note(sim_.now(), "rnr-exhausted " + wqe_tag(src, wr));
               fail_wqe(src, wr, WcStatus::kRnrRetryExcErr);
               co_return;
+            }
+          } else if (srq) {
+            // Unbounded RNR over a shared pool: pace probes on the RNR
+            // timer. (A blocking pop cannot watch this QP's error state —
+            // the pool is shared, so one QP dying must not close it.)
+            while (!(rwr = srq->try_take())) {
+              if (dst_qp->in_error() || d.crashed() || srq->is_closed())
+                break;
+              count_qp(src, obs::Ctr::kRnrEvents);
+              co_await sim_.sleep(prof.rnr_timer);
             }
           } else {
             // Unbounded RNR: count the stall only when we actually wait.

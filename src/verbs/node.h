@@ -11,6 +11,7 @@
 #include "verbs/memory.h"
 #include "verbs/nic.h"
 #include "verbs/qp.h"
+#include "verbs/srq.h"
 
 namespace hatrpc::verbs {
 
@@ -44,6 +45,13 @@ class Node {
 
   QueuePair* create_qp(CompletionQueue& send_cq, CompletionQueue& recv_cq);
 
+  /// One shared posted-recv pool, drainable by any QP on this node that is
+  /// attached to it with QueuePair::set_srq.
+  SharedReceiveQueue* create_srq() {
+    srqs_.push_back(std::make_unique<SharedReceiveQueue>(sim_, ctrs_));
+    return srqs_.back().get();
+  }
+
   /// Fault injection: fail-stop. Every QP on this node enters the error
   /// state (as does its peer, once the transport discovers the silence),
   /// and all of the node's CQs close so pollers unblock with flush errors.
@@ -62,6 +70,7 @@ class Node {
   obs::CounterSet* ctrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
   bool crashed_ = false;
 
   friend class Fabric;

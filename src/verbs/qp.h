@@ -18,6 +18,7 @@ namespace hatrpc::verbs {
 class Fabric;
 class Node;
 class CompletionQueue;
+class SharedReceiveQueue;
 
 enum class Opcode : uint8_t {
   kSend,      // two-sided: consumes a remote posted recv
@@ -65,6 +66,12 @@ class QueuePair {
   /// Posts one work request: charges the caller's CPU for WR construction
   /// plus one doorbell MMIO, then hands the WQE to the (simulated) NIC.
   /// Returns once the doorbell is rung — completions arrive on the CQs.
+  ///
+  /// Doorbell coalescing: WRs whose construction finishes while another
+  /// poster's doorbell MMIO on this QP is still in flight ride that same
+  /// MMIO (the tail write picks up every WQE built so far), so concurrent
+  /// windowed lanes ring fewer doorbells than they post WQEs. A lone post
+  /// is exactly the pre-coalescing cost: build + one MMIO.
   sim::Task<void> post_send(SendWr wr);
 
   /// Posts a chain of WRs with a single doorbell (the Chained-Write-Send
@@ -91,6 +98,12 @@ class QueuePair {
   uint32_t qp_num() const { return qp_num_; }
   size_t posted_recvs() const { return recv_queue_.size(); }
 
+  /// Attaches this QP to a shared receive queue: incoming SEND/WRITE_IMM
+  /// messages consume recvs from the shared pool instead of the private
+  /// per-QP queue (which then goes unused, like ibv_create_qp with a srq).
+  void set_srq(SharedReceiveQueue* srq) { srq_ = srq; }
+  SharedReceiveQueue* srq() const { return srq_; }
+
   /// Mirrors this QP's doorbell/WQE/DMA charges into a channel-scoped
   /// counter set (on top of the always-on node scope).
   void attach_counters(obs::CounterSet* ctrs) { chan_ctrs_ = ctrs; }
@@ -115,6 +128,9 @@ class QueuePair {
   /// always, channel scope when attached). Defined in fabric.cc.
   void count_post(uint64_t wqes);
 
+  /// Sweeps sq_pending_ into the NIC under the doorbell that just landed.
+  void flush_sends();
+
   Fabric& fabric_;
   Node& node_;
   CompletionQueue& send_cq_;
@@ -123,7 +139,14 @@ class QueuePair {
   QpState state_ = QpState::kRts;
   QueuePair* peer_ = nullptr;
   obs::CounterSet* chan_ctrs_ = nullptr;
+  SharedReceiveQueue* srq_ = nullptr;
   sim::Channel<RecvWr> recv_queue_;
+  /// Doorbell batcher: WQEs built while a flush MMIO is in progress wait
+  /// here and are swept by that flush (see post_send).
+  std::vector<SendWr> sq_pending_;
+  bool db_flushing_ = false;
+  uint64_t db_flush_seq_ = 0;
+  sim::WaitQueue db_flushed_;
   /// RC ordering: all packets of WQE n precede WQE n+1 on this QP, even
   /// though the wire multiplexes packets across different QPs.
   sim::Mutex sq_order_;

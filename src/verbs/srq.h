@@ -1,0 +1,59 @@
+// Shared receive queue (ibv_srq): one posted-recv pool drained by many
+// QPs, so a server's receive-buffer footprint scales with offered load
+// instead of connection count (the Storm observation). A QP attached to an
+// SRQ consumes recvs from the shared pool instead of its private queue;
+// incoming messages pace on the RNR timer while the pool is empty, exactly
+// like hardware RNR NAK flow control.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "obs/counters.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "verbs/qp.h"
+
+namespace hatrpc::verbs {
+
+class SharedReceiveQueue {
+ public:
+  SharedReceiveQueue(sim::Simulator& sim, obs::CounterSet* node_ctrs)
+      : queue_(sim), node_ctrs_(node_ctrs) {}
+
+  SharedReceiveQueue(const SharedReceiveQueue&) = delete;
+  SharedReceiveQueue& operator=(const SharedReceiveQueue&) = delete;
+
+  /// Posts a recv WR into the shared pool. Posting is free (off the
+  /// critical path, like QueuePair::post_recv) but counted so tests can
+  /// see replenishment happening. Posts after close are dropped.
+  void post_recv(RecvWr wr, obs::CounterSet* chan_ctrs = nullptr) {
+    if (closed_) return;
+    queue_.push(wr);
+    if (node_ctrs_) node_ctrs_->add(obs::Ctr::kSrqPosts);
+    if (chan_ctrs) chan_ctrs->add(obs::Ctr::kSrqPosts);
+  }
+
+  /// Fabric-side, non-blocking: takes the next pooled recv if any. The
+  /// fabric paces retries on the RNR timer itself (a blocking pop cannot
+  /// watch the destination QP's error state, which is per-QP, not per-SRQ).
+  std::optional<RecvWr> try_take() { return queue_.try_pop(); }
+
+  size_t posted() const { return queue_.size(); }
+
+  /// Shuts the pool down: pooled recvs are discarded and senders blocked on
+  /// an empty pool fail over to their unreachable path. QP-level errors do
+  /// NOT close the SRQ — other QPs keep draining it.
+  void close() {
+    closed_ = true;
+    queue_.close();
+  }
+  bool is_closed() const { return closed_; }
+
+ private:
+  sim::Channel<RecvWr> queue_;
+  obs::CounterSet* node_ctrs_;
+  bool closed_ = false;
+};
+
+}  // namespace hatrpc::verbs

@@ -10,3 +10,4 @@
 #include "verbs/nic.h"         // IWYU pragma: export
 #include "verbs/node.h"        // IWYU pragma: export
 #include "verbs/qp.h"          // IWYU pragma: export
+#include "verbs/srq.h"         // IWYU pragma: export

@@ -647,5 +647,190 @@ TEST(Verbs, PostOnDisconnectedQpThrows) {
   EXPECT_THROW(sim.run(), std::logic_error);
 }
 
+TEST(Srq, SharedPoolFeedsMultipleQps) {
+  // One shared recv pool on the receiver serves sends arriving on two
+  // different QPs; posts are counted and the pool drains FIFO.
+  Simulator sim;
+  Fabric fabric{sim};
+  Node* a = fabric.add_node();
+  Node* b = fabric.add_node();
+  CompletionQueue* a_cq1 = a->create_cq();
+  CompletionQueue* a_cq2 = a->create_cq();
+  CompletionQueue* b_cq1 = b->create_cq();
+  CompletionQueue* b_cq2 = b->create_cq();
+  QueuePair* qa1 = a->create_qp(*a_cq1, *a_cq1);
+  QueuePair* qa2 = a->create_qp(*a_cq2, *a_cq2);
+  QueuePair* qb1 = b->create_qp(*b_cq1, *b_cq1);
+  QueuePair* qb2 = b->create_qp(*b_cq2, *b_cq2);
+  Fabric::connect(*qa1, *qb1);
+  Fabric::connect(*qa2, *qb2);
+
+  SharedReceiveQueue* srq = b->create_srq();
+  qb1->set_srq(srq);
+  qb2->set_srq(srq);
+  MemoryRegion* dst = b->pd().alloc_mr(128);
+  srq->post_recv(RecvWr{.wr_id = 1, .buf = {dst->data(), 64}});
+  srq->post_recv(RecvWr{.wr_id = 2, .buf = {dst->data() + 64, 64}});
+  EXPECT_EQ(srq->posted(), 2u);
+  EXPECT_EQ(b->counters().get(obs::Ctr::kSrqPosts), 2u);
+
+  MemoryRegion* s1 = a->pd().alloc_mr(64);
+  MemoryRegion* s2 = a->pd().alloc_mr(64);
+  fill(s1, "from-qp1");
+  fill(s2, "from-qp2");
+  sim.spawn([](Simulator& sim, QueuePair* qa1, QueuePair* qa2,
+               CompletionQueue* b_cq1, CompletionQueue* b_cq2,
+               MemoryRegion* s1, MemoryRegion* s2) -> Task<void> {
+    co_await qa1->post_send(SendWr{.wr_id = 1,
+                                   .opcode = Opcode::kSend,
+                                   .local = {s1->data(), 8},
+                                   .signaled = false});
+    co_await qa2->post_send(SendWr{.wr_id = 2,
+                                   .opcode = Opcode::kSend,
+                                   .local = {s2->data(), 8},
+                                   .signaled = false});
+    Wc w1 = co_await b_cq1->wait(PollMode::kBusy);
+    Wc w2 = co_await b_cq2->wait(PollMode::kBusy);
+    EXPECT_TRUE(w1.ok());
+    EXPECT_TRUE(w2.ok());
+    EXPECT_EQ(w1.byte_len, 8u);
+    EXPECT_EQ(w2.byte_len, 8u);
+  }(sim, qa1, qa2, b_cq1, b_cq2, s1, s2));
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+  EXPECT_EQ(srq->posted(), 0u);
+  // FIFO drain: the first-posted send consumed the first-posted buffer.
+  EXPECT_EQ(read_back(dst, 8, 0), "from-qp1");
+  EXPECT_EQ(read_back(dst, 8, 64), "from-qp2");
+}
+
+TEST(Srq, UnderflowHitsRnrAndExhaustsFiniteRetry) {
+  // An attached-but-empty SRQ behaves like a missing recv: the sender sees
+  // paced RNR probes and, with a finite budget, kRnrRetryExcErr.
+  Pair p;
+  auto plan = std::make_unique<FaultPlan>(7);
+  plan->profile.rnr_retry = 2;
+  plan->profile.rnr_timer = std::chrono::microseconds(2);
+  p.fabric.set_fault_plan(std::move(plan));
+  SharedReceiveQueue* srq = p.b->create_srq();
+  p.qb->set_srq(srq);
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  p.sim.spawn([](Pair& p, MemoryRegion* src) -> Task<void> {
+    co_await p.qa->post_send(SendWr{
+        .wr_id = 5, .opcode = Opcode::kSend, .local = {src->data(), 8}});
+    Wc wc = co_await p.a_scq->wait(PollMode::kBusy);
+    EXPECT_EQ(wc.status, WcStatus::kRnrRetryExcErr);
+  }(p, src));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_GT(p.a->counters().get(obs::Ctr::kRnrEvents), 0u);
+}
+
+TEST(Cq, BatchPollDrainsInOrderUpToMax) {
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst) -> Task<void> {
+    for (uint64_t i = 1; i <= 5; ++i)
+      co_await p.qa->post_send(SendWr{.wr_id = i,
+                                      .opcode = Opcode::kWrite,
+                                      .local = {src->data(), 8},
+                                      .remote = dst->remote(0)});
+    co_await p.sim.sleep(std::chrono::milliseconds(1));  // let all complete
+    auto first = p.a_scq->poll(3);
+    EXPECT_EQ(first.size(), 3u);
+    if (first.size() == 3) {
+      EXPECT_EQ(first[0].wr_id, 1u);
+      EXPECT_EQ(first[1].wr_id, 2u);
+      EXPECT_EQ(first[2].wr_id, 3u);
+    }
+    auto rest = poll_cq(*p.a_scq, 10);
+    EXPECT_EQ(rest.size(), 2u);
+    if (rest.size() == 2) {
+      EXPECT_EQ(rest[0].wr_id, 4u);
+      EXPECT_EQ(rest[1].wr_id, 5u);
+    }
+    EXPECT_TRUE(p.a_scq->poll(4).empty());
+  }(p, src, dst));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  // Two non-empty batch drains; the empty one is not a batch poll.
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kCqBatchPolls), 2u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kCqesPolled), 5u);
+}
+
+TEST(Cq, WaitManyRespectsMaxAndKeepsOrder) {
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst) -> Task<void> {
+    for (uint64_t i = 1; i <= 4; ++i)
+      co_await p.qa->post_send(SendWr{.wr_id = i,
+                                      .opcode = Opcode::kWrite,
+                                      .local = {src->data(), 8},
+                                      .remote = dst->remote(0)});
+    co_await p.sim.sleep(std::chrono::milliseconds(1));
+    auto batch = co_await p.a_scq->wait_many(PollMode::kBusy, 2);
+    EXPECT_EQ(batch.size(), 2u);
+    if (batch.size() == 2) {
+      EXPECT_EQ(batch[0].wr_id, 1u);
+      EXPECT_EQ(batch[1].wr_id, 2u);
+    }
+    auto tail = co_await p.a_scq->wait_many(PollMode::kBusy, 16);
+    EXPECT_EQ(tail.size(), 2u);
+    if (tail.size() == 2) {
+      EXPECT_EQ(tail[0].wr_id, 3u);
+      EXPECT_EQ(tail[1].wr_id, 4u);
+    }
+  }(p, src, dst));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+}
+
+TEST(Verbs, SameTickPostsCoalesceUnderOneDoorbell) {
+  // Two tasks post to the same QP in the same tick: the first becomes the
+  // flusher (pays the MMIO), the second rides its doorbell.
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  const uint64_t db0 = p.a->counters().get(obs::Ctr::kDoorbells);
+  const uint64_t wq0 = p.a->counters().get(obs::Ctr::kWqesPosted);
+  const uint64_t co0 = p.a->counters().get(obs::Ctr::kDoorbellCoalescedWqes);
+  for (uint64_t i = 1; i <= 2; ++i)
+    p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst,
+                   uint64_t i) -> Task<void> {
+      co_await p.qa->post_send(SendWr{.wr_id = i,
+                                      .opcode = Opcode::kWrite,
+                                      .local = {src->data(), 8},
+                                      .remote = dst->remote(0),
+                                      .signaled = false});
+    }(p, src, dst, i));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kDoorbells) - db0, 1u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kWqesPosted) - wq0, 2u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kDoorbellCoalescedWqes) - co0, 1u);
+}
+
+TEST(Verbs, SequentialPostsDoNotCoalesce) {
+  Pair p;
+  MemoryRegion* src = p.a->pd().alloc_mr(64);
+  MemoryRegion* dst = p.b->pd().alloc_mr(64);
+  const uint64_t db0 = p.a->counters().get(obs::Ctr::kDoorbells);
+  const uint64_t co0 = p.a->counters().get(obs::Ctr::kDoorbellCoalescedWqes);
+  p.sim.spawn([](Pair& p, MemoryRegion* src, MemoryRegion* dst) -> Task<void> {
+    for (uint64_t i = 1; i <= 2; ++i)
+      co_await p.qa->post_send(SendWr{.wr_id = i,
+                                      .opcode = Opcode::kWrite,
+                                      .local = {src->data(), 8},
+                                      .remote = dst->remote(0),
+                                      .signaled = false});
+  }(p, src, dst));
+  p.sim.run();
+  EXPECT_EQ(p.sim.live_tasks(), 0u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kDoorbells) - db0, 2u);
+  EXPECT_EQ(p.a->counters().get(obs::Ctr::kDoorbellCoalescedWqes) - co0, 0u);
+}
+
 }  // namespace
 }  // namespace hatrpc::verbs
