@@ -63,9 +63,16 @@ inline uint32_t& bench_window() {
   return w;
 }
 
-/// Strips `--trace <file>` / `--trace=<file>` and `--window <n>` /
-/// `--window=<n>` from argv (call BEFORE benchmark::Initialize, which
-/// rejects flags it doesn't know).
+/// Zero-copy send path (`--zero-copy`): payloads go out inline or as gather
+/// SGE lists instead of through the legacy staging copies.
+inline bool& bench_zero_copy() {
+  static bool zc = false;
+  return zc;
+}
+
+/// Strips `--trace <file>` / `--trace=<file>`, `--window <n>` /
+/// `--window=<n>` and `--zero-copy[=0|1]` from argv (call BEFORE
+/// benchmark::Initialize, which rejects flags it doesn't know).
 inline void parse_bench_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +84,10 @@ inline void parse_bench_flags(int& argc, char** argv) {
       bench_window() = uint32_t(std::max(1, std::atoi(argv[++i])));
     } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
       bench_window() = uint32_t(std::max(1, std::atoi(argv[i] + 9)));
+    } else if (std::strcmp(argv[i], "--zero-copy") == 0) {
+      bench_zero_copy() = true;
+    } else if (std::strncmp(argv[i], "--zero-copy=", 12) == 0) {
+      bench_zero_copy() = std::atoi(argv[i] + 12) != 0;
     } else {
       argv[out++] = argv[i];
     }
@@ -118,6 +129,10 @@ struct BenchProbe {
         double(totals.get(obs::Ctr::kCopyBytes)) / per;
     state.counters["dma_bytes_per_call"] =
         double(totals.get(obs::Ctr::kDmaBytes)) / per;
+    state.counters["inline_wqes_per_call"] =
+        double(totals.get(obs::Ctr::kInlineWqes)) / per;
+    state.counters["gather_sges_per_call"] =
+        double(totals.get(obs::Ctr::kGatherSges)) / per;
   }
 };
 
@@ -188,7 +203,8 @@ inline sim::Duration measure_latency(proto::ProtocolKind kind, size_t bytes,
   proto::ChannelConfig cfg;
   cfg.with_poll(poll)
       .with_max_msg(std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2))
-      .with_numa(numa_local, numa_local);
+      .with_numa(numa_local, numa_local)
+      .with_zero_copy(bench_zero_copy());
   auto ch = proto::make_channel(kind, *bed.client_node(0), *bed.server,
                                 checksum_handler(*bed.server), cfg);
   sim::Time total{};
@@ -241,7 +257,8 @@ inline ThroughputResult measure_throughput(proto::ProtocolKind kind,
   cfg.with_poll(poll)
       .with_max_msg(std::max<uint32_t>(64 << 10, uint32_t(bytes) * 2))
       .with_numa(numa_local, numa_local)
-      .with_window(window);
+      .with_window(window)
+      .with_zero_copy(bench_zero_copy());
 
   std::vector<std::unique_ptr<proto::RpcChannel>> channels;
   for (int c = 0; c < clients; ++c)

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Runs the Fig. 5 protocol-throughput benchmark and emits a JSON baseline
-# (BENCH_fig05.json by default). All timing is simulated, so the output is
-# bit-reproducible across machines and runs.
+# Runs the Fig. 4 protocol-latency and Fig. 5 protocol-throughput benchmarks
+# and emits JSON baselines (BENCH_fig04.json / BENCH_fig05.json by default).
+# All timing is simulated, so the output is bit-reproducible across machines
+# and runs.
 #
 # Environment overrides:
 #   BUILD_DIR  build tree containing bench/ binaries   (default: build)
-#   FILTER     --benchmark_filter regex                (default: all Fig05)
+#   FILTER     --benchmark_filter regex                (default: all rows)
 #   WINDOW     channel window driven per connection    (default: 1)
-#   OUT        output JSON path                        (default: BENCH_fig05.json)
+#   ZERO_COPY  1 = drive the zero-copy send path       (default: 0)
+#   OUT04      fig04 output JSON path                  (default: BENCH_fig04.json)
+#   OUT        fig05 output JSON path                  (default: BENCH_fig05.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,17 +18,27 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 FILTER="${FILTER:-.}"
 WINDOW="${WINDOW:-1}"
+ZERO_COPY="${ZERO_COPY:-0}"
+OUT04="${OUT04:-BENCH_fig04.json}"
 OUT="${OUT:-BENCH_fig05.json}"
 
-BIN="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
-  exit 1
-fi
+BIN04="$BUILD_DIR/bench/bench_fig04_protocol_latency"
+BIN05="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
+for bin in "$BIN04" "$BIN05"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
 
-"$BIN" --window "$WINDOW" \
+"$BIN04" --zero-copy="$ZERO_COPY" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT04" \
+  --benchmark_out_format=json
+
+"$BIN05" --window "$WINDOW" --zero-copy="$ZERO_COPY" \
   --benchmark_filter="$FILTER" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
 
-echo "wrote $OUT (window=$WINDOW, filter=$FILTER)"
+echo "wrote $OUT04 and $OUT (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER)"

@@ -41,24 +41,34 @@ class BypassChannel : public ChannelBase {
     std::byte* p = cli_req_src_->data();
     put_u64(p, seq);
     put_u32(p + 8, static_cast<uint32_t>(req.size()));
-    std::memcpy(p + kReqHdr, req.data(), req.size());
     const uint32_t wire = kReqHdr + static_cast<uint32_t>(req.size());
+    verbs::SendWr wr;
+    wr.remote = srv_req_slot_->remote(0);
+    wr.signaled = false;
+    if (cfg_.zero_copy) {
+      // Gather [header | payload] straight from the staged header slot and
+      // the caller's buffer — fully inline when the wire frame fits.
+      wr.sg_list.push_back({p, kReqHdr});
+      if (!req.empty())
+        wr.sg_list.push_back({const_cast<std::byte*>(req.data()),
+                              static_cast<uint32_t>(req.size())});
+      if (wire <= cep_.qp->max_inline_data())
+        wr.inline_data = true;
+      else if (!req.empty())
+        cl_.pd().mr_cache().get(req.data(), req.size(), channel_counters());
+    } else {
+      std::memcpy(p + kReqHdr, req.data(), req.size());
+      wr.local = {p, wire};
+    }
     if (event_server()) {
       ++stats_.write_imms;
-      co_await cep_.qp->post_send(verbs::SendWr{
-          .opcode = verbs::Opcode::kWriteImm,
-          .local = {p, wire},
-          .remote = srv_req_slot_->remote(0),
-          .imm = wire,
-          .signaled = false});
+      wr.opcode = verbs::Opcode::kWriteImm;
+      wr.imm = wire;
     } else {
       ++stats_.writes;
-      co_await cep_.qp->post_send(verbs::SendWr{
-          .opcode = verbs::Opcode::kWrite,
-          .local = {p, wire},
-          .remote = srv_req_slot_->remote(0),
-          .signaled = false});
+      wr.opcode = verbs::Opcode::kWrite;
     }
+    co_await cep_.qp->post_send(std::move(wr));
 
     if (kind_ == ProtocolKind::kHerd) {
       auto resp = co_await resp_pipe_->recv();
@@ -102,7 +112,11 @@ class BypassChannel : public ChannelBase {
         throw std::length_error("bypass protocol: response exceeds slot");
 
       if (kind_ == ProtocolKind::kHerd) {
-        if (!co_await resp_pipe_->send(resp)) break;
+        if (cfg_.zero_copy) {
+          if (!co_await resp_pipe_->send_zc_owned(std::move(resp))) break;
+        } else {
+          if (!co_await resp_pipe_->send(resp)) break;
+        }
         continue;
       }
       // Place the response in the exported region (intrinsic server-side
@@ -316,29 +330,37 @@ class BypassChannel : public ChannelBase {
     std::byte* p = cli_req_src_->data() + size_t(slot) * req_stride_;
     put_u64(p, seq);
     put_u32(p + 8, static_cast<uint32_t>(req.size()));
-    std::memcpy(p + kReqHdr, req.data(), req.size());
     const uint32_t wire = kReqHdr + static_cast<uint32_t>(req.size());
     std::shared_ptr<PendingCall> pend;
     if (kind_ == ProtocolKind::kHerd) {
       pend = std::make_shared<PendingCall>(sim_);
       pending_[slot] = pend;
     }
+    verbs::SendWr wr;
+    wr.remote = srv_req_slot_->remote(size_t(slot) * req_stride_);
+    wr.signaled = false;
+    if (cfg_.zero_copy) {
+      wr.sg_list.push_back({p, kReqHdr});
+      if (!req.empty())
+        wr.sg_list.push_back({const_cast<std::byte*>(req.data()),
+                              static_cast<uint32_t>(req.size())});
+      if (wire <= cep_.qp->max_inline_data())
+        wr.inline_data = true;
+      else if (!req.empty())
+        cl_.pd().mr_cache().get(req.data(), req.size(), channel_counters());
+    } else {
+      std::memcpy(p + kReqHdr, req.data(), req.size());
+      wr.local = {p, wire};
+    }
     if (event_server()) {
       ++stats_.write_imms;
-      co_await cep_.qp->post_send(verbs::SendWr{
-          .opcode = verbs::Opcode::kWriteImm,
-          .local = {p, wire},
-          .remote = srv_req_slot_->remote(size_t(slot) * req_stride_),
-          .imm = slot_imm(slot, wire),
-          .signaled = false});
+      wr.opcode = verbs::Opcode::kWriteImm;
+      wr.imm = slot_imm(slot, wire);
     } else {
       ++stats_.writes;
-      co_await cep_.qp->post_send(verbs::SendWr{
-          .opcode = verbs::Opcode::kWrite,
-          .local = {p, wire},
-          .remote = srv_req_slot_->remote(size_t(slot) * req_stride_),
-          .signaled = false});
+      wr.opcode = verbs::Opcode::kWrite;
     }
+    co_await cep_.qp->post_send(std::move(wr));
     if (kind_ == ProtocolKind::kHerd) {
       co_await pend->done.wait();
       pending_[slot].reset();
@@ -509,6 +531,13 @@ class BypassChannel : public ChannelBase {
     if (resp.size() > cfg_.max_msg)
       throw std::length_error("bypass protocol: response exceeds slot");
     if (kind_ == ProtocolKind::kHerd) {
+      if (cfg_.zero_copy) {
+        // The slot tag rides the gathered wire header; the response Buffer's
+        // ownership rides the WQE.
+        auto guard = co_await srv_send_mu_.scoped();
+        co_await resp_pipe_->send_zc_owned(std::move(resp), &slot);
+        co_return;
+      }
       Buffer framed(4 + resp.size());
       put_u32(framed.data(), slot);
       if (!resp.empty())

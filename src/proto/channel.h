@@ -84,6 +84,12 @@ struct ChannelConfig {
   /// NUMA placement of the driving threads relative to their NICs.
   bool client_numa_local = true;
   bool server_numa_local = true;
+  /// Zero-copy send path: payloads go out inline (≤ max_inline_data) or as
+  /// gather SGE lists straight from the caller's buffer (registered on
+  /// demand through the PD's MrCache) instead of being staged through slot
+  /// copies. Off by default: the legacy staging path stays bit-identical
+  /// for trace/counter regression oracles.
+  bool zero_copy = false;
 
   // Chainable named setters, so configurations read as a sentence:
   //   ChannelConfig{}.with_poll(kEvent).with_max_msg(64 << 10)
@@ -124,6 +130,10 @@ struct ChannelConfig {
   ChannelConfig& with_numa(bool client_local, bool server_local) {
     client_numa_local = client_local;
     server_numa_local = server_local;
+    return *this;
+  }
+  ChannelConfig& with_zero_copy(bool on = true) {
+    zero_copy = on;
     return *this;
   }
 };

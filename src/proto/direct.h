@@ -36,10 +36,23 @@ class DirectChannel : public ChannelBase {
     auto pend = std::make_shared<PendingCall>(sim_);
     pending_[slot] = pend;
     const size_t off = slot * size_t(cfg_.max_msg);
-    std::byte* src = cli_req_src_->data() + off;
-    std::memcpy(src, req.data(), req.size());
-    co_await push(cep_.qp, src, srv_req_buf_->remote(off),
-                  static_cast<uint32_t>(req.size()), slot, cli_notify_src_);
+    const uint32_t len = static_cast<uint32_t>(req.size());
+    if (cfg_.zero_copy) {
+      // Zero-copy: the WRITE gathers straight from the caller's buffer
+      // (valid until the response resolves), inline when it fits the
+      // doorbell, registered on demand through the MrCache otherwise.
+      const bool inl = len <= cep_.qp->max_inline_data();
+      if (!inl && len > 0)
+        cl_.pd().mr_cache().get(req.data(), len, channel_counters());
+      co_await push(cep_.qp, const_cast<std::byte*>(req.data()),
+                    srv_req_buf_->remote(off), len, slot, cli_notify_src_,
+                    inl);
+    } else {
+      std::byte* src = cli_req_src_->data() + off;
+      std::memcpy(src, req.data(), req.size());
+      co_await push(cep_.qp, src, srv_req_buf_->remote(off), len, slot,
+                    cli_notify_src_);
+    }
     co_await pend->done.wait();
     pending_[slot].reset();
     if (pend->status != verbs::WcStatus::kSuccess) {
@@ -145,17 +158,27 @@ class DirectChannel : public ChannelBase {
     if (resp.size() > cfg_.max_msg)
       throw std::length_error("direct protocol: response exceeds the "
                               "pre-known buffer");
-    std::memcpy(srv_resp_src_->data() + off, resp.data(), resp.size());
-    co_await push(sep_.qp, srv_resp_src_->data() + off,
-                  cli_resp_buf_->remote(off),
-                  static_cast<uint32_t>(resp.size()), slot, srv_notify_src_);
+    const uint32_t rlen = static_cast<uint32_t>(resp.size());
+    if (cfg_.zero_copy && rlen <= sep_.qp->max_inline_data()) {
+      // Small response rides the doorbell (snapshotted at post time, so the
+      // handler's Buffer may die immediately after) — no staging copy.
+      co_await push(sep_.qp, resp.data(), cli_resp_buf_->remote(off), rlen,
+                    slot, srv_notify_src_, true);
+    } else {
+      // Large responses keep the staged path: the WQE reads the payload at
+      // execution time, after this task's Buffer is gone.
+      std::memcpy(srv_resp_src_->data() + off, resp.data(), resp.size());
+      co_await push(sep_.qp, srv_resp_src_->data() + off,
+                    cli_resp_buf_->remote(off), rlen, slot, srv_notify_src_);
+    }
   }
 
   /// Delivers `len` bytes from `src` into the peer's pre-known buffer slot
-  /// using the variant's doorbell/notify scheme.
+  /// using the variant's doorbell/notify scheme. `inl` posts the payload
+  /// WRITE inline (zero-copy path, len pre-checked against max_inline_data).
   sim::Task<void> push(verbs::QueuePair* qp, std::byte* src,
                        verbs::RemoteAddr dst, uint32_t len, uint32_t slot,
-                       verbs::MemoryRegion* notify_region) {
+                       verbs::MemoryRegion* notify_region, bool inl = false) {
     switch (kind_) {
       case ProtocolKind::kDirectWriteImm: {
         ++stats_.write_imms;
@@ -163,7 +186,8 @@ class DirectChannel : public ChannelBase {
                                              .local = {src, len},
                                              .remote = dst,
                                              .imm = slot_imm(slot, len),
-                                             .signaled = false});
+                                             .signaled = false,
+                                             .inline_data = inl});
         break;
       }
       case ProtocolKind::kDirectWriteSend:
@@ -176,10 +200,13 @@ class DirectChannel : public ChannelBase {
         verbs::SendWr write{.opcode = verbs::Opcode::kWrite,
                             .local = {src, len},
                             .remote = dst,
-                            .signaled = false};
+                            .signaled = false,
+                            .inline_data = inl};
         verbs::SendWr notify{.opcode = verbs::Opcode::kSend,
                              .local = {n, 8},
-                             .signaled = false};
+                             .signaled = false,
+                             // The 8-byte notify always fits the doorbell.
+                             .inline_data = cfg_.zero_copy};
         if (kind_ == ProtocolKind::kChainedWriteSend) {
           std::vector<verbs::SendWr> chain;
           chain.push_back(write);

@@ -26,7 +26,10 @@ class RendezvousChannel : public ChannelBase {
     if (req.size() > cfg_.max_msg)
       throw std::length_error("rendezvous: request exceeds payload pool");
     if (cfg_.window > 1) co_return co_await do_call_w(req);
-    std::memcpy(cli_payload_->data(), req.data(), req.size());
+    // Zero-copy mode sources the request straight from the caller's buffer
+    // (valid until the response resolves) instead of the payload pool.
+    if (!cfg_.zero_copy)
+      std::memcpy(cli_payload_->data(), req.data(), req.size());
     const uint32_t len = static_cast<uint32_t>(req.size());
 
     if (kind_ == ProtocolKind::kWriteRndv) {
@@ -34,12 +37,20 @@ class RendezvousChannel : public ChannelBase {
       co_await send_ctrl(cep_, cli_ctrl_src_, kRts, len, {});
       Ctrl cts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
       ++stats_.write_imms;
+      std::byte* src = cli_payload_->data();
+      const bool inl = cfg_.zero_copy && len <= cep_.qp->max_inline_data();
+      if (cfg_.zero_copy) {
+        src = const_cast<std::byte*>(req.data());
+        if (!inl && len > 0)
+          cl_.pd().mr_cache().get(req.data(), len, channel_counters());
+      }
       co_await cep_.qp->post_send(verbs::SendWr{
           .opcode = verbs::Opcode::kWriteImm,
-          .local = {cli_payload_->data(), len},
+          .local = {src, len},
           .remote = cts.addr,
           .imm = len,
-          .signaled = false});
+          .signaled = false,
+          .inline_data = inl});
       // Response (reverse Write-RNDV): RTS' -> we reply CTS -> recv-imm.
       Ctrl rts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
       co_await send_ctrl(cep_, cli_ctrl_src_, kCts, rts.len,
@@ -51,9 +62,20 @@ class RendezvousChannel : public ChannelBase {
       co_return Buffer(p, p + wc.imm);
     }
 
-    // Read-RNDV: RTS carries our buffer; the server READs the request.
-    co_await send_ctrl(cep_, cli_ctrl_src_, kRts, len,
-                       cli_payload_->remote(0));
+    // Read-RNDV: RTS carries our buffer; the server READs the request. In
+    // zero-copy mode that buffer is the caller's own (registered on demand
+    // through the MrCache), so the READ pulls user memory directly.
+    if (cfg_.zero_copy) {
+      verbs::MemoryRegion* mr =
+          cl_.pd().mr_cache().get(req.data(), len, channel_counters());
+      co_await send_ctrl(
+          cep_, cli_ctrl_src_, kRts, len,
+          verbs::RemoteAddr{reinterpret_cast<uint64_t>(req.data()),
+                            mr->rkey()});
+    } else {
+      co_await send_ctrl(cep_, cli_ctrl_src_, kRts, len,
+                         cli_payload_->remote(0));
+    }
     // Server processes, then announces its response buffer.
     Ctrl rts = co_await recv_ctrl(cep_, cli_ctrl_ring_);
     ++stats_.reads;
@@ -107,8 +129,16 @@ class RendezvousChannel : public ChannelBase {
           co_await run_handler(View{srv_payload_->data(), req_len});
       if (resp.size() > cfg_.max_msg)
         throw std::length_error("rendezvous: response exceeds payload pool");
-      std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
       const uint32_t rlen = static_cast<uint32_t>(resp.size());
+      // Small Write-RNDV responses go out inline straight from the
+      // handler's Buffer (snapshotted at post time); everything else is
+      // staged because the WQE reads the payload after `resp` is gone
+      // (Write-RNDV large) or the client READs it later (Read-RNDV).
+      const bool zc_inl = cfg_.zero_copy &&
+                          kind_ == ProtocolKind::kWriteRndv &&
+                          rlen <= sep_.qp->max_inline_data();
+      if (!zc_inl)
+        std::memcpy(srv_resp_src_->data(), resp.data(), resp.size());
 
       if (kind_ == ProtocolKind::kWriteRndv) {
         co_await send_ctrl(sep_, srv_ctrl_src_, kRts, rlen, {});
@@ -117,10 +147,11 @@ class RendezvousChannel : public ChannelBase {
         ++stats_.write_imms;
         co_await sep_.qp->post_send(verbs::SendWr{
             .opcode = verbs::Opcode::kWriteImm,
-            .local = {srv_resp_src_->data(), rlen},
+            .local = {zc_inl ? resp.data() : srv_resp_src_->data(), rlen},
             .remote = cts.addr,
             .imm = rlen,
-            .signaled = false});
+            .signaled = false,
+            .inline_data = zc_inl});
       } else {
         co_await send_ctrl(sep_, srv_ctrl_src_, kRts, rlen,
                            srv_resp_src_->remote(0));
@@ -218,7 +249,9 @@ class RendezvousChannel : public ChannelBase {
     put_u32(p + 16, addr.rkey);
     co_await ep.qp->post_send(verbs::SendWr{.opcode = verbs::Opcode::kSend,
                                             .local = {p, 20},
-                                            .signaled = false});
+                                            .signaled = false,
+                                            // 20B always fits the doorbell
+                                            .inline_data = cfg_.zero_copy});
   }
 
   sim::Task<Ctrl> recv_ctrl(verbs::Endpoint& ep, verbs::MemoryRegion* ring,
@@ -252,7 +285,9 @@ class RendezvousChannel : public ChannelBase {
     put_u32(p + 20, slot);
     co_await ep.qp->post_send(verbs::SendWr{.opcode = verbs::Opcode::kSend,
                                             .local = {p, 24},
-                                            .signaled = false});
+                                            .signaled = false,
+                                            // 24B always fits the doorbell
+                                            .inline_data = cfg_.zero_copy});
   }
 
   sim::Task<void> recv_dispatch(verbs::Endpoint& ep,

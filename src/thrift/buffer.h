@@ -26,16 +26,35 @@ class TMemoryBuffer {
     return b;
   }
 
+  /// Serialization target backed by caller-provided storage (a pooled,
+  /// pre-registered block on the zero-copy send path): writes land in the
+  /// backing in place; a message that outgrows it spills to the heap.
+  static TMemoryBuffer backed(std::span<std::byte> storage) {
+    TMemoryBuffer b;
+    b.ext_ = storage.data();
+    b.ext_cap_ = storage.size();
+    return b;
+  }
+
   void write(const void* p, size_t n) {
     const std::byte* s = static_cast<const std::byte*>(p);
+    if (in_ext()) {
+      if (ext_len_ + n <= ext_cap_) {
+        std::memcpy(ext_ + ext_len_, s, n);
+        ext_len_ += n;
+        return;
+      }
+      buf_.assign(ext_, ext_ + ext_len_);
+      spilled_ = true;
+    }
     buf_.insert(buf_.end(), s, s + n);
   }
 
   void read(void* p, size_t n) {
-    if (rpos_ + n > buf_.size())
+    if (rpos_ + n > size())
       throw TTransportException(TTransportException::Kind::kEndOfFile,
                                 "TMemoryBuffer underflow");
-    std::memcpy(p, buf_.data() + rpos_, n);
+    std::memcpy(p, data() + rpos_, n);
     rpos_ += n;
   }
 
@@ -45,18 +64,35 @@ class TMemoryBuffer {
     return s;
   }
 
-  size_t readable() const { return buf_.size() - rpos_; }
-  std::span<const std::byte> view() const { return {buf_.data(), buf_.size()}; }
-  std::vector<std::byte> take() { return std::move(buf_); }
+  size_t readable() const { return size() - rpos_; }
+  std::span<const std::byte> view() const { return {data(), size()}; }
+  std::vector<std::byte> take() {
+    if (in_ext()) return {ext_, ext_ + ext_len_};
+    return std::move(buf_);
+  }
+
+  /// True while the contents live in the caller-provided backing (i.e. the
+  /// message fit and view() points into pre-registered memory).
+  bool backed_in_place() const { return in_ext(); }
 
   void reset() {
     buf_.clear();
     rpos_ = 0;
+    ext_len_ = 0;
+    spilled_ = false;
   }
 
  private:
+  bool in_ext() const { return ext_ != nullptr && !spilled_; }
+  const std::byte* data() const { return in_ext() ? ext_ : buf_.data(); }
+  size_t size() const { return in_ext() ? ext_len_ : buf_.size(); }
+
   std::vector<std::byte> buf_;
   size_t rpos_ = 0;
+  std::byte* ext_ = nullptr;  // external backing (zero-copy serialization)
+  size_t ext_cap_ = 0;
+  size_t ext_len_ = 0;
+  bool spilled_ = false;
 };
 
 }  // namespace hatrpc::thrift

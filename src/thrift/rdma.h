@@ -7,7 +7,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "proto/buffer_pool.h"
 #include "proto/channel.h"
 #include "thrift/protocol.h"
 #include "thrift/transport.h"
@@ -15,17 +17,29 @@
 namespace hatrpc::thrift {
 
 /// Interface point between the Thrift layer and the RDMA engine: one
-/// established protocol channel.
+/// established protocol channel. On the zero-copy send path the endpoint
+/// also owns a pool of pre-registered serialization buffers on the client
+/// node: TRdma stages outgoing messages there, so the channel's
+/// gather/inline path posts from memory the MrCache already knows.
 class TRdmaEndPoint {
  public:
   explicit TRdmaEndPoint(std::unique_ptr<proto::RpcChannel> ch)
       : channel_(std::move(ch)) {}
 
+  TRdmaEndPoint(std::unique_ptr<proto::RpcChannel> ch, verbs::Node& client,
+                const proto::ChannelConfig& cfg)
+      : channel_(std::move(ch)) {
+    if (cfg.zero_copy) pool_.emplace(client, cfg.max_msg, cfg.window + 1);
+  }
+
   proto::RpcChannel& channel() { return *channel_; }
+  /// Null unless the endpoint was created with zero_copy configured.
+  proto::BufferPool* pool() { return pool_ ? &*pool_ : nullptr; }
   void shutdown() { channel_->shutdown(); }
 
  private:
   std::unique_ptr<proto::RpcChannel> channel_;
+  std::optional<proto::BufferPool> pool_;
 };
 
 /// Client-side RDMA transport with TSocket-compatible buffer semantics:
@@ -41,6 +55,20 @@ class TRdma final : public MessageTransport {
   void set_response_size_hint(uint32_t bytes) { resp_hint_ = bytes; }
 
   void write(View data) {
+    if (proto::BufferPool* pool = ep_.pool(); pool && out_.empty()) {
+      // Zero-copy staging: the outbound message accumulates in a pooled,
+      // pre-registered block instead of the heap buffer.
+      if (!lease_) lease_ = pool->acquire();
+      if (out_len_ + data.size() <= lease_.capacity()) {
+        std::memcpy(lease_.data() + out_len_, data.data(), data.size());
+        out_len_ += data.size();
+        return;
+      }
+      // The message outgrew the block: spill to the heap and append there.
+      out_.assign(lease_.data(), lease_.data() + out_len_);
+      lease_.release();
+      out_len_ = 0;
+    }
     out_.insert(out_.end(), data.begin(), data.end());
   }
 
@@ -48,6 +76,18 @@ class TRdma final : public MessageTransport {
   /// response for read(). Transport failures surface as RpcError (the
   /// Result's error arm re-raised), matching TSocket's exception shape.
   sim::Task<void> flush() {
+    if (lease_) {
+      // The lease stays held across the call, so the channel's borrowed
+      // gather view stays valid until the response resolves.
+      proto::CallResult r =
+          co_await ep_.channel().call(View{lease_.data(), out_len_},
+                                      resp_hint_);
+      lease_.release();
+      out_len_ = 0;
+      in_ = std::move(r).value();
+      rpos_ = 0;
+      co_return;
+    }
     Buffer req = std::move(out_);
     out_.clear();
     proto::CallResult r = co_await ep_.channel().call(req, resp_hint_);
@@ -77,6 +117,8 @@ class TRdma final : public MessageTransport {
  private:
   TRdmaEndPoint& ep_;
   Buffer out_;
+  proto::BufferPool::Lease lease_;  // zero-copy staging block
+  size_t out_len_ = 0;              // bytes staged into the lease
   Buffer in_;
   size_t rpos_ = 0;
   uint32_t resp_hint_ = 0;
@@ -116,6 +158,7 @@ class TRdmaTransport {
     p.writeI32(static_cast<int32_t>(cfg.window));
     p.writeByte(cfg.client_poll == sim::PollMode::kBusy ? 1 : 0);
     p.writeByte(cfg.server_poll == sim::PollMode::kBusy ? 1 : 0);
+    p.writeByte(cfg.zero_copy ? 1 : 0);
     co_await framed.send(req.view());
     // AcceptReply carries the endpoint id (stand-in for the QP number /
     // rkey blob a real reply would carry).
@@ -155,11 +198,13 @@ class TRdmaTransport {
                                       : sim::PollMode::kEvent;
       cfg.server_poll = rp.readByte() ? sim::PollMode::kBusy
                                       : sim::PollMode::kEvent;
+      cfg.zero_copy = rp.readByte() != 0;
       // Create the verbs resources on both ends (QP exchange + buffer
       // registration) and reply with the endpoint handle.
       verbs::Node& client = *server_.fabric().node(client_id);
       endpoints_.push_back(std::make_unique<TRdmaEndPoint>(
-          proto::make_channel(kind, client, server_, processor_, cfg)));
+          proto::make_channel(kind, client, server_, processor_, cfg),
+          client, cfg));
       TMemoryBuffer reply;
       TBinaryProtocol wp(reply);
       wp.writeI32(static_cast<int32_t>(endpoints_.size() - 1));
@@ -208,7 +253,8 @@ class TServerRdma {
                         proto::ChannelConfig cfg) {
     if (srq_) cfg.with_server_srq(srq_);
     endpoints_.push_back(std::make_unique<TRdmaEndPoint>(
-        proto::make_channel(kind, client, node_, processor_, cfg)));
+        proto::make_channel(kind, client, node_, processor_, cfg), client,
+        cfg));
     return endpoints_.back().get();
   }
 

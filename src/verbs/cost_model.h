@@ -26,8 +26,18 @@ struct CostModel {
 
   // -- Initiator-side software/PCIe ----------------------------------------
   Duration post_wqe_cpu = 80ns;     // building one WR in software
+  Duration post_sge_cpu = 15ns;     // each gather element past the first
   Duration mmio_doorbell = 180ns;   // uncached PCIe doorbell write (per post)
   Duration poll_cqe_cpu = 60ns;     // consuming one CQE in software
+
+  // -- Inline sends (IBV_SEND_INLINE / BlueFlame) ----------------------------
+  // The payload is written into the WQE with CPU stores and crosses PCIe in
+  // the same write-combined MMIO burst as the doorbell, so the NIC never DMA
+  // fetches it: the requester pays CPU store time per byte, the NIC skips
+  // the WQE/payload fetch (nic_inline_wqe < nic_wqe).
+  uint32_t max_inline_data = 220;   // per-QP inline capacity (CX-5 default)
+  double inline_write_gbps = 16.0;  // CPU store bandwidth into the WQE
+  Duration nic_inline_wqe = 40ns;   // processing a WQE that arrived via MMIO
 
   // -- NIC processing --------------------------------------------------------
   Duration nic_wqe = 120ns;         // WQE fetch + processing per work request
@@ -57,6 +67,13 @@ struct CostModel {
   Duration copy_time(uint64_t bytes, bool numa_local = true) const {
     double bw = numa_local ? memcpy_gbps : memcpy_gbps * numa_memcpy_factor;
     return memcpy_setup + sim::transfer_time(bytes, bw);
+  }
+
+  /// CPU stores placing an inline payload into the WQE (charged to the
+  /// posting CPU on top of post_wqe_cpu; no setup cost — the stores land in
+  /// the WQE the CPU is already writing).
+  Duration inline_write_time(uint64_t bytes) const {
+    return sim::transfer_time(bytes, inline_write_gbps);
   }
 };
 

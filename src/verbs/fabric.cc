@@ -45,6 +45,34 @@ void count_qp(QueuePair& qp, obs::Ctr c, uint64_t v = 1) {
   if (obs::CounterSet* chan = qp.channel_counters()) chan->add(c, v);
 }
 
+/// Copies a WR's (possibly multi-SGE) payload contiguously into `dst` —
+/// what the NIC's DMA gather does on the wire side.
+void gather_payload(const SendWr& wr, std::byte* dst) {
+  if (wr.sg_list.empty()) {
+    if (wr.local.length > 0) std::memcpy(dst, wr.local.addr, wr.local.length);
+    return;
+  }
+  for (const Sge& s : wr.sg_list) {
+    if (s.length > 0) std::memcpy(dst, s.addr, s.length);
+    dst += s.length;
+  }
+}
+
+/// Scatters `n` fetched bytes back across a READ WR's segments.
+void scatter_payload(const SendWr& wr, const std::byte* src, uint64_t n) {
+  if (wr.sg_list.empty()) {
+    if (n > 0) std::memcpy(wr.local.addr, src, n);
+    return;
+  }
+  for (const Sge& s : wr.sg_list) {
+    uint64_t take = std::min<uint64_t>(s.length, n);
+    if (take > 0) std::memcpy(s.addr, src, take);
+    src += take;
+    n -= take;
+    if (n == 0) break;
+  }
+}
+
 }  // namespace
 
 QueuePair::QueuePair(Fabric& fabric, Node& node, CompletionQueue& send_cq,
@@ -195,23 +223,58 @@ Task<std::optional<RecvWr>> QueuePair::take_recv() {
   co_return co_await recv_queue_.pop();
 }
 
+uint32_t QueuePair::max_inline_data() const {
+  return fabric_.cost().max_inline_data;
+}
+
+sim::Duration QueuePair::prepare_send(SendWr& wr) {
+  const CostModel& cm = fabric_.cost();
+  sim::Duration extra{};
+  if (wr.inline_data) {
+    if (wr.opcode == Opcode::kRead)
+      throw std::logic_error("IBV_SEND_INLINE is invalid for RDMA READ");
+    const uint64_t bytes = wr.total_bytes();
+    if (bytes > cm.max_inline_data)
+      throw std::length_error(
+          "inline payload of " + std::to_string(bytes) +
+          "B exceeds max_inline_data=" + std::to_string(cm.max_inline_data));
+    // Snapshot the payload into the WQE: from here on the WQE carries the
+    // bytes and the application buffers are free for reuse (inline's
+    // buffer-release semantics — no slot cross-talk under pipelining).
+    auto snap = std::make_shared<std::vector<std::byte>>(bytes);
+    gather_payload(wr, snap->data());
+    wr.sg_list.clear();
+    wr.local = Sge{snap->data(), static_cast<uint32_t>(bytes)};
+    wr.keep_alive = std::move(snap);
+    extra += cm.inline_write_time(bytes);
+    count_qp(*this, obs::Ctr::kInlineWqes);
+  } else if (wr.sg_list.size() > 1) {
+    extra += cm.post_sge_cpu * static_cast<int64_t>(wr.sg_list.size() - 1);
+    count_qp(*this, obs::Ctr::kGatherSges, wr.sg_list.size());
+  }
+  return extra;
+}
+
 Task<void> QueuePair::post_send(SendWr wr) {
   if (!peer_) throw std::logic_error("QP not connected");
   const CostModel& cm = fabric_.cost();
-  sq_pending_.push_back(wr);
+  // Inline stores / extra gather elements add to the WR build time; a plain
+  // single-SGE post charges exactly the pre-zero-copy cost.
+  const sim::Duration build = cm.post_wqe_cpu + prepare_send(wr);
+  sq_pending_.push_back(std::move(wr));
   if (db_flushing_) {
     // Another poster's doorbell MMIO on this QP is still in flight: its
     // tail write sweeps every WQE in the queue, including ours. Charge the
     // WR build (overlapped with that MMIO) and wait for the sweep.
     uint64_t target = db_flush_seq_ + 1;
-    co_await node_.cpu().compute(cm.post_wqe_cpu);
+    co_await node_.cpu().compute(build);
     while (db_flush_seq_ < target) co_await db_flushed_.wait();
     co_return;
   }
   db_flushing_ = true;
   // Build + doorbell MMIO in one charge — identical cost to an uncoalesced
   // post when nobody else shows up before the MMIO lands.
-  sim::Duration sw = cm.post_wqe_cpu + cm.mmio_doorbell;
+  sim::Duration sw = build + cm.mmio_doorbell;
   if (!numa_local) sw += cm.numa_remote_penalty;
   co_await node_.cpu().compute(sw);
   flush_sends();
@@ -232,8 +295,8 @@ Task<void> QueuePair::post_send_chain(std::vector<SendWr> wrs) {
   if (!peer_) throw std::logic_error("QP not connected");
   const CostModel& cm = fabric_.cost();
   // One WR build per element but a single doorbell MMIO for the chain.
-  sim::Duration sw = cm.post_wqe_cpu * static_cast<int64_t>(wrs.size()) +
-                     cm.mmio_doorbell;
+  sim::Duration sw = cm.mmio_doorbell;
+  for (SendWr& w : wrs) sw += cm.post_wqe_cpu + prepare_send(w);
   if (!numa_local) sw += cm.numa_remote_penalty;
   co_await node_.cpu().compute(sw);
   count_post(wrs.size());
@@ -284,12 +347,14 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
   QueuePair* dst_qp = src.peer();
   Node& d = dst_qp->node();
   const CostModel& cm = cost_;
-  const uint64_t bytes = wr.local.length;
+  const uint64_t bytes = wr.total_bytes();
   FaultPlan* fp = fault_plan_.get();
   const FaultProfile prof = fp ? fp->profile : FaultProfile{};
 
-  // WQE fetch + NIC processing at the initiator.
-  co_await sim_.sleep(cm.nic_wqe);
+  // WQE fetch + NIC processing at the initiator. An inline WQE arrived
+  // whole (descriptor + payload) in the doorbell's write-combined MMIO
+  // burst, so the NIC skips the host-memory fetch entirely.
+  co_await sim_.sleep(wr.inline_data ? cm.nic_inline_wqe : cm.nic_wqe);
 
   if (src.in_error()) {
     fail_wqe(src, wr, WcStatus::kWrFlushErr);
@@ -347,11 +412,15 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
           }
           co_await sim_.sleep(prof.retransmit_timeout);
         }
-        // Payload crossed the wire: DMA engines touched it at both ends.
-        s.counters().add(obs::Ctr::kDmaBytes, bytes);
+        // Payload crossed the wire: DMA engines touched it at both ends —
+        // except that an inline payload was never DMA-fetched at the source
+        // (it rode the MMIO), so only the destination engine moved it.
+        if (!wr.inline_data) {
+          s.counters().add(obs::Ctr::kDmaBytes, bytes);
+          if (obs::CounterSet* chan = src.channel_counters())
+            chan->add(obs::Ctr::kDmaBytes, bytes);
+        }
         d.counters().add(obs::Ctr::kDmaBytes, bytes);
-        if (obs::CounterSet* chan = src.channel_counters())
-          chan->add(obs::Ctr::kDmaBytes, bytes);
       }
       co_await sim_.sleep(cm.propagation);
       // Re-check after time passed on the wire: a scheduled fault may have
@@ -385,8 +454,7 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
             co_return;
           }
           if (bytes > 0)
-            std::memcpy(reinterpret_cast<std::byte*>(wr.remote.addr),
-                        wr.local.addr, bytes);
+            gather_payload(wr, reinterpret_cast<std::byte*>(wr.remote.addr));
           mr->notify_remote_write(wr.remote.addr, bytes);
         }
         if (wr.opcode == Opcode::kSend || wr.opcode == Opcode::kWriteImm) {
@@ -452,7 +520,7 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
               fail_wqe(src, wr, WcStatus::kRemOpErr);
               co_return;
             }
-            if (bytes > 0) std::memcpy(rwr->buf.addr, wr.local.addr, bytes);
+            if (bytes > 0) gather_payload(wr, rwr->buf.addr);
           }
           co_await sim_.sleep(cm.nic_cqe);
           dst_qp->recv_cq().deliver(Wc{
@@ -553,7 +621,7 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
         fail_wqe(src, wr, WcStatus::kWrFlushErr);
         co_return;
       }
-      if (bytes > 0) std::memcpy(wr.local.addr, snapshot.data(), bytes);
+      if (bytes > 0) scatter_payload(wr, snapshot.data(), bytes);
       if (wr.signaled) {
         co_await sim_.sleep(cm.nic_cqe);
         src.send_cq().deliver(Wc{

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <list>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -35,17 +36,24 @@ class MemoryRegion {
  public:
   MemoryRegion(size_t size, uint32_t lkey, uint32_t rkey)
       : data_(std::make_unique_for_overwrite<std::byte[]>(size)),
-        size_(size), lkey_(lkey), rkey_(rkey) {}
+        ext_(nullptr), size_(size), lkey_(lkey), rkey_(rkey) {}
+
+  /// Registers EXISTING application memory (ibv_reg_mr over a user buffer):
+  /// the region covers the caller's bytes in place and does not own them.
+  /// This is the entry point MrCache uses for on-demand registration.
+  MemoryRegion(std::byte* external, size_t size, uint32_t lkey, uint32_t rkey)
+      : ext_(external), size_(size), lkey_(lkey), rkey_(rkey) {}
 
   MemoryRegion(const MemoryRegion&) = delete;
   MemoryRegion& operator=(const MemoryRegion&) = delete;
 
-  std::byte* data() { return data_.get(); }
-  const std::byte* data() const { return data_.get(); }
+  std::byte* data() { return ext_ ? ext_ : data_.get(); }
+  const std::byte* data() const { return ext_ ? ext_ : data_.get(); }
   size_t size() const { return size_; }
-  uint64_t addr() const { return reinterpret_cast<uint64_t>(data_.get()); }
+  uint64_t addr() const { return reinterpret_cast<uint64_t>(data()); }
   uint32_t lkey() const { return lkey_; }
   uint32_t rkey() const { return rkey_; }
+  bool external() const { return ext_ != nullptr; }
 
   RemoteAddr remote(uint64_t offset = 0) const {
     return RemoteAddr{addr() + offset, rkey_};
@@ -53,12 +61,12 @@ class MemoryRegion {
 
   std::span<std::byte> span(uint64_t offset, size_t len) {
     if (offset + len > size()) throw std::out_of_range("MR span");
-    return {data_.get() + offset, len};
+    return {data() + offset, len};
   }
 
   /// Zeroes the first `n` bytes (control words that are polled before any
   /// remote write lands).
-  void zero_prefix(size_t n) { std::memset(data_.get(), 0, std::min(n, size_)); }
+  void zero_prefix(size_t n) { std::memset(data(), 0, std::min(n, size_)); }
 
   /// Withdraws remote access (fault injection: a server losing its exported
   /// regions). Local use keeps working; remote ops NAK with kRemAccessErr.
@@ -82,11 +90,14 @@ class MemoryRegion {
  private:
   std::function<void(uint64_t, size_t)> on_remote_write_;
   std::unique_ptr<std::byte[]> data_;
+  std::byte* ext_ = nullptr;  // external (non-owned) registration base
   size_t size_;
   uint32_t lkey_;
   uint32_t rkey_;
   bool revoked_ = false;
 };
+
+class MrCache;
 
 /// Per-node protection domain: allocates/registers MRs and resolves rkeys,
 /// enforcing the same access checks an RNIC would.
@@ -108,10 +119,20 @@ class ProtectionDomain {
     return raw;
   }
 
-  void dereg_mr(MemoryRegion* mr) {
-    by_rkey_.erase(mr->rkey());
-    std::erase_if(mrs_, [&](auto& p) { return p.get() == mr; });
+  /// Registers EXISTING application memory in place (ibv_reg_mr over a user
+  /// buffer). The caller keeps ownership of the bytes and must dereg before
+  /// freeing them.
+  MemoryRegion* reg_mr(std::byte* addr, size_t size) {
+    uint32_t key = next_key_++;
+    auto mr = std::make_unique<MemoryRegion>(addr, size, key, key);
+    MemoryRegion* raw = mr.get();
+    by_rkey_[raw->rkey()] = raw;
+    mrs_.push_back(std::move(mr));
+    if (ctrs_) ctrs_->add(obs::Ctr::kMrBytes, size);
+    return raw;
   }
+
+  void dereg_mr(MemoryRegion* mr);  // also invalidates the MrCache entry
 
   /// rkey + bounds check; returns the owning MR or throws (remote access
   /// violation == what the NIC would report as a protection error).
@@ -144,12 +165,120 @@ class ProtectionDomain {
   }
   size_t mr_count() const { return mrs_.size(); }
 
+  /// This PD's registration cache (created lazily on first use).
+  MrCache& mr_cache();
+
+  obs::CounterSet* counters() { return ctrs_; }
+
  private:
+  void dereg_mr_raw(MemoryRegion* mr) {
+    by_rkey_.erase(mr->rkey());
+    std::erase_if(mrs_, [&](auto& p) { return p.get() == mr; });
+  }
+
   uint32_t node_id_;
   obs::CounterSet* ctrs_ = nullptr;
   uint32_t next_key_ = 1;
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::unordered_map<uint32_t, MemoryRegion*> by_rkey_;
+  std::unique_ptr<MrCache> cache_;
 };
+
+/// MR registration cache (the Storm / registration-cache idiom): zero-copy
+/// send paths call get() with an arbitrary application buffer; the cache
+/// returns a covering registration, registering on demand and evicting the
+/// least-recently-used entry past capacity. Entries are invalidated when
+/// the buffer is deregistered through the PD and when the rkey-revoke fault
+/// fires (a revoked entry is a miss, never stale success — remote peers
+/// still holding the old rkey get kRemAccessErr from the PD check).
+///
+/// Linear scan over an LRU list: capacities are small (a few dozen hot
+/// buffers) exactly like real registration caches.
+class MrCache {
+ public:
+  explicit MrCache(ProtectionDomain& pd, size_t capacity = kDefaultCapacity)
+      : pd_(pd), cap_(capacity == 0 ? 1 : capacity) {}
+
+  static constexpr size_t kDefaultCapacity = 32;
+
+  /// Returns a registration covering [addr, addr+len). `chan` (may be null)
+  /// mirrors the hit/miss/evict counters into a channel scope on top of the
+  /// node scope.
+  MemoryRegion* get(const std::byte* addr, size_t len,
+                    obs::CounterSet* chan = nullptr) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (!covers(*it, addr, len)) continue;
+      if (it->mr->revoked()) {
+        // The rkey-revoke fault hit this registration: drop the stale
+        // entry and fall through to a fresh miss-path registration.
+        MemoryRegion* dead = it->mr;
+        lru_.erase(it);
+        pd_.dereg_mr(dead);
+        break;
+      }
+      count(obs::Ctr::kMrCacheHits, chan);
+      lru_.splice(lru_.begin(), lru_, it);  // move to MRU position
+      return lru_.front().mr;
+    }
+    count(obs::Ctr::kMrCacheMisses, chan);
+    MemoryRegion* mr = pd_.reg_mr(const_cast<std::byte*>(addr), len);
+    lru_.push_front(Entry{addr, len, mr});
+    while (lru_.size() > cap_) {
+      MemoryRegion* victim = lru_.back().mr;
+      lru_.pop_back();
+      count(obs::Ctr::kMrCacheEvictions, chan);
+      pd_.dereg_mr(victim);
+    }
+    return mr;
+  }
+
+  /// Drops the entry backed by `mr` if present (called by PD::dereg_mr so a
+  /// deregistered buffer can never be served from the cache).
+  void invalidate(MemoryRegion* mr) {
+    lru_.remove_if([mr](const Entry& e) { return e.mr == mr; });
+  }
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return cap_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    const std::byte* base = nullptr;
+    size_t len = 0;
+    MemoryRegion* mr = nullptr;
+  };
+
+  static bool covers(const Entry& e, const std::byte* addr, size_t len) {
+    return addr >= e.base && addr + len <= e.base + e.len;
+  }
+
+  void count(obs::Ctr c, obs::CounterSet* chan) {
+    if (c == obs::Ctr::kMrCacheHits) ++hits_;
+    if (c == obs::Ctr::kMrCacheMisses) ++misses_;
+    if (c == obs::Ctr::kMrCacheEvictions) ++evictions_;
+    if (obs::CounterSet* n = pd_.counters()) n->add(c);
+    if (chan) chan->add(c);
+  }
+
+  ProtectionDomain& pd_;
+  size_t cap_;
+  std::list<Entry> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+inline MrCache& ProtectionDomain::mr_cache() {
+  if (!cache_) cache_ = std::make_unique<MrCache>(*this);
+  return *cache_;
+}
+
+inline void ProtectionDomain::dereg_mr(MemoryRegion* mr) {
+  if (cache_) cache_->invalidate(mr);
+  dereg_mr_raw(mr);
+}
 
 }  // namespace hatrpc::verbs

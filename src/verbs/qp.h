@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,8 +28,7 @@ enum class Opcode : uint8_t {
   kRead,      // one-sided fetch: responder CPU not involved
 };
 
-/// Scatter/gather element (single-element lists; protocols do their own
-/// framing into contiguous registered buffers).
+/// Scatter/gather element.
 struct Sge {
   std::byte* addr = nullptr;
   uint32_t length = 0;
@@ -37,10 +37,31 @@ struct Sge {
 struct SendWr {
   uint64_t wr_id = 0;
   Opcode opcode = Opcode::kSend;
+  /// Single-SGE fast path; ignored when sg_list is non-empty.
   Sge local{};
+  /// Multi-element gather list: the NIC DMA-gathers the segments in order
+  /// and they appear contiguous at the destination (for kRead, the fetched
+  /// bytes are scattered back across the segments).
+  std::vector<Sge> sg_list;
   RemoteAddr remote{};  // for kWrite / kWriteImm / kRead
   uint32_t imm = 0;     // for kWriteImm
   bool signaled = true;
+  /// IBV_SEND_INLINE: the payload is snapshotted into the WQE at post time,
+  /// so the application buffer is reusable the moment post_send returns.
+  /// Rejected (std::length_error) when total_bytes() exceeds the QP's
+  /// max_inline_data, and invalid for kRead.
+  bool inline_data = false;
+  /// Ownership that must survive until the WQE finishes executing (the sim
+  /// analogue of "don't touch the buffer until the CQE"): zero-copy senders
+  /// park a moved-from Buffer here instead of staging a copy.
+  std::shared_ptr<const void> keep_alive;
+
+  uint64_t total_bytes() const {
+    if (sg_list.empty()) return local.length;
+    uint64_t n = 0;
+    for (const Sge& s : sg_list) n += s.length;
+    return n;
+  }
 };
 
 struct RecvWr {
@@ -87,6 +108,10 @@ class QueuePair {
   QpState state() const { return state_; }
   bool in_error() const { return state_ == QpState::kError; }
 
+  /// Inline capacity of this QP (ibv_query_qp's cap.max_inline_data);
+  /// posts with inline_data set and a larger payload are rejected.
+  uint32_t max_inline_data() const;
+
   /// RTS -> ERR transition: posted recvs flush with kWrFlushErr, in-flight
   /// RNR waiters are released, and every later WR fails.
   void enter_error();
@@ -127,6 +152,13 @@ class QueuePair {
   /// Counts one doorbell ring carrying `wqes` work requests (node scope
   /// always, channel scope when attached). Defined in fabric.cc.
   void count_post(uint64_t wqes);
+
+  /// Validates and finalizes a WR before it enters the send queue: rejects
+  /// oversized/invalid inline posts, snapshots inline payloads into the WQE
+  /// (freeing the app buffer), counts inline/gather WQEs, and returns the
+  /// extra software build time (inline stores + per-SGE setup) the poster
+  /// must charge on top of post_wqe_cpu.
+  sim::Duration prepare_send(SendWr& wr);
 
   /// Sweeps sq_pending_ into the NIC under the doorbell that just landed.
   void flush_sends();
