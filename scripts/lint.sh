@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Project lint pass: a handful of grep rules encoding invariants that the
+# type system cannot, plus a clang-tidy sweep when the tool is available.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir (default: build) is only consulted for compile_commands.json;
+#   the grep rules need nothing but the checkout.
+#
+# Exit status: 0 when every rule passes, 1 otherwise.
+
+set -u
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+# Failures are flagged through a marker file because each rule runs on the
+# receiving end of a pipeline (a subshell), where plain variables don't stick.
+fail_marker="$(mktemp)"
+trap 'rm -f "$fail_marker"' EXIT
+
+red()  { printf '\033[31m%s\033[0m\n' "$*"; }
+note() { printf '%s\n' "$*"; }
+
+rule() {
+  # rule <name> <explanation> -- prints matches fed on stdin, flags failure.
+  local name="$1" why="$2" matches
+  matches="$(cat)"
+  if [ -n "$matches" ]; then
+    red "lint: $name"
+    note "  $why"
+    printf '%s\n' "$matches" | sed 's/^/    /'
+    echo 1 >>"$fail_marker"
+  fi
+}
+
+# --- Rule 1: the send path goes through protocol channels. ------------------
+# Only src/proto (the channel implementations) and src/verbs (the device
+# model itself) may ring doorbells; upper layers that post raw WQEs bypass
+# hint planning, reliability, and the observability counters.
+grep -rn --include='*.h' --include='*.cc' -E '\bpost_send(_chain)?\(' src \
+  | grep -v '^src/proto/' | grep -v '^src/verbs/' \
+  | rule 'raw-post-send-outside-proto' \
+         'post_send belongs to src/proto and src/verbs; use a channel.'
+
+# --- Rule 2: completion status is an enum, not a number. --------------------
+# Comparing Wc::status against integer literals silently breaks when the
+# WcStatus enum is reordered; spell the enumerator.
+grep -rn --include='*.h' --include='*.cc' -E '\.status\s*[!=]=\s*[0-9]' \
+    src tests bench examples \
+  | rule 'wc-status-raw-int' \
+         'compare Wc::status against WcStatus enumerators, not integers.'
+
+# --- Rule 3: no ambient virtual time in headers. ----------------------------
+# A global now() accessor in a header invites cross-simulator reads that
+# break run-to-run determinism; time flows from an owned Simulator&.
+grep -rn --include='*.h' -E '\bsim::now\(\)' src \
+  | rule 'ambient-now-in-header' \
+         'read time from the owning Simulator instance, never a global.'
+
+# --- Rule 4: no braced SendWr temporaries that own memory. ------------------
+# GCC 12 coroutine frame promotion copies a braced SendWr temporary
+# memberwise without running vector/shared_ptr move constructors, so a
+# `.sg_list = std::move(v)` initializer leaves two owners of one buffer and
+# double-frees (see the SendWr::sg_list note in src/verbs/qp.h). Build such
+# WRs as named objects and post_send(std::move(wr)).
+grep -rnz --include='*.h' --include='*.cc' \
+    -oE 'SendWr\{[^}]*\.(sg_list|keep_alive)' src tests bench examples \
+  | tr '\0' '\n' | grep -v '^$' \
+  | rule 'sendwr-brace-owning-member' \
+         'braced SendWr temporaries with sg_list/keep_alive double-free under GCC 12 coroutines; use a named WR.'
+
+# --- clang-tidy (optional: degrades to a notice when absent). ---------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$build_dir/compile_commands.json" ]; then
+    note "lint: clang-tidy ($(clang-tidy --version | head -n1 | sed 's/^ *//'))"
+    if ! find src -name '*.cc' -print0 \
+        | xargs -0 clang-tidy -p "$build_dir" --quiet; then
+      red "lint: clang-tidy reported errors"
+      echo 1 >>"$fail_marker"
+    fi
+  else
+    note "lint: skipping clang-tidy ($build_dir/compile_commands.json not found;"
+    note "      configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  fi
+else
+  note "lint: clang-tidy not installed; grep rules only."
+fi
+
+if [ -s "$fail_marker" ]; then
+  exit 1
+fi
+note "lint: all rules pass."
+exit 0

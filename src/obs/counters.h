@@ -43,6 +43,7 @@ enum class Ctr : uint8_t {
   kMrCacheMisses,  // lookups that had to register the buffer
   kMrCacheEvictions,  // cached registrations dropped by LRU pressure
   kPoolBufferReuses,  // pooled buffers re-acquired after a previous use
+  kContractViolations,  // verbs-contract diagnostics recorded by VerbsCheck
   kCount,
 };
 
@@ -75,6 +76,7 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kMrCacheMisses: return "mr_cache_misses";
     case Ctr::kMrCacheEvictions: return "mr_cache_evictions";
     case Ctr::kPoolBufferReuses: return "pool_buffer_reuses";
+    case Ctr::kContractViolations: return "contract_violations";
     case Ctr::kCount: break;
   }
   return "unknown";

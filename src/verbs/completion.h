@@ -70,18 +70,27 @@ struct Wc {
   bool ok() const { return status == WcStatus::kSuccess; }
 };
 
+class VerbsCheck;
+
 class CompletionQueue {
  public:
+  /// `capacity` is the ibv_create_cq cqe argument (0 = the cost model's
+  /// default depth); overflowing it is a VerbsCheck contract violation but,
+  /// like every checker rule, does not change the simulator's behaviour.
   CompletionQueue(sim::Simulator& sim, sim::Cpu& cpu, const CostModel& cost,
-                  obs::CounterSet* ctrs = nullptr)
-      : sim_(sim), cpu_(cpu), cost_(cost), ctrs_(ctrs), avail_(sim) {}
+                  obs::CounterSet* ctrs = nullptr,
+                  VerbsCheck* check = nullptr, uint32_t capacity = 0,
+                  uint32_t node_id = 0)
+      : sim_(sim), cpu_(cpu), cost_(cost), ctrs_(ctrs), check_(check),
+        capacity_(capacity == 0 ? cost.cq_depth : capacity),
+        node_id_(node_id), avail_(sim) {}
 
-  /// Called by the fabric when the NIC DMAs a CQE to host memory.
-  void deliver(Wc wc) {
-    cqes_.push_back(wc);
-    ++delivered_;
-    avail_.notify_all();
-  }
+  /// Called by the fabric when the NIC DMAs a CQE to host memory. Runs the
+  /// contract checker's completion accounting (double-completion detection,
+  /// CQ overflow). Defined in fabric.cc.
+  void deliver(Wc wc);
+
+  uint32_t capacity() const { return capacity_; }
 
   /// Non-blocking poll (ibv_poll_cq with no wait). No pickup delay applied —
   /// callers embedding this in their own spin loop charge their own time.
@@ -197,6 +206,9 @@ class CompletionQueue {
   sim::Cpu& cpu_;
   const CostModel& cost_;
   obs::CounterSet* ctrs_;
+  VerbsCheck* check_;
+  uint32_t capacity_;
+  uint32_t node_id_;
   sim::WaitQueue avail_;
   std::deque<Wc> cqes_;
   bool closed_ = false;

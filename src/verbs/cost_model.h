@@ -39,6 +39,15 @@ struct CostModel {
   double inline_write_gbps = 16.0;  // CPU store bandwidth into the WQE
   Duration nic_inline_wqe = 40ns;   // processing a WQE that arrived via MMIO
 
+  // -- Contract limits (ibv_device_attr-style caps) ---------------------------
+  // The simulated data path does not enforce these — real queues are plain
+  // std:: containers — but VerbsCheck flags any post that exceeds them,
+  // because ConnectX-5 hardware rejects such posts outright.
+  uint32_t max_sge = 16;       // gather/scatter elements per WR
+  uint32_t max_recv_wr = 4096; // per-QP receive queue depth
+  uint32_t max_srq_wr = 4096;  // shared receive queue depth
+  uint32_t cq_depth = 4096;    // default CQE capacity (create_cq's cqe arg)
+
   // -- NIC processing --------------------------------------------------------
   Duration nic_wqe = 120ns;         // WQE fetch + processing per work request
   Duration nic_cqe = 80ns;          // DMA of a CQE to host memory

@@ -120,6 +120,10 @@ void QueuePair::enter_error() {
 }
 
 void QueuePair::post_recv(RecvWr wr) {
+  {
+    VerbsCheck& vc = fabric_.check();
+    if (vc.on()) vc.on_post_recv(*this, wr);
+  }
   if (state_ == QpState::kError) {
     recv_cq_.deliver(Wc{.wr_id = wr.wr_id,
                         .opcode = WcOpcode::kRecv,
@@ -136,6 +140,98 @@ void Fabric::connect(QueuePair& a, QueuePair& b) {
   if (a.peer_ || b.peer_) throw std::logic_error("QP already connected");
   a.peer_ = &b;
   b.peer_ = &a;
+  // The modify-QP dance: both QPs walk RESET -> INIT -> RTR -> RTS, exactly
+  // like the RDMA-CM exchange. Crashed/errored QPs stay where they are (the
+  // transport will discover the silence; connect cannot resurrect them).
+  for (QueuePair* q : {&a, &b}) {
+    if (q->in_error()) continue;
+    q->modify(QpState::kInit);
+    q->modify(QpState::kRtr);
+    q->modify(QpState::kRts);
+  }
+}
+
+void QueuePair::modify(QpState next) {
+  VerbsCheck& vc = fabric_.check();
+  if (vc.on()) vc.on_modify(*this, state_, next);
+  if (next == QpState::kError) {
+    enter_error();
+    return;
+  }
+  state_ = next;
+}
+
+void Node::destroy_qp(QueuePair* qp) {
+  if (!qp) return;
+  if (check_ && check_->on()) check_->on_destroy_qp(*qp);
+  if (qp->destroyed_) return;
+  // ibv_destroy_qp semantics: outstanding WRs flush (enter_error delivers
+  // the recv flushes), then the object moves to the graveyard so stale
+  // pointers hit the use-after-destroy rule instead of freed memory.
+  qp->enter_error();
+  qp->destroyed_ = true;
+  for (auto it = qps_.begin(); it != qps_.end(); ++it) {
+    if (it->get() == qp) {
+      dead_qps_.push_back(std::move(*it));
+      qps_.erase(it);
+      break;
+    }
+  }
+}
+
+void CompletionQueue::deliver(Wc wc) {
+  cqes_.push_back(wc);
+  ++delivered_;
+  if (check_) check_->on_cqe(wc, cqes_.size(), capacity_, node_id_);
+  avail_.notify_all();
+}
+
+void SharedReceiveQueue::post_recv(RecvWr wr, obs::CounterSet* chan_ctrs) {
+  if (check_) check_->on_srq_post(*this, node_id_, wr);
+  if (closed_) return;
+  queue_.push(wr);
+  if (node_ctrs_) node_ctrs_->add(obs::Ctr::kSrqPosts);
+  if (chan_ctrs) chan_ctrs->add(obs::Ctr::kSrqPosts);
+}
+
+void SharedReceiveQueue::close() {
+  if (closed_) return;
+  closed_ = true;
+  queue_.close();
+  if (check_) check_->on_srq_close(*this);
+}
+
+void ProtectionDomain::dereg_mr(MemoryRegion* mr) {
+  if (check_) check_->on_dereg_mr(node_id_, *mr);
+  if (cache_) cache_->invalidate(mr);
+  dereg_mr_raw(mr);
+}
+
+AuditReport Fabric::audit() {
+  AuditReport r;
+  for (auto& n : nodes_) {
+    r.live_qps += n->qps_.size();
+    r.destroyed_qps += n->dead_qps_.size();
+    r.live_cqs += n->cqs_.size();
+    r.live_srqs += n->srqs_.size();
+    r.live_mrs += n->pd().mr_count();
+    r.external_mrs += n->pd().external_mr_count();
+    r.registered_bytes += n->pd().registered_bytes();
+    for (auto& cq : n->cqs_) r.unconsumed_cqes += cq->depth();
+    for (auto& qp : n->qps_) r.pending_recvs += qp->posted_recvs();
+    for (auto& srq : n->srqs_) r.pending_recvs += srq->posted();
+  }
+  // Only meaningful with checking enabled (the shadow accounting is the
+  // source of truth for "posted but never completed"); 0 when off.
+  r.outstanding_sends = check_.outstanding_sends();
+  r.violations = check_.total();
+  if (check_.on() && !r.clean()) check_.report_leak(r, "audit");
+  return r;
+}
+
+Fabric::~Fabric() {
+  if (!check_.on()) return;
+  audit();  // report_leak never throws, so this is destructor-safe
 }
 
 void Fabric::set_fault_plan(std::unique_ptr<FaultPlan> plan) {
@@ -255,13 +351,27 @@ sim::Duration QueuePair::prepare_send(SendWr& wr) {
   return extra;
 }
 
+// Not a coroutine (see the send_doorbell declaration for why): everything up
+// to the enqueue runs synchronously in the caller, so the WR never crosses a
+// coroutine-frame boundary and rejections throw straight out of the call.
 Task<void> QueuePair::post_send(SendWr wr) {
   if (!peer_) throw std::logic_error("QP not connected");
+  {
+    // Contract checks run against the WR as the application posted it,
+    // before prepare_send snapshots inline payloads away.
+    VerbsCheck& vc = fabric_.check();
+    if (vc.on()) vc.on_post_send(*this, wr, "post_send");
+  }
   const CostModel& cm = fabric_.cost();
   // Inline stores / extra gather elements add to the WR build time; a plain
   // single-SGE post charges exactly the pre-zero-copy cost.
   const sim::Duration build = cm.post_wqe_cpu + prepare_send(wr);
   sq_pending_.push_back(std::move(wr));
+  return send_doorbell(build);
+}
+
+Task<void> QueuePair::send_doorbell(sim::Duration build) {
+  const CostModel& cm = fabric_.cost();
   if (db_flushing_) {
     // Another poster's doorbell MMIO on this QP is still in flight: its
     // tail write sweeps every WQE in the queue, including ours. Charge the
@@ -291,13 +401,24 @@ void QueuePair::flush_sends() {
   db_flushed_.notify_all();
 }
 
+// Like post_send, a plain function: the prepared chain enters chain_doorbell
+// as a move from a named lvalue, never as a prvalue coroutine argument.
 Task<void> QueuePair::post_send_chain(std::vector<SendWr> wrs) {
   if (!peer_) throw std::logic_error("QP not connected");
+  {
+    VerbsCheck& vc = fabric_.check();
+    if (vc.on())
+      for (const SendWr& w : wrs) vc.on_post_send(*this, w, "post_send_chain");
+  }
   const CostModel& cm = fabric_.cost();
   // One WR build per element but a single doorbell MMIO for the chain.
   sim::Duration sw = cm.mmio_doorbell;
   for (SendWr& w : wrs) sw += cm.post_wqe_cpu + prepare_send(w);
   if (!numa_local) sw += cm.numa_remote_penalty;
+  return chain_doorbell(sw, std::move(wrs));
+}
+
+Task<void> QueuePair::chain_doorbell(sim::Duration sw, std::vector<SendWr> wrs) {
   co_await node_.cpu().compute(sw);
   count_post(wrs.size());
   fabric_.simulator().spawn(fabric_.execute_chain(*this, std::move(wrs)));
@@ -440,7 +561,7 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
           // One-sided placement into the registered remote region.
           MemoryRegion* mr = nullptr;
           try {
-            mr = d.pd().check(wr.remote, bytes);
+            mr = d.pd().check(wr.remote, bytes, kAccessRemoteWrite);
           } catch (const std::exception&) {
             // Responder NAKs the access (bad rkey, out of bounds, or a
             // revoked registration); handled below — co_await is not
@@ -544,6 +665,10 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
             .imm = 0,
             .status = WcStatus::kSuccess,
             .qp_num = src.qp_num()});
+      } else if (check_.on()) {
+        // No CQE for an unsignaled success: retire the shadow WR here so
+        // the leak audit only flags WRs that truly never finished.
+        check_.on_unsignaled_done(src, wr);
       }
       break;
     }
@@ -580,7 +705,7 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
       std::vector<std::byte> snapshot;
       bool nak = false;
       try {
-        auto span = d.pd().resolve(wr.remote, bytes);
+        auto span = d.pd().resolve(wr.remote, bytes, kAccessRemoteRead);
         snapshot.assign(span.begin(), span.end());
       } catch (const std::exception&) {
         nak = true;  // handled below — co_await is not allowed in a handler
@@ -631,6 +756,8 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
             .imm = 0,
             .status = WcStatus::kSuccess,
             .qp_num = src.qp_num()});
+      } else if (check_.on()) {
+        check_.on_unsignaled_done(src, wr);
       }
       break;
     }

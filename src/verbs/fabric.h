@@ -9,6 +9,7 @@
 
 #include "obs/obs.h"
 #include "sim/simulator.h"
+#include "verbs/check.h"
 #include "verbs/cost_model.h"
 #include "verbs/fault.h"
 #include "verbs/node.h"
@@ -18,23 +19,38 @@ namespace hatrpc::verbs {
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, CostModel cost)
-      : sim_(sim), cost_(cost) {}
+      : sim_(sim), cost_(cost), check_(*this) {}
   explicit Fabric(sim::Simulator& sim) : Fabric(sim, CostModel{}) {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
+  /// Runs the end-of-simulation leak audit when checking is enabled
+  /// (diagnostics are recorded, never thrown from a destructor).
+  ~Fabric();
+
   Node* add_node(sim::Cpu::Params cpu_params) {
     nodes_.push_back(std::make_unique<Node>(
         *this, static_cast<uint32_t>(nodes_.size()), cpu_params, sim_, cost_,
-        obs_));
+        obs_, &check_));
     return nodes_.back().get();
   }
   Node* add_node() { return add_node(sim::Cpu::Params{}); }
 
-  /// Establishes a reliable connection between two queue pairs (the
-  /// simulation analogue of the RDMA-CM / exchange-and-modify-QP dance).
+  /// Establishes a reliable connection between two queue pairs: the
+  /// simulation analogue of the RDMA-CM exchange-and-modify-QP dance,
+  /// walking both QPs RESET -> INIT -> RTR -> RTS.
   static void connect(QueuePair& a, QueuePair& b);
+
+  /// The fabric's contract checker (VERBSCHECK=record|abort to enable).
+  VerbsCheck& check() { return check_; }
+  const VerbsCheck& check() const { return check_; }
+
+  /// Resource audit over every node: live verbs objects, never-completed
+  /// WRs, unconsumed recvs/CQEs. With checking enabled, an un-clean() audit
+  /// records a kLeak diagnostic. Also run by ~Fabric. Tests assert
+  /// fabric.audit().clean() for leak-free teardown.
+  AuditReport audit();
 
   sim::Simulator& simulator() { return sim_; }
   const CostModel& cost() const { return cost_; }
@@ -86,6 +102,7 @@ class Fabric {
   sim::Simulator& sim_;
   CostModel cost_;
   obs::Obs obs_;  // before nodes_: Node constructors register into it
+  VerbsCheck check_;  // before nodes_: Node constructors capture a pointer
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<FaultPlan> fault_plan_;
   uint32_t next_qpn_ = 1;

@@ -27,6 +27,18 @@ struct RemoteAddr {
   uint32_t rkey = 0;
 };
 
+/// ibv_access_flags analogue. Registrations default to kAccessAll (the
+/// common LOCAL_WRITE|REMOTE_READ|REMOTE_WRITE registration every channel
+/// uses); restricted registrations NAK remote ops that exceed their grant
+/// exactly like an RNIC, and VerbsCheck flags the requester at post time.
+enum AccessFlags : uint32_t {
+  kAccessNone = 0,
+  kAccessLocalWrite = 1u << 0,   // required to land recvs / READ responses
+  kAccessRemoteWrite = 1u << 1,  // required of a WRITE target
+  kAccessRemoteRead = 1u << 2,   // required of a READ source
+  kAccessAll = kAccessLocalWrite | kAccessRemoteWrite | kAccessRemoteRead,
+};
+
 /// A registered buffer. `addr()` is its simulated virtual address (the real
 /// host pointer value), so RemoteAddr arithmetic behaves like the real thing.
 /// Storage is deliberately UNINITIALIZED (like freshly mmap'd registration
@@ -34,15 +46,19 @@ struct RemoteAddr {
 /// that poll control words before the first write zero them explicitly.
 class MemoryRegion {
  public:
-  MemoryRegion(size_t size, uint32_t lkey, uint32_t rkey)
+  MemoryRegion(size_t size, uint32_t lkey, uint32_t rkey,
+               uint32_t access = kAccessAll)
       : data_(std::make_unique_for_overwrite<std::byte[]>(size)),
-        ext_(nullptr), size_(size), lkey_(lkey), rkey_(rkey) {}
+        ext_(nullptr), size_(size), lkey_(lkey), rkey_(rkey),
+        access_(access) {}
 
   /// Registers EXISTING application memory (ibv_reg_mr over a user buffer):
   /// the region covers the caller's bytes in place and does not own them.
   /// This is the entry point MrCache uses for on-demand registration.
-  MemoryRegion(std::byte* external, size_t size, uint32_t lkey, uint32_t rkey)
-      : ext_(external), size_(size), lkey_(lkey), rkey_(rkey) {}
+  MemoryRegion(std::byte* external, size_t size, uint32_t lkey, uint32_t rkey,
+               uint32_t access = kAccessAll)
+      : ext_(external), size_(size), lkey_(lkey), rkey_(rkey),
+        access_(access) {}
 
   MemoryRegion(const MemoryRegion&) = delete;
   MemoryRegion& operator=(const MemoryRegion&) = delete;
@@ -53,6 +69,10 @@ class MemoryRegion {
   uint64_t addr() const { return reinterpret_cast<uint64_t>(data()); }
   uint32_t lkey() const { return lkey_; }
   uint32_t rkey() const { return rkey_; }
+  uint32_t access() const { return access_; }
+  bool has_access(uint32_t required) const {
+    return (access_ & required) == required;
+  }
   bool external() const { return ext_ != nullptr; }
 
   RemoteAddr remote(uint64_t offset = 0) const {
@@ -94,10 +114,12 @@ class MemoryRegion {
   size_t size_;
   uint32_t lkey_;
   uint32_t rkey_;
+  uint32_t access_ = kAccessAll;
   bool revoked_ = false;
 };
 
 class MrCache;
+class VerbsCheck;
 
 /// Per-node protection domain: allocates/registers MRs and resolves rkeys,
 /// enforcing the same access checks an RNIC would.
@@ -108,10 +130,14 @@ class ProtectionDomain {
   /// Wires registration accounting into the node's counter scope.
   void set_counters(obs::CounterSet* ctrs) { ctrs_ = ctrs; }
 
+  /// Wires this PD into the fabric's contract checker (deregistrations are
+  /// recorded so stale use can be reported as use-after-dereg).
+  void set_check(VerbsCheck* check) { check_ = check; }
+
   /// Allocates and registers a fresh region.
-  MemoryRegion* alloc_mr(size_t size) {
+  MemoryRegion* alloc_mr(size_t size, uint32_t access = kAccessAll) {
     uint32_t key = next_key_++;
-    auto mr = std::make_unique<MemoryRegion>(size, key, key);
+    auto mr = std::make_unique<MemoryRegion>(size, key, key, access);
     MemoryRegion* raw = mr.get();
     by_rkey_[raw->rkey()] = raw;
     mrs_.push_back(std::move(mr));
@@ -122,9 +148,10 @@ class ProtectionDomain {
   /// Registers EXISTING application memory in place (ibv_reg_mr over a user
   /// buffer). The caller keeps ownership of the bytes and must dereg before
   /// freeing them.
-  MemoryRegion* reg_mr(std::byte* addr, size_t size) {
+  MemoryRegion* reg_mr(std::byte* addr, size_t size,
+                       uint32_t access = kAccessAll) {
     uint32_t key = next_key_++;
-    auto mr = std::make_unique<MemoryRegion>(addr, size, key, key);
+    auto mr = std::make_unique<MemoryRegion>(addr, size, key, key, access);
     MemoryRegion* raw = mr.get();
     by_rkey_[raw->rkey()] = raw;
     mrs_.push_back(std::move(mr));
@@ -132,18 +159,39 @@ class ProtectionDomain {
     return raw;
   }
 
-  void dereg_mr(MemoryRegion* mr);  // also invalidates the MrCache entry
+  // Also invalidates the MrCache entry and records the dead registration
+  // with the contract checker. Defined in fabric.cc.
+  void dereg_mr(MemoryRegion* mr);
 
-  /// rkey + bounds check; returns the owning MR or throws (remote access
-  /// violation == what the NIC would report as a protection error).
-  MemoryRegion* check(RemoteAddr ra, size_t len) {
+  /// rkey + bounds + access check; returns the owning MR or throws (remote
+  /// access violation == what the NIC would report as a protection error).
+  MemoryRegion* check(RemoteAddr ra, size_t len,
+                      uint32_t required = kAccessNone) {
     auto it = by_rkey_.find(ra.rkey);
     if (it == by_rkey_.end()) throw std::runtime_error("bad rkey");
     MemoryRegion* mr = it->second;
     if (mr->revoked()) throw std::runtime_error("remote access revoked");
     if (!mr->contains(ra.addr, len))
       throw std::runtime_error("remote access out of MR bounds");
+    if (!mr->has_access(required))
+      throw std::runtime_error("remote access flags violation");
     return mr;
+  }
+
+  /// Looks up a registration by rkey without side effects (VerbsCheck's
+  /// post-time remote validation). Returns nullptr when unknown.
+  MemoryRegion* find_rkey(uint32_t rkey) {
+    auto it = by_rkey_.find(rkey);
+    return it == by_rkey_.end() ? nullptr : it->second;
+  }
+
+  /// Finds the live registration fully covering [addr, addr+len), if any
+  /// (VerbsCheck's local-SGE validation; linear like a real MR table walk).
+  MemoryRegion* find_containing(const std::byte* addr, size_t len) {
+    const uint64_t a = reinterpret_cast<uint64_t>(addr);
+    for (auto& m : mrs_)
+      if (m->contains(a, len)) return m.get();
+    return nullptr;
   }
 
   /// Revokes remote access to every region currently registered (fault
@@ -152,8 +200,9 @@ class ProtectionDomain {
     for (auto& m : mrs_) m->revoke();
   }
 
-  std::span<std::byte> resolve(RemoteAddr ra, size_t len) {
-    check(ra, len);
+  std::span<std::byte> resolve(RemoteAddr ra, size_t len,
+                               uint32_t required = kAccessNone) {
+    check(ra, len, required);
     return {reinterpret_cast<std::byte*>(ra.addr), len};
   }
 
@@ -164,6 +213,11 @@ class ProtectionDomain {
     return total;
   }
   size_t mr_count() const { return mrs_.size(); }
+  size_t external_mr_count() const {
+    size_t n = 0;
+    for (auto& m : mrs_) n += m->external() ? 1 : 0;
+    return n;
+  }
 
   /// This PD's registration cache (created lazily on first use).
   MrCache& mr_cache();
@@ -178,6 +232,7 @@ class ProtectionDomain {
 
   uint32_t node_id_;
   obs::CounterSet* ctrs_ = nullptr;
+  VerbsCheck* check_ = nullptr;
   uint32_t next_key_ = 1;
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::unordered_map<uint32_t, MemoryRegion*> by_rkey_;
@@ -274,11 +329,6 @@ class MrCache {
 inline MrCache& ProtectionDomain::mr_cache() {
   if (!cache_) cache_ = std::make_unique<MrCache>(*this);
   return *cache_;
-}
-
-inline void ProtectionDomain::dereg_mr(MemoryRegion* mr) {
-  if (cache_) cache_->invalidate(mr);
-  dereg_mr_raw(mr);
 }
 
 }  // namespace hatrpc::verbs

@@ -20,10 +20,12 @@ class Fabric;
 class Node {
  public:
   Node(Fabric& fabric, uint32_t id, sim::Cpu::Params cpu_params,
-       sim::Simulator& sim, const CostModel& cost, obs::Obs& obs)
+       sim::Simulator& sim, const CostModel& cost, obs::Obs& obs,
+       VerbsCheck* check = nullptr)
       : fabric_(fabric), id_(id), cpu_(sim, cpu_params), pd_(id), cost_(cost),
-        sim_(sim), obs_(obs), ctrs_(&obs.counters.node(id)) {
+        sim_(sim), obs_(obs), ctrs_(&obs.counters.node(id)), check_(check) {
     pd_.set_counters(ctrs_);
+    pd_.set_check(check_);
   }
 
   Node(const Node&) = delete;
@@ -37,18 +39,28 @@ class Node {
   obs::Obs& obs() { return obs_; }
   obs::CounterSet& counters() { return *ctrs_; }
 
-  CompletionQueue* create_cq() {
-    cqs_.push_back(
-        std::make_unique<CompletionQueue>(sim_, cpu_, cost_, ctrs_));
+  /// `cqe` is the requested CQE capacity (ibv_create_cq's cqe argument);
+  /// 0 picks the cost model's default depth.
+  CompletionQueue* create_cq(uint32_t cqe = 0) {
+    cqs_.push_back(std::make_unique<CompletionQueue>(sim_, cpu_, cost_, ctrs_,
+                                                     check_, cqe, id_));
     return cqs_.back().get();
   }
 
   QueuePair* create_qp(CompletionQueue& send_cq, CompletionQueue& recv_cq);
 
+  /// ibv_destroy_qp analogue: flushes the QP into the error state and moves
+  /// it to the node's graveyard. The object stays alive so stale pointers
+  /// are caught by VerbsCheck (use-after-destroy) instead of being UB;
+  /// Fabric::find_qp no longer returns it. Defined in fabric.cc.
+  void destroy_qp(QueuePair* qp);
+
   /// One shared posted-recv pool, drainable by any QP on this node that is
-  /// attached to it with QueuePair::set_srq.
-  SharedReceiveQueue* create_srq() {
-    srqs_.push_back(std::make_unique<SharedReceiveQueue>(sim_, ctrs_));
+  /// attached to it with QueuePair::set_srq. `max_wr` caps the pool depth
+  /// for contract checking (0 = the cost model's default).
+  SharedReceiveQueue* create_srq(uint32_t max_wr = 0) {
+    srqs_.push_back(std::make_unique<SharedReceiveQueue>(
+        sim_, ctrs_, check_, id_, max_wr == 0 ? cost_.max_srq_wr : max_wr));
     return srqs_.back().get();
   }
 
@@ -68,8 +80,10 @@ class Node {
   sim::Simulator& sim_;
   obs::Obs& obs_;
   obs::CounterSet* ctrs_;
+  VerbsCheck* check_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<QueuePair>> dead_qps_;  // destroy_qp graveyard
   std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
   bool crashed_ = false;
 

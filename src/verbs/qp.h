@@ -42,6 +42,14 @@ struct SendWr {
   /// Multi-element gather list: the NIC DMA-gathers the segments in order
   /// and they appear contiguous at the destination (for kRead, the fetched
   /// bytes are scattered back across the segments).
+  ///
+  /// Build gather WRs as named objects (push_back into wr.sg_list, then
+  /// post_send(std::move(wr))). Do NOT write a braced SendWr temporary with
+  /// `.sg_list = std::move(vec)` inside a co_await expression: GCC 12's
+  /// coroutine frame promotion copies such temporaries memberwise without
+  /// running the vector move constructor, leaving `vec` and the WR aliasing
+  /// one heap buffer — a double free when both die. scripts/lint.sh rejects
+  /// the pattern.
   std::vector<Sge> sg_list;
   RemoteAddr remote{};  // for kWrite / kWriteImm / kRead
   uint32_t imm = 0;     // for kWriteImm
@@ -69,10 +77,26 @@ struct RecvWr {
   Sge buf{};
 };
 
-/// The two states the simulator distinguishes: kRts (connected, working)
-/// and kError (fatal transport/protection fault or injected failure — all
-/// outstanding and future WRs complete as kWrFlushErr).
-enum class QpState : uint8_t { kRts, kError };
+/// The RC QP state machine, mirroring ibv_qp_state. A QP is created in
+/// kReset and walked RESET -> INIT -> RTR -> RTS by Fabric::connect (the
+/// modify-QP dance real connection setup performs). The simulator's data
+/// path only distinguishes "working" from kError (fatal fault or injected
+/// failure — all outstanding and future WRs complete as kWrFlushErr), but
+/// VerbsCheck enforces the full transition legality and the per-state
+/// posting rules (recvs legal from INIT, sends only in RTS) that real
+/// hardware rejects with immediate errors.
+enum class QpState : uint8_t { kReset, kInit, kRtr, kRts, kError };
+
+constexpr const char* to_string(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
+  }
+  return "?";
+}
 
 /// A reliable-connected queue pair. Created via Node::create_qp and wired to
 /// its peer with Fabric::connect.
@@ -108,6 +132,16 @@ class QueuePair {
   QpState state() const { return state_; }
   bool in_error() const { return state_ == QpState::kError; }
 
+  /// ibv_modify_qp analogue: applies the transition unconditionally (the
+  /// simulator stays forgiving) but reports illegal ones through VerbsCheck.
+  /// Legal: RESET->INIT->RTR->RTS, any->ERROR, ERROR->RESET.
+  void modify(QpState next);
+
+  /// True once Node::destroy_qp has been called; any further use is a
+  /// use-after-destroy contract violation (the object itself stays alive in
+  /// the node's graveyard so stale pointers fail loudly, not with UB).
+  bool destroyed() const { return destroyed_; }
+
   /// Inline capacity of this QP (ibv_query_qp's cap.max_inline_data);
   /// posts with inline_data set and a larger payload are rejected.
   uint32_t max_inline_data() const;
@@ -140,6 +174,7 @@ class QueuePair {
 
  private:
   friend class Fabric;
+  friend class Node;
 
   /// Fabric-side: takes the next posted recv, waiting (RNR backpressure)
   /// if the application has not replenished the queue yet. Returns nullopt
@@ -163,12 +198,23 @@ class QueuePair {
   /// Sweeps sq_pending_ into the NIC under the doorbell that just landed.
   void flush_sends();
 
+  /// Suspending halves of post_send / post_send_chain. The public entry
+  /// points are deliberately NOT coroutines: everything that touches the WR
+  /// runs synchronously in the caller, so rejections throw straight out of
+  /// the call and no WR is ever copied into a coroutine frame as a
+  /// parameter. These tails carry only trivially-copyable costs, or a
+  /// vector moved from a named lvalue (see the sg_list note above for the
+  /// compiler hazard this layout avoids).
+  sim::Task<void> send_doorbell(sim::Duration build);
+  sim::Task<void> chain_doorbell(sim::Duration sw, std::vector<SendWr> wrs);
+
   Fabric& fabric_;
   Node& node_;
   CompletionQueue& send_cq_;
   CompletionQueue& recv_cq_;
   uint32_t qp_num_;
-  QpState state_ = QpState::kRts;
+  QpState state_ = QpState::kReset;
+  bool destroyed_ = false;
   QueuePair* peer_ = nullptr;
   obs::CounterSet* chan_ctrs_ = nullptr;
   SharedReceiveQueue* srq_ = nullptr;

@@ -16,23 +16,25 @@
 
 namespace hatrpc::verbs {
 
+class VerbsCheck;
+
 class SharedReceiveQueue {
  public:
-  SharedReceiveQueue(sim::Simulator& sim, obs::CounterSet* node_ctrs)
-      : queue_(sim), node_ctrs_(node_ctrs) {}
+  SharedReceiveQueue(sim::Simulator& sim, obs::CounterSet* node_ctrs,
+                     VerbsCheck* check = nullptr, uint32_t node_id = 0,
+                     uint32_t max_wr = 0)
+      : queue_(sim), node_ctrs_(node_ctrs), check_(check), node_id_(node_id),
+        max_wr_(max_wr) {}
 
   SharedReceiveQueue(const SharedReceiveQueue&) = delete;
   SharedReceiveQueue& operator=(const SharedReceiveQueue&) = delete;
 
   /// Posts a recv WR into the shared pool. Posting is free (off the
   /// critical path, like QueuePair::post_recv) but counted so tests can
-  /// see replenishment happening. Posts after close are dropped.
-  void post_recv(RecvWr wr, obs::CounterSet* chan_ctrs = nullptr) {
-    if (closed_) return;
-    queue_.push(wr);
-    if (node_ctrs_) node_ctrs_->add(obs::Ctr::kSrqPosts);
-    if (chan_ctrs) chan_ctrs->add(obs::Ctr::kSrqPosts);
-  }
+  /// see replenishment happening. Posts after close are dropped (and
+  /// flagged by VerbsCheck as use-after-destroy — a real ibv_post_srq_recv
+  /// on a destroyed SRQ is a crash). Defined in fabric.cc.
+  void post_recv(RecvWr wr, obs::CounterSet* chan_ctrs = nullptr);
 
   /// Fabric-side, non-blocking: takes the next pooled recv if any. The
   /// fabric paces retries on the RNR timer itself (a blocking pop cannot
@@ -40,19 +42,21 @@ class SharedReceiveQueue {
   std::optional<RecvWr> try_take() { return queue_.try_pop(); }
 
   size_t posted() const { return queue_.size(); }
+  uint32_t node_id() const { return node_id_; }
+  uint32_t max_wr() const { return max_wr_; }
 
   /// Shuts the pool down: pooled recvs are discarded and senders blocked on
   /// an empty pool fail over to their unreachable path. QP-level errors do
-  /// NOT close the SRQ — other QPs keep draining it.
-  void close() {
-    closed_ = true;
-    queue_.close();
-  }
+  /// NOT close the SRQ — other QPs keep draining it. Defined in fabric.cc.
+  void close();
   bool is_closed() const { return closed_; }
 
  private:
   sim::Channel<RecvWr> queue_;
   obs::CounterSet* node_ctrs_;
+  VerbsCheck* check_;
+  uint32_t node_id_;
+  uint32_t max_wr_;
   bool closed_ = false;
 };
 

@@ -1,6 +1,7 @@
 // Umbrella header for the simulated verbs layer.
 #pragma once
 
+#include "verbs/check.h"       // IWYU pragma: export
 #include "verbs/completion.h"  // IWYU pragma: export
 #include "verbs/cost_model.h"  // IWYU pragma: export
 #include "verbs/endpoint.h"    // IWYU pragma: export

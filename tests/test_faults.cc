@@ -69,6 +69,13 @@ ChaosResult run_chaos(ProtocolKind kind, uint64_t seed) {
   constexpr int kCalls = 24;
   Simulator sim;
   verbs::Fabric fabric{sim};
+  // Chaos runs double as a VerbsCheck workout: every WQE posted across QP
+  // kills, retries, and replays must still retire with a completion, and the
+  // end-of-run audit must come back clean. Record mode keeps the run
+  // deterministic (the checker never touches virtual time); an env-selected
+  // abort mode is left alone.
+  if (!fabric.check().on())
+    fabric.check().set_mode(verbs::VerbsCheck::Mode::kRecord);
   verbs::Node* cl = fabric.add_node();
   verbs::Node* sv = fabric.add_node();
   RetryPolicy pol;
@@ -101,6 +108,9 @@ ChaosResult run_chaos(ProtocolKind kind, uint64_t seed) {
   }(sim, *ch, r));
   sim.run();
   EXPECT_EQ(sim.live_tasks(), 0u) << "chaos run leaked tasks (hang)";
+  verbs::AuditReport audit = fabric.audit();
+  EXPECT_TRUE(audit.clean()) << audit.str();
+  EXPECT_EQ(audit.violations, 0u) << audit.str();
   r.trace = fabric.fault_plan()->trace();
   r.events = sim.events_processed();
   r.rstats = ch->reliability();
@@ -251,6 +261,8 @@ TEST(Faults, HatKvWorkloadSurvivesStochasticFaults) {
   // a lossy fabric: the RC retransmit machinery absorbs every wire fault.
   Simulator sim;
   verbs::Fabric fabric{sim};
+  if (!fabric.check().on())
+    fabric.check().set_mode(verbs::VerbsCheck::Mode::kRecord);
   verbs::Node* sn = fabric.add_node();
   kv::HatKVServer server{*sn};
   verbs::Node* cn = fabric.add_node();
@@ -277,6 +289,9 @@ TEST(Faults, HatKvWorkloadSurvivesStochasticFaults) {
   EXPECT_EQ(sim.live_tasks(), 0u);
   EXPECT_EQ(ok, 30);
   EXPECT_GT(fabric.fault_plan()->injected(), 0u);
+  verbs::AuditReport audit = fabric.audit();
+  EXPECT_TRUE(audit.clean()) << audit.str();
+  EXPECT_EQ(audit.violations, 0u) << audit.str();
 }
 
 TEST(Faults, HatKvSameSeedIsDeterministic) {

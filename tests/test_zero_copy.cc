@@ -219,6 +219,9 @@ TEST(InlineWqe, BoundaryExactlyAtMaxInlineData) {
     out.recv_len = (co_await bep.recv_wc()).byte_len;
     out.inline_wqes =
         fabric.obs().counters.node(a->id()).get(obs::Ctr::kInlineWqes);
+    // Deliberate violations below: keep VERBSCHECK=abort from throwing its
+    // own diagnostic before the verbs-layer rejection we're testing for.
+    verbs::VerbsCheck::Tolerate tol(fabric.check());
     // One byte over: post_send rejects outright (ibv_post_send EINVAL).
     try {
       co_await aep.qp->post_send(verbs::SendWr{
