@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Runs the Fig. 4 protocol-latency and Fig. 5 protocol-throughput benchmarks
-# and emits JSON baselines (BENCH_fig04.json / BENCH_fig05.json by default).
+# plus the cluster failover benchmark, and emits JSON baselines
+# (BENCH_fig04.json / BENCH_fig05.json / BENCH_cluster.json by default).
 # All timing is simulated, so the output is bit-reproducible across machines
 # and runs.
 #
 # Environment overrides:
-#   BUILD_DIR  build tree containing bench/ binaries   (default: build)
-#   FILTER     --benchmark_filter regex                (default: all rows)
-#   WINDOW     channel window driven per connection    (default: 1)
-#   ZERO_COPY  1 = drive the zero-copy send path       (default: 0)
-#   OUT04      fig04 output JSON path                  (default: BENCH_fig04.json)
-#   OUT        fig05 output JSON path                  (default: BENCH_fig05.json)
+#   BUILD_DIR     build tree containing bench/ binaries (default: build)
+#   FILTER        --benchmark_filter regex              (default: all rows)
+#   WINDOW        channel window driven per connection  (default: 1)
+#   ZERO_COPY     1 = drive the zero-copy send path     (default: 0)
+#   OUT04         fig04 output JSON path                (default: BENCH_fig04.json)
+#   OUT           fig05 output JSON path                (default: BENCH_fig05.json)
+#   OUTCLUSTER    cluster output JSON path              (default: BENCH_cluster.json)
+#   CLUSTER_ARGS  extra bench_cluster flags, e.g. "--client-nodes 24 --records 1000"
+#   SEED          cluster fault-schedule seed           (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,10 +25,14 @@ WINDOW="${WINDOW:-1}"
 ZERO_COPY="${ZERO_COPY:-0}"
 OUT04="${OUT04:-BENCH_fig04.json}"
 OUT="${OUT:-BENCH_fig05.json}"
+OUTCLUSTER="${OUTCLUSTER:-BENCH_cluster.json}"
+CLUSTER_ARGS="${CLUSTER_ARGS:-}"
+SEED="${SEED:-1}"
 
 BIN04="$BUILD_DIR/bench/bench_fig04_protocol_latency"
 BIN05="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
-for bin in "$BIN04" "$BIN05"; do
+BINCLUSTER="$BUILD_DIR/bench/bench_cluster"
+for bin in "$BIN04" "$BIN05" "$BINCLUSTER"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -41,4 +49,9 @@ done
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
 
-echo "wrote $OUT04 and $OUT (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER)"
+# bench_cluster exits non-zero (and prints INVARIANT VIOLATION) if any
+# acknowledged write is lost, a replica lags, or the fabric audit is dirty.
+# shellcheck disable=SC2086
+"$BINCLUSTER" --seed "$SEED" --out "$OUTCLUSTER" $CLUSTER_ARGS
+
+echo "wrote $OUT04, $OUT and $OUTCLUSTER (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"

@@ -43,6 +43,7 @@ std::optional<Key> parse_key(std::string_view name) {
   if (n == "transport") return Key::kTransport;
   if (n == "polling") return Key::kPolling;
   if (n == "priority") return Key::kPriority;
+  if (n == "shard_map") return Key::kShardMap;
   return std::nullopt;
 }
 
@@ -55,6 +56,7 @@ std::string_view to_string(Key k) {
     case Key::kTransport: return "transport";
     case Key::kPolling: return "polling";
     case Key::kPriority: return "priority";
+    case Key::kShardMap: return "shard_map";
   }
   return "?";
 }
@@ -115,6 +117,10 @@ Value parse_value(Key key, std::string_view value) {
       if (lv == "high") v.priority = Priority::kHigh;
       else if (lv == "low") v.priority = Priority::kLow;
       else throw HintError("priority must be high|low");
+      return v;
+    case Key::kShardMap:
+      // Opaque routing payload: validated by the cluster decoder, not here
+      // (the hint layer only carries it).
       return v;
   }
   throw HintError("unknown hint key");

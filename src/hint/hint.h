@@ -31,6 +31,9 @@ enum class Key : uint8_t {
   kTransport,    // rdma | tcp — hybrid transports (§3.3, §5.5)
   kPolling,      // busy | event — explicit override of the derived choice
   kPriority,     // high | low — e.g. heartbeats marked low (§4.1)
+  kShardMap,     // opaque encoded cluster shard map (dynamic hint, §4.3):
+                 // the directory publishes the key→shard routing table to
+                 // clients through the same hint channel as protocol hints
 };
 
 enum class PerfGoal : uint8_t { kLatency, kThroughput, kResUtil };

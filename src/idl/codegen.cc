@@ -379,6 +379,7 @@ class Generator {
       case hint::Key::kTransport: return "kTransport";
       case hint::Key::kPolling: return "kPolling";
       case hint::Key::kPriority: return "kPriority";
+      case hint::Key::kShardMap: return "kShardMap";
     }
     return "?";
   }

@@ -44,6 +44,14 @@ enum class Ctr : uint8_t {
   kMrCacheEvictions,  // cached registrations dropped by LRU pressure
   kPoolBufferReuses,  // pooled buffers re-acquired after a previous use
   kContractViolations,  // verbs-contract diagnostics recorded by VerbsCheck
+  kRetryAttempts,      // reliability-layer attempts beyond a call's first
+  kDeadlineExceeded,   // calls abandoned because the total budget ran out
+  kFailovers,          // cluster clients switching to a surviving replica
+  kShardMapRefreshes,  // shard-map re-resolutions from the directory
+  kChainForwards,      // replication hops forwarded down a shard chain
+  kOneSidedReads,      // GETs served by the one-sided READ path
+  kOneSidedFallbacks,  // one-sided reads that fell back to RPC (torn/stale/miss)
+  kResyncOps,          // records streamed to a rejoining replica
   kCount,
 };
 
@@ -77,6 +85,14 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kMrCacheEvictions: return "mr_cache_evictions";
     case Ctr::kPoolBufferReuses: return "pool_buffer_reuses";
     case Ctr::kContractViolations: return "contract_violations";
+    case Ctr::kRetryAttempts: return "retry_attempts";
+    case Ctr::kDeadlineExceeded: return "deadline_exceeded";
+    case Ctr::kFailovers: return "failovers";
+    case Ctr::kShardMapRefreshes: return "shard_map_refreshes";
+    case Ctr::kChainForwards: return "chain_forwards";
+    case Ctr::kOneSidedReads: return "one_sided_reads";
+    case Ctr::kOneSidedFallbacks: return "one_sided_fallbacks";
+    case Ctr::kResyncOps: return "resync_ops";
     case Ctr::kCount: break;
   }
   return "unknown";

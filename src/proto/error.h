@@ -15,8 +15,9 @@ enum class RpcErrc : uint8_t {
   kChannelClosed,     // CQ shut down / WRs flushed (local teardown)
   kTransport,         // retry or RNR exhaustion: peer dead or overloaded
   kRemoteAccess,      // rkey/bounds/revocation NAK or responder fault
-  kTimeout,           // client-side deadline expired
+  kTimeout,           // client-side per-attempt deadline expired
   kRetriesExhausted,  // the reliability layer gave up after max_attempts
+  kDeadlineExceeded,  // the call's TOTAL retry budget ran out first
 };
 
 constexpr const char* to_string(RpcErrc e) {
@@ -26,6 +27,7 @@ constexpr const char* to_string(RpcErrc e) {
     case RpcErrc::kRemoteAccess: return "remote-access";
     case RpcErrc::kTimeout: return "timeout";
     case RpcErrc::kRetriesExhausted: return "retries-exhausted";
+    case RpcErrc::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

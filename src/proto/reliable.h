@@ -40,10 +40,17 @@ struct RetryPolicy {
   /// Degrade to kEagerSendRecv after remote-access faults or repeated
   /// failures of the configured protocol.
   bool fallback_to_eager = true;
+  /// TOTAL per-call budget across every attempt and backoff (zero =
+  /// unbounded, the historical behavior). A call that would retry past
+  /// this deadline surfaces kDeadlineExceeded instead — failover logic can
+  /// bound tail latency instead of riding max_attempts against a dead
+  /// replica. Attempt deadlines are clipped to whatever budget remains.
+  sim::Duration total_deadline = sim::Duration::zero();
 };
 
 struct ReliabilityStats {
   uint64_t attempts = 0;    // inner call()s issued (>= calls)
+  uint64_t retries = 0;     // attempts beyond a call's first
   uint64_t timeouts = 0;    // attempts abandoned at the deadline
   uint64_t failures = 0;    // attempts that surfaced a typed error
   uint64_t reconnects = 0;  // fresh channels built (incl. fallbacks)
@@ -87,6 +94,8 @@ class ReliableChannel : public RpcChannel {
  protected:
   sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
     const uint64_t seq = ++next_seq_;
+    const bool budgeted = policy_.total_deadline.count() > 0;
+    const sim::Time budget_end = sim_.now() + policy_.total_deadline;
     RpcErrc last = RpcErrc::kTimeout;
     std::string last_what = "no attempt made";
     for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
@@ -95,15 +104,20 @@ class ReliableChannel : public RpcChannel {
       // which incarnation this attempt ran on so only the FIRST failure of
       // an incarnation rebuilds it (the others retry on the new channel).
       const uint64_t at_epoch = epoch_;
-      if (attempt > 1 && obs_->tracer.enabled())
-        obs_->tracer.instant("retry-attempt", "reliable", sim_.now(),
-                             obs_pid(), obs_channel_id());
+      if (attempt > 1) {
+        ++rstats_.retries;
+        count(obs::Ctr::kRetryAttempts);
+        if (obs_->tracer.enabled())
+          obs_->tracer.instant("retry-attempt", "reliable", sim_.now(),
+                               obs_pid(), obs_channel_id());
+      }
+      sim::Time attempt_end = sim_.now() + policy_.timeout;
+      if (budgeted && budget_end < attempt_end) attempt_end = budget_end;
       auto state = std::make_shared<CallState>(sim_);
       sim_.spawn(invoke(ch_.get(), state,
                         frame(req, seq, static_cast<uint32_t>(attempt)),
                         resp_size_hint));
-      bool done =
-          co_await state->done.wait_until(sim_.now() + policy_.timeout);
+      bool done = co_await state->done.wait_until(attempt_end);
       if (!done) {
         // Deadline expired with the attempt still in flight: tear the
         // channel down so the inner call unwinds (flush completions), then
@@ -131,8 +145,16 @@ class ReliableChannel : public RpcChannel {
       } else {
         co_return std::move(*state->resp);
       }
+      if (budgeted && sim_.now() >= budget_end) {
+        count(obs::Ctr::kDeadlineExceeded);
+        throw RpcError(RpcErrc::kDeadlineExceeded,
+                       "rpc exceeded its " +
+                           std::to_string(policy_.total_deadline.count()) +
+                           "ns budget after " + std::to_string(attempt) +
+                           " attempts (last: " + last_what + ")");
+      }
       if (attempt == policy_.max_attempts) break;
-      co_await backoff(attempt);
+      co_await backoff(attempt, budgeted ? &budget_end : nullptr);
       reconnect(last, attempt, at_epoch);
     }
     throw RpcError(RpcErrc::kRetriesExhausted,
@@ -233,7 +255,7 @@ class ReliableChannel : public RpcChannel {
     state->done.set();
   }
 
-  sim::Task<void> backoff(int attempt) {
+  sim::Task<void> backoff(int attempt, const sim::Time* budget_end) {
     count(obs::Ctr::kBackoffSleeps);
     auto d = policy_.backoff_base.count();
     for (int i = 1; i < attempt && d < policy_.backoff_max.count(); ++i)
@@ -243,6 +265,12 @@ class ReliableChannel : public RpcChannel {
     int64_t jittered = d / 2 + static_cast<int64_t>(
                                    jitter_.bounded(
                                        static_cast<uint64_t>(d - d / 2)));
+    // Never sleep past the call's total budget — the next attempt should
+    // get whatever time remains rather than none.
+    if (budget_end) {
+      int64_t remaining = (*budget_end - sim_.now()).count();
+      jittered = std::min(jittered, std::max<int64_t>(remaining, 0));
+    }
     co_await sim_.sleep(sim::Duration(jittered));
   }
 

@@ -103,6 +103,14 @@ void Node::crash() {
   for (auto& srq : srqs_) srq->close();
 }
 
+void Node::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // The crash already errored every QP and closed every CQ/SRQ; they stay
+  // that way. create_qp/create_cq issued after this point build live
+  // objects again (create_qp stops force-erroring once crashed_ clears).
+}
+
 void QueuePair::enter_error() {
   if (state_ == QpState::kError) return;
   state_ = QpState::kError;
@@ -279,6 +287,12 @@ Task<void> Fabric::apply_fault(FaultPlan::Scheduled f) {
       if (f.id < nodes_.size()) {
         fp->note(sim_.now(), "revoke-mrs node=" + std::to_string(f.id));
         nodes_[f.id]->pd().revoke_all();
+      }
+      break;
+    case FaultPlan::Scheduled::Kind::kNodeRestart:
+      if (f.id < nodes_.size() && nodes_[f.id]->crashed()) {
+        fp->note(sim_.now(), "node-restart node=" + std::to_string(f.id));
+        nodes_[f.id]->restart();
       }
       break;
   }

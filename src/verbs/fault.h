@@ -62,7 +62,8 @@ class FaultPlan {
 
   // -- Scheduled faults (armed when the plan is attached to a Fabric) ------
   struct Scheduled {
-    enum class Kind : uint8_t { kQpError, kNodeCrash, kRevokeMrs };
+    enum class Kind : uint8_t { kQpError, kNodeCrash, kRevokeMrs,
+                                kNodeRestart };
     Kind kind;
     uint32_t id;  // qp_num or node id
     sim::Time at;
@@ -79,6 +80,13 @@ class FaultPlan {
   /// real fabric.
   void crash_node_at(uint32_t node_id, sim::Time t) {
     scheduled_.push_back({Scheduled::Kind::kNodeCrash, node_id, t});
+  }
+  /// Restarts a crashed node at `t` (fail-stop recovery): the node accepts
+  /// fresh QPs/CQs/MRs again, but everything that existed at crash time
+  /// stays dead — recovering software must rebuild its endpoints and
+  /// re-register its regions, exactly like a rebooted machine.
+  void restart_node_at(uint32_t node_id, sim::Time t) {
+    scheduled_.push_back({Scheduled::Kind::kNodeRestart, node_id, t});
   }
   /// Revokes remote access to all regions currently registered on the node
   /// at `t` (a server losing its exported regions): later one-sided ops

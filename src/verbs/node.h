@@ -70,6 +70,13 @@ class Node {
   void crash();
   bool crashed() const { return crashed_; }
 
+  /// Fail-stop recovery: the node comes back up and can host fresh
+  /// QPs/CQs/SRQs/MRs again. Nothing that existed at crash time is
+  /// resurrected — old QPs stay in the error state and old CQs stay
+  /// closed, so recovering software must rebuild its endpoints (and
+  /// clients must reconnect), exactly like a rebooted machine.
+  void restart();
+
  private:
   Fabric& fabric_;
   uint32_t id_;

@@ -256,6 +256,124 @@ TEST(Faults, RevokedExportDegradesToEagerPath) {
   }
 }
 
+TEST(Faults, TotalDeadlineBoundsTailLatencyAgainstDeadReplica) {
+  // Against a dead server, max_attempts alone rides the full
+  // timeout+backoff ladder. A total_deadline must cut the call short with
+  // a typed kDeadlineExceeded well before the ladder finishes, so cluster
+  // failover can bound tail latency.
+  Simulator sim;
+  verbs::Fabric fabric{sim};
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  RetryPolicy pol;
+  pol.max_attempts = 10;
+  pol.timeout = 500us;
+  pol.total_deadline = 1200us;
+  auto ch = proto::make_reliable_channel(ProtocolKind::kEagerSendRecv, *cl,
+                                         *sv, echo_handler(),
+                                         ChannelConfig{}, pol);
+  auto plan = std::make_unique<FaultPlan>(13);
+  plan->crash_node_at(sv->id(), sim::Time(10us));
+  fabric.set_fault_plan(std::move(plan));
+  std::string errc;
+  sim::Time issued{}, failed{};
+  sim.spawn([](Simulator& sim, ReliableChannel& ch, std::string& errc,
+               sim::Time& issued, sim::Time& failed) -> Task<void> {
+    co_await sim.sleep(50us);  // the server is dead now
+    issued = sim.now();
+    proto::CallResult r = co_await ch.call(proto::to_buffer("doomed"));
+    failed = sim.now();
+    errc = r ? "unexpected-ok" : std::string(to_string(r.error().errc()));
+    ch.abort();
+  }(sim, *ch, errc, issued, failed));
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+  EXPECT_EQ(errc, "deadline-exceeded");
+  // The budget is enforced in virtual time (one in-flight attempt may
+  // still be draining when it expires, so allow one attempt of slack)...
+  EXPECT_LE(failed - issued, sim::Duration(1200us + 500us));
+  // ...and it fired well before the 10-attempt ladder would have.
+  EXPECT_LT(ch->reliability().attempts, 10u);
+  EXPECT_GE(cl->counters().get(obs::Ctr::kDeadlineExceeded), 1u);
+}
+
+TEST(Faults, ReplayCacheSuppressesRetriesAcrossCrashAndReconnectEpochs) {
+  // A server finishes an op but dies before the response escapes; the
+  // node later restarts. The client's retry rides a REBUILT channel (new
+  // QPs, next reconnect epoch) under a duplicate-happy wire — yet the op
+  // must execute exactly once: the dedupe cache is keyed by sequence
+  // number and shared across every channel incarnation.
+  Simulator sim;
+  verbs::Fabric fabric{sim};
+  if (!fabric.check().on())
+    fabric.check().set_mode(verbs::VerbsCheck::Mode::kRecord);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  int executed = 0;
+  proto::Handler slow = [&sim, &executed](View req) -> Task<Buffer> {
+    ++executed;
+    co_await sim.sleep(30us);  // response still pending at crash time
+    co_return Buffer(req.begin(), req.end());
+  };
+  RetryPolicy pol;
+  pol.max_attempts = 6;
+  pol.timeout = 300us;
+  auto ch = proto::make_reliable_channel(ProtocolKind::kEagerSendRecv, *cl,
+                                         *sv, slow, ChannelConfig{}, pol);
+  auto plan = std::make_unique<FaultPlan>(29);
+  plan->profile.duplicate = 0.25;  // wire-level duplicates on top
+  plan->crash_node_at(sv->id(), sim::Time(50us));
+  plan->restart_node_at(sv->id(), sim::Time(200us));
+  fabric.set_fault_plan(std::move(plan));
+  std::string got;
+  sim.spawn([](Simulator& sim, ReliableChannel& ch, std::string& got)
+                -> Task<void> {
+    co_await sim.sleep(25us);  // lands just before the crash
+    Buffer resp = (co_await ch.call(proto::to_buffer("exactly-once"))).value();
+    got = proto::as_string(resp);
+    ch.abort();
+  }(sim, *ch, got));
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+  EXPECT_EQ(got, "exactly-once");
+  EXPECT_EQ(executed, 1) << "a retry re-executed an already-applied op";
+  EXPECT_GE(ch->server_replays(), 1u);
+  EXPECT_GE(ch->reliability().reconnects, 1u)
+      << "the retry should have crossed a reconnect epoch";
+  verbs::AuditReport audit = fabric.audit();
+  EXPECT_TRUE(audit.clean()) << audit.str();
+}
+
+TEST(Faults, ReliabilityStatsSurfaceAsObsCounters) {
+  // The chaos harness asserts on failover behavior through obs counters
+  // now; make sure the reliability layer actually feeds them.
+  Simulator sim;
+  verbs::Fabric fabric{sim};
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  RetryPolicy pol;
+  pol.max_attempts = 3;
+  pol.timeout = 200us;
+  auto ch = proto::make_reliable_channel(ProtocolKind::kEagerSendRecv, *cl,
+                                         *sv, echo_handler(),
+                                         ChannelConfig{}, pol);
+  auto plan = std::make_unique<FaultPlan>(41);
+  plan->crash_node_at(sv->id(), sim::Time(10us));
+  fabric.set_fault_plan(std::move(plan));
+  sim.spawn([](Simulator& sim, ReliableChannel& ch) -> Task<void> {
+    co_await sim.sleep(20us);
+    (void)co_await ch.call(proto::to_buffer("x"));  // fails; that's the point
+    ch.abort();
+  }(sim, *ch));
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+  const proto::ReliabilityStats& rs = ch->reliability();
+  EXPECT_EQ(cl->counters().get(obs::Ctr::kRetryAttempts), rs.retries);
+  EXPECT_EQ(cl->counters().get(obs::Ctr::kReconnects), rs.reconnects);
+  EXPECT_GE(rs.retries, 1u);
+  EXPECT_GE(rs.reconnects, 1u);
+}
+
 TEST(Faults, HatKvWorkloadSurvivesStochasticFaults) {
   // The full engine (hint-planned channels, generated stubs, mdblite) over
   // a lossy fabric: the RC retransmit machinery absorbs every wire fault.
