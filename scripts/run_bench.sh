@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the Fig. 4 protocol-latency and Fig. 5 protocol-throughput benchmarks
-# plus the cluster failover benchmark, and emits JSON baselines
-# (BENCH_fig04.json / BENCH_fig05.json / BENCH_cluster.json by default).
-# All timing is simulated, so the output is bit-reproducible across machines
-# and runs.
+# Runs the Fig. 4 protocol-latency and Fig. 5 protocol-throughput benchmarks,
+# the cluster failover benchmark, and the sim-core scheduler microbenchmark,
+# emitting JSON baselines (BENCH_fig04.json / BENCH_fig05.json /
+# BENCH_cluster.json / BENCH_sim_core.json by default). All simulated timing
+# is bit-reproducible across machines and runs; bench_sim_core additionally
+# reports machine-dependent wall-clock rates next to a deterministic trace
+# digest (BENCH_sim_core.trace) that CI cmp's across same-seed runs.
 #
 # Environment overrides:
 #   BUILD_DIR     build tree containing bench/ binaries (default: build)
@@ -13,8 +15,11 @@
 #   OUT04         fig04 output JSON path                (default: BENCH_fig04.json)
 #   OUT           fig05 output JSON path                (default: BENCH_fig05.json)
 #   OUTCLUSTER    cluster output JSON path              (default: BENCH_cluster.json)
+#   OUTSIMCORE    sim-core output JSON path             (default: BENCH_sim_core.json)
+#   TRACESIMCORE  sim-core trace digest path            (default: BENCH_sim_core.trace)
 #   CLUSTER_ARGS  extra bench_cluster flags, e.g. "--client-nodes 24 --records 1000"
-#   SEED          cluster fault-schedule seed           (default: 1)
+#   SIMCORE_ARGS  extra bench_sim_core flags, e.g. "--cancel-rounds 100"
+#   SEED          cluster + sim-core seed               (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,13 +31,17 @@ ZERO_COPY="${ZERO_COPY:-0}"
 OUT04="${OUT04:-BENCH_fig04.json}"
 OUT="${OUT:-BENCH_fig05.json}"
 OUTCLUSTER="${OUTCLUSTER:-BENCH_cluster.json}"
+OUTSIMCORE="${OUTSIMCORE:-BENCH_sim_core.json}"
+TRACESIMCORE="${TRACESIMCORE:-BENCH_sim_core.trace}"
 CLUSTER_ARGS="${CLUSTER_ARGS:-}"
+SIMCORE_ARGS="${SIMCORE_ARGS:-}"
 SEED="${SEED:-1}"
 
 BIN04="$BUILD_DIR/bench/bench_fig04_protocol_latency"
 BIN05="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
 BINCLUSTER="$BUILD_DIR/bench/bench_cluster"
-for bin in "$BIN04" "$BIN05" "$BINCLUSTER"; do
+BINSIMCORE="$BUILD_DIR/bench/bench_sim_core"
+for bin in "$BIN04" "$BIN05" "$BINCLUSTER" "$BINSIMCORE"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -54,4 +63,10 @@ done
 # shellcheck disable=SC2086
 "$BINCLUSTER" --seed "$SEED" --out "$OUTCLUSTER" $CLUSTER_ARGS
 
-echo "wrote $OUT04, $OUT and $OUTCLUSTER (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"
+# bench_sim_core exits non-zero if a cancelled timer ever fires (the cancel
+# phase pins the run's virtual end time to the notify schedule).
+# shellcheck disable=SC2086
+"$BINSIMCORE" --seed "$SEED" --out "$OUTSIMCORE" --trace-out "$TRACESIMCORE" \
+  $SIMCORE_ARGS
+
+echo "wrote $OUT04, $OUT, $OUTCLUSTER and $OUTSIMCORE (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"

@@ -52,6 +52,7 @@ enum class Ctr : uint8_t {
   kOneSidedReads,      // GETs served by the one-sided READ path
   kOneSidedFallbacks,  // one-sided reads that fell back to RPC (torn/stale/miss)
   kResyncOps,          // records streamed to a rejoining replica
+  kTimerCancels,       // deadline timers removed before firing (TimerHandle)
   kCount,
 };
 
@@ -93,6 +94,7 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kOneSidedReads: return "one_sided_reads";
     case Ctr::kOneSidedFallbacks: return "one_sided_fallbacks";
     case Ctr::kResyncOps: return "resync_ops";
+    case Ctr::kTimerCancels: return "timer_cancels";
     case Ctr::kCount: break;
   }
   return "unknown";

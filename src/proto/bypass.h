@@ -333,7 +333,7 @@ class BypassChannel : public ChannelBase {
     const uint32_t wire = kReqHdr + static_cast<uint32_t>(req.size());
     std::shared_ptr<PendingCall> pend;
     if (kind_ == ProtocolKind::kHerd) {
-      pend = std::make_shared<PendingCall>(sim_);
+      pend = sim::pooled_shared<PendingCall>(sim_);
       pending_[slot] = pend;
     }
     verbs::SendWr wr;

@@ -33,7 +33,7 @@ class DirectChannel : public ChannelBase {
       release_slot(slot);
       throw_wc("direct recv", dead_status_);
     }
-    auto pend = std::make_shared<PendingCall>(sim_);
+    auto pend = sim::pooled_shared<PendingCall>(sim_);
     pending_[slot] = pend;
     const size_t off = slot * size_t(cfg_.max_msg);
     const uint32_t len = static_cast<uint32_t>(req.size());

@@ -32,7 +32,7 @@ class EagerChannel : public ChannelBase {
       release_slot(slot);
       throw_wc("eager recv", dead_status_);
     }
-    auto pend = std::make_shared<PendingCall>(sim_);
+    auto pend = sim::pooled_shared<PendingCall>(sim_);
     pending_[slot] = pend;
     bool sent;
     if (cfg_.zero_copy) {

@@ -113,11 +113,16 @@ class ReliableChannel : public RpcChannel {
       }
       sim::Time attempt_end = sim_.now() + policy_.timeout;
       if (budgeted && budget_end < attempt_end) attempt_end = budget_end;
-      auto state = std::make_shared<CallState>(sim_);
+      auto state = sim::pooled_shared<CallState>(sim_);
       sim_.spawn(invoke(ch_.get(), state,
                         frame(req, seq, static_cast<uint32_t>(attempt)),
                         resp_size_hint));
       bool done = co_await state->done.wait_until(attempt_end);
+      if (done && sim_.now() < attempt_end) {
+        // The attempt finished early: its deadline timer was cancelled
+        // instead of lingering in the scheduler until attempt_end.
+        count(obs::Ctr::kTimerCancels);
+      }
       if (!done) {
         // Deadline expired with the attempt still in flight: tear the
         // channel down so the inner call unwinds (flush completions), then

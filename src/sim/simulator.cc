@@ -16,30 +16,282 @@ void Simulator::spawn(Task<void> t) {
   run_root(this, std::move(t));
 }
 
-void Simulator::drain(bool bounded, Time deadline) {
-  while (!queue_.empty()) {
-    if (bounded && queue_.top().t > deadline) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.t;
-    ++processed_;
-    ev.h.resume();
+// Places a node by its timestamp: in-window times go to the wheel, times
+// beyond the window — or behind the cursor after a run_until() left the
+// cursor ahead of now — go to the overflow heap. The window is the
+// 64^8-aligned block containing the cursor, NOT [cursor, cursor + span):
+// wheel_link derives (level, slot) from tt XOR cursor, so a timestamp just
+// past the block boundary would XOR to a level >= kLevels even though its
+// distance is small. `(tt ^ cursor) < kSpan` is exactly "same block".
+void Simulator::insert(uint32_t idx) {
+  TimerNode& n = nodes_[idx];
+  uint64_t tt = static_cast<uint64_t>(n.t.count());
+  if (tt >= wheel_cursor_ && (tt ^ wheel_cursor_) < kSpan) {
+    wheel_link(idx);
+  } else {
+    n.state = TimerNode::kOverflow;
+    overflow_.push(HeapEntry{n.t, n.seq, idx});
   }
-  if (bounded && now_ < deadline && queue_.empty()) now_ = deadline;
+}
+
+// Appends the node to the slot selected by the highest digit (base 64)
+// in which its timestamp differs from the wheel cursor. Nodes at level 0
+// share the cursor's 64 ns window, so one level-0 slot holds exactly one
+// timestamp.
+void Simulator::wheel_link(uint32_t idx) {
+  TimerNode& n = nodes_[idx];
+  uint64_t tt = static_cast<uint64_t>(n.t.count());
+  uint64_t x = tt ^ wheel_cursor_;
+  unsigned level =
+      x ? (63u - static_cast<unsigned>(std::countl_zero(x))) / kLevelBits : 0u;
+  unsigned slot = static_cast<unsigned>(tt >> (kLevelBits * level)) & kSlotMask;
+  n.level = static_cast<uint8_t>(level);
+  n.slot = static_cast<uint8_t>(slot);
+  n.state = TimerNode::kPending;
+  unsigned si = level * kSlots + slot;
+  n.prev = slot_tail_[si];
+  n.next = kNil;
+  if (slot_tail_[si] != kNil) {
+    nodes_[slot_tail_[si]].next = idx;
+  } else {
+    slot_head_[si] = idx;
+  }
+  slot_tail_[si] = idx;
+  occupancy_[level] |= uint64_t(1) << slot;
+  ++wheel_count_;
+}
+
+void Simulator::wheel_unlink(uint32_t idx) {
+  TimerNode& n = nodes_[idx];
+  unsigned si = unsigned(n.level) * kSlots + n.slot;
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    slot_head_[si] = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    slot_tail_[si] = n.prev;
+  }
+  if (slot_head_[si] == kNil) occupancy_[n.level] &= ~(uint64_t(1) << n.slot);
+  n.prev = n.next = kNil;
+  --wheel_count_;
+}
+
+// Redistributes one higher-level slot after the cursor advanced to its
+// base: every node relands at a strictly lower level (its top differing
+// digit against the new cursor is below `level` by construction).
+void Simulator::cascade(unsigned level, unsigned slot) {
+  unsigned si = level * kSlots + slot;
+  uint32_t idx = slot_head_[si];
+  slot_head_[si] = kNil;
+  slot_tail_[si] = kNil;
+  occupancy_[level] &= ~(uint64_t(1) << slot);
+  while (idx != kNil) {
+    uint32_t next = nodes_[idx].next;
+    nodes_[idx].prev = nodes_[idx].next = kNil;
+    --wheel_count_;
+    wheel_link(idx);
+    idx = next;
+  }
+}
+
+// Pulls every node out of a level-0 slot (they all share one timestamp)
+// and sorts by sequence number: a cascade may have appended an older node
+// after a directly-inserted newer one, and dispatch order must stay FIFO.
+void Simulator::collect_slot_batch(unsigned slot) {
+  uint32_t idx = slot_head_[slot];  // level 0: slot index == array index
+  slot_head_[slot] = kNil;
+  slot_tail_[slot] = kNil;
+  occupancy_[0] &= ~(uint64_t(1) << slot);
+  while (idx != kNil) {
+    TimerNode& n = nodes_[idx];
+    uint32_t next = n.next;
+    n.prev = n.next = kNil;
+    n.state = TimerNode::kBatched;
+    --wheel_count_;
+    batch_.push_back(idx);
+    idx = next;
+  }
+  batch_time_ = nodes_[batch_.front()].t;
+  // Direct inserts arrive in seq order already; only a cascade can append
+  // an older node behind a newer one, so the common case skips the sort.
+  auto by_seq = [this](uint32_t a, uint32_t b) {
+    return nodes_[a].seq < nodes_[b].seq;
+  };
+  if (batch_.size() > 1 && !std::is_sorted(batch_.begin(), batch_.end(), by_seq))
+    std::sort(batch_.begin(), batch_.end(), by_seq);
+}
+
+// Pops every heap entry sharing the top timestamp. The heap yields equal
+// timestamps in sequence order already, so no sort is needed.
+void Simulator::collect_heap_batch() {
+  batch_time_ = overflow_.top().t;
+  while (!overflow_.empty() && overflow_.top().t == batch_time_) {
+    uint32_t idx = overflow_.top().node;
+    overflow_.pop();
+    TimerNode& n = nodes_[idx];
+    if (n.state == TimerNode::kDead) {
+      free_node(idx);
+      continue;
+    }
+    n.state = TimerNode::kBatched;
+    batch_.push_back(idx);
+  }
+}
+
+bool Simulator::find_next_batch() {
+  for (;;) {
+    // Reap lazily-cancelled heap entries and migrate entries that now fall
+    // inside the wheel window (the cursor may have advanced since they were
+    // pushed, or they may have been scheduled beyond the span).
+    while (!overflow_.empty()) {
+      const HeapEntry& e = overflow_.top();
+      uint32_t idx = e.node;
+      if (nodes_[idx].state == TimerNode::kDead) {
+        overflow_.pop();
+        free_node(idx);
+        continue;
+      }
+      uint64_t tt = static_cast<uint64_t>(e.t.count());
+      if (tt >= wheel_cursor_ && (tt ^ wheel_cursor_) < kSpan) {
+        overflow_.pop();
+        wheel_link(idx);
+        continue;
+      }
+      break;
+    }
+
+    if (wheel_count_ == 0) {
+      if (overflow_.empty()) return false;
+      uint64_t tt = static_cast<uint64_t>(overflow_.top().t.count());
+      if (tt > wheel_cursor_) {
+        // Everything pending is far-future: re-window the wheel around it
+        // and let the migration loop pull it in.
+        wheel_cursor_ = tt;
+        continue;
+      }
+      // Behind-cursor backlog with an empty wheel.
+      collect_heap_batch();
+      if (batch_.empty()) continue;
+      return true;
+    }
+
+    // A heap entry behind the cursor beats every wheel node (all of which
+    // are at or ahead of the cursor).
+    if (!overflow_.empty() &&
+        static_cast<uint64_t>(overflow_.top().t.count()) < wheel_cursor_) {
+      collect_heap_batch();
+      if (batch_.empty()) continue;
+      return true;
+    }
+
+    // Scan level 0 from the cursor's slot. Occupied slots are never behind
+    // the cursor: the cursor only advances onto a slot when dispatching it
+    // in full, and inserts behind the cursor go to the heap.
+    unsigned s0 = static_cast<unsigned>(wheel_cursor_ & kSlotMask);
+    uint64_t m0 = occupancy_[0] & (~uint64_t(0) << s0);
+    if (m0) {
+      unsigned s = static_cast<unsigned>(std::countr_zero(m0));
+      wheel_cursor_ = (wheel_cursor_ & ~kSlotMask) | s;
+      collect_slot_batch(s);
+      return true;
+    }
+
+    // Level 0 is empty: advance to the nearest occupied higher-level slot,
+    // cascade it down, and rescan. Occupied higher-level slots are always
+    // strictly ahead of the cursor's digit at that level.
+    bool cascaded = false;
+    for (unsigned level = 1; level < kLevels; ++level) {
+      unsigned cl = static_cast<unsigned>(
+          (wheel_cursor_ >> (kLevelBits * level)) & kSlotMask);
+      uint64_t m = occupancy_[level] & (~uint64_t(0) << cl);
+      if (!m) continue;
+      unsigned s = static_cast<unsigned>(std::countr_zero(m));
+      unsigned shift = kLevelBits * level;
+      uint64_t base =
+          (wheel_cursor_ >> (shift + kLevelBits)) << (shift + kLevelBits);
+      wheel_cursor_ = base | (uint64_t(s) << shift);
+      cascade(level, s);
+      cascaded = true;
+      break;
+    }
+    assert(cascaded && "wheel_count_ > 0 but no occupied slot found");
+    (void)cascaded;
+  }
+}
+
+bool Simulator::cancel_impl(uint32_t idx, uint64_t gen) {
+  TimerNode& n = nodes_[idx];
+  if (n.gen != gen) return false;  // already fired, cancelled, or recycled
+  switch (n.state) {
+    case TimerNode::kPending:
+      wheel_unlink(idx);
+      free_node(idx);
+      break;
+    case TimerNode::kOverflow:  // the heap entry is reaped lazily at pop
+    case TimerNode::kBatched:   // the dispatch loop reaps it
+      n.state = TimerNode::kDead;
+      ++n.gen;
+      break;
+    default:
+      return false;
+  }
+  --pending_;
+  ++cancelled_;
+  return true;
+}
+
+void Simulator::drain(bool bounded, Time deadline) {
+  while (find_next_batch()) {
+    if (bounded && batch_time_ > deadline) {
+      // Put the collected batch back (original sequence numbers preserved,
+      // so dispatch order is unchanged when a later run call reaches it).
+      for (uint32_t idx : batch_) {
+        if (nodes_[idx].state == TimerNode::kDead) {
+          free_node(idx);
+        } else {
+          insert(idx);
+        }
+      }
+      batch_.clear();
+      break;
+    }
+    now_ = batch_time_;
+    // An event in this batch may cancel a later timer at the same
+    // timestamp (e.g. a notify racing its timeout): dispatch re-checks
+    // liveness per node. Resumptions may grow nodes_, so no references
+    // are held across resume().
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      uint32_t idx = batch_[i];
+      if (nodes_[idx].state == TimerNode::kDead) {
+        free_node(idx);
+        continue;
+      }
+      std::coroutine_handle<> h = nodes_[idx].h;
+      free_node(idx);
+      --pending_;
+      ++processed_;
+      h.resume();
+    }
+    batch_.clear();
+  }
+  if (bounded && now_ < deadline && pending_ == 0) now_ = deadline;
   if (first_error_) {
     auto e = std::exchange(first_error_, nullptr);
     std::rethrow_exception(e);
   }
 }
 
-Time Simulator::run() {
+Simulator::RunResult Simulator::run() {
   drain(/*bounded=*/false, Time{0});
-  return now_;
+  return make_result();
 }
 
-Time Simulator::run_until(Time deadline) {
+Simulator::RunResult Simulator::run_until(Time deadline) {
   drain(/*bounded=*/true, deadline);
-  return now_;
+  return make_result();
 }
 
 }  // namespace hatrpc::sim

@@ -1,36 +1,125 @@
-// Discrete-event simulator: a virtual clock plus an event queue of
-// coroutine resumptions. Single-threaded and fully deterministic — events
-// at equal times run in FIFO schedule order.
+// Discrete-event simulator: a virtual clock plus a hierarchical timing
+// wheel of coroutine resumptions. Single-threaded and fully deterministic —
+// events at equal times run in FIFO schedule order, exactly as the old
+// priority-queue scheduler ordered them by (time, sequence).
+//
+// Scheduler layout (see DESIGN.md §12):
+//   * 8 wheel levels x 64 slots; a level-L slot is 64^L ns wide, so the
+//     wheel spans 64^8 ns (~3.2 simulated days) ahead of its cursor.
+//     Insert/cancel are O(1); finding the next occupied slot is a handful
+//     of bitmap scans (one uint64_t occupancy word per level).
+//   * Timers beyond the wheel span — and timers landing behind the wheel
+//     cursor after a run_until() stopped mid-window — go to one overflow
+//     binary heap that competes with the wheel for the next dispatch batch.
+//   * All timers sharing a timestamp dispatch as one batch, sorted by
+//     sequence number. Level-0 slots are one nanosecond wide, so a slot
+//     holds exactly one timestamp and the sort restores FIFO order even
+//     when a cascade from a higher level appended nodes out of order.
+//   * TimerNodes live in one never-shrinking vector with an index freelist;
+//     a generation counter per node lets a stale TimerHandle fail safely.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <ostream>
 #include <queue>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
 namespace hatrpc::sim {
 
+class Simulator;
+
+/// Cancellable reference to a pending timer. Default-constructed or spent
+/// handles are inert: cancel()/reschedule() on them are safe no-ops. A
+/// handle is invalidated when its timer fires, is cancelled, or is
+/// rescheduled — a stale handle can never touch another timer because the
+/// node's generation counter no longer matches.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Removes the timer from the schedule if it has not fired yet.
+  /// Returns true if this call actually cancelled a pending timer.
+  bool cancel();
+
+  /// Moves a still-pending timer to absolute time `t` (>= now). The timer
+  /// re-enters the schedule as the newest event at `t` (it goes to the back
+  /// of the FIFO among equal timestamps). Returns false, scheduling
+  /// nothing, if the timer already fired or was cancelled.
+  bool reschedule(Time t);
+
+  /// True while the timer is still pending (not fired, not cancelled).
+  bool active() const;
+
+ private:
+  friend class Simulator;
+  TimerHandle(Simulator* sim, uint32_t node, uint64_t gen)
+      : sim_(sim), node_(node), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  uint32_t node_ = 0;
+  uint64_t gen_ = 0;
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  /// Snapshot returned by run()/run_until(). Converts to Time so existing
+  /// `Time end = sim.run();` call sites keep compiling, and compares
+  /// against Time for the same reason.
+  struct RunResult {
+    Time end_time{0};
+    uint64_t events_processed = 0;
+    uint64_t timers_cancelled = 0;
+    size_t live_tasks = 0;
+    size_t peak_queue_depth = 0;
+
+    operator Time() const { return end_time; }  // NOLINT(google-explicit-*)
+    friend bool operator==(const RunResult& r, Time t) {
+      return r.end_time == t;
+    }
+    friend std::ostream& operator<<(std::ostream& os, const RunResult& r) {
+      return os << "RunResult{end=" << r.end_time.count()
+                << "ns processed=" << r.events_processed
+                << " cancelled=" << r.timers_cancelled
+                << " live=" << r.live_tasks << " peak=" << r.peak_queue_depth
+                << "}";
+    }
+  };
+
+  Simulator() {
+    std::fill_n(slot_head_, kLevels * kSlots, kNil);
+    std::fill_n(slot_tail_, kLevels * kSlots, kNil);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
 
-  /// Queues `h` to resume at absolute virtual time `t` (>= now).
-  void schedule_at(Time t, std::coroutine_handle<> h) {
+  /// Queues `h` to resume at absolute virtual time `t` (>= now). The
+  /// returned handle can cancel or reschedule the resumption; it may be
+  /// discarded freely when the timer is fire-and-forget.
+  TimerHandle schedule_at(Time t, std::coroutine_handle<> h) {
     assert(t >= now_);
-    queue_.push(Event{t, seq_++, h});
+    uint32_t idx = alloc_node();
+    TimerNode& n = nodes_[idx];
+    n.t = t;
+    n.seq = seq_++;
+    n.h = h;
+    insert(idx);
+    if (++pending_ > peak_depth_) peak_depth_ = pending_;
+    return TimerHandle(this, idx, n.gen);
   }
 
-  void schedule_after(Duration d, std::coroutine_handle<> h) {
-    schedule_at(now_ + (d.count() > 0 ? d : Duration{0}), h);
+  TimerHandle schedule_after(Duration d, std::coroutine_handle<> h) {
+    return schedule_at(now_ + (d.count() > 0 ? d : Duration{0}), h);
   }
 
   /// Awaitable that suspends the current coroutine for `d` of virtual time.
@@ -58,13 +147,13 @@ class Simulator {
   /// task are captured and rethrown by run().
   void spawn(Task<void> t);
 
-  /// Runs until the event queue drains. Returns the final virtual time.
-  /// Rethrows the first exception that escaped any spawned task.
-  Time run();
+  /// Runs until the event queue drains. Rethrows the first exception that
+  /// escaped any spawned task.
+  RunResult run();
 
   /// Runs until the event queue drains or virtual time would exceed
   /// `deadline`; events after the deadline stay queued.
-  Time run_until(Time deadline);
+  RunResult run_until(Time deadline);
 
   /// Number of spawned root tasks that have not yet completed. Nonzero after
   /// run() returns means tasks are deadlocked on conditions that never fire.
@@ -73,18 +162,62 @@ class Simulator {
   /// Total events processed (determinism/regression checks).
   uint64_t events_processed() const { return processed_; }
 
+  /// Timers removed via TimerHandle::cancel() before firing.
+  uint64_t timers_cancelled() const { return cancelled_; }
+
+  /// High-water mark of simultaneously pending timers.
+  size_t peak_queue_depth() const { return peak_depth_; }
+
+  /// Currently pending timers.
+  size_t pending_timers() const { return pending_; }
+
  private:
-  struct Event {
+  friend class TimerHandle;
+
+  // --- timing wheel geometry -------------------------------------------
+  static constexpr unsigned kLevelBits = 6;             // 64 slots per level
+  static constexpr unsigned kSlots = 1u << kLevelBits;  // 64
+  static constexpr unsigned kLevels = 8;
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+  static constexpr uint64_t kSpan = uint64_t(1)
+                                    << (kLevelBits * kLevels);  // 2^48 ns
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct TimerNode {
+    Time t{0};
+    uint64_t seq = 0;
+    uint64_t gen = 0;  // bumped whenever the node leaves the schedule
+    std::coroutine_handle<> h{};
+    uint32_t prev = kNil;  // intrusive slot list (wheel residents only)
+    uint32_t next = kNil;  // doubles as the freelist link
+    uint8_t level = 0;     // wheel position, valid while state == kPending
+    uint8_t slot = 0;
+    enum State : uint8_t {
+      kFree,
+      kPending,   // linked in a wheel slot
+      kOverflow,  // owned by the overflow heap
+      kBatched,   // collected into the current dispatch batch
+      kDead,      // cancelled while heap-owned or batched; reaped lazily
+    };
+    State state = kFree;
+  };
+
+  struct HeapEntry {
     Time t;
     uint64_t seq;
-    std::coroutine_handle<> h;
-    bool operator>(const Event& o) const {
+    uint32_t node;
+    bool operator>(const HeapEntry& o) const {
       return t != o.t ? t > o.t : seq > o.seq;
     }
   };
 
   struct Detached {
     struct promise_type {
+      static void* operator new(size_t n) { return frame_arena_alloc(n); }
+      static void operator delete(void* p, size_t n) {
+        frame_arena_free(p, n);
+      }
       Detached get_return_object() { return {}; }
       std::suspend_never initial_suspend() noexcept { return {}; }
       std::suspend_never final_suspend() noexcept { return {}; }
@@ -94,14 +227,90 @@ class Simulator {
   };
   static Detached run_root(Simulator* s, Task<void> t);
 
-  void drain(bool bounded, Time deadline);
+  // --- node arena -------------------------------------------------------
+  uint32_t alloc_node() {
+    if (free_nodes_ != kNil) {
+      uint32_t idx = free_nodes_;
+      free_nodes_ = nodes_[idx].next;
+      nodes_[idx].next = kNil;
+      return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  void free_node(uint32_t idx) {
+    TimerNode& n = nodes_[idx];
+    ++n.gen;  // invalidate any outstanding TimerHandle
+    n.h = {};
+    n.state = TimerNode::kFree;
+    n.prev = kNil;
+    n.next = free_nodes_;
+    free_nodes_ = idx;
+  }
+
+  // --- wheel operations (definitions in simulator.cc) -------------------
+  void insert(uint32_t idx);
+  void wheel_link(uint32_t idx);
+  void wheel_unlink(uint32_t idx);
+  void cascade(unsigned level, unsigned slot);
+  bool find_next_batch();  // fills batch_/batch_time_; false when drained
+  void collect_slot_batch(unsigned slot);
+  void collect_heap_batch();
+  void drain(bool bounded, Time deadline);
+  bool cancel_impl(uint32_t idx, uint64_t gen);
+  RunResult make_result() const {
+    return RunResult{now_, processed_, cancelled_, live_, peak_depth_};
+  }
+
+  // --- state ------------------------------------------------------------
+  std::vector<TimerNode> nodes_;
+  uint32_t free_nodes_ = kNil;
+
+  // Intrusive FIFO list per slot, indexed level * kSlots + slot.
+  uint32_t slot_head_[kLevels * kSlots];
+  uint32_t slot_tail_[kLevels * kSlots];
+  uint64_t occupancy_[kLevels] = {};  // bit s set <=> slot s non-empty
+  uint64_t wheel_cursor_ = 0;         // ns; monotone, never decreases
+  size_t wheel_count_ = 0;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      overflow_;
+
+  std::vector<uint32_t> batch_;  // node ids dispatching at batch_time_
+  Time batch_time_{0};
+
   Time now_{0};
   uint64_t seq_ = 0;
   uint64_t processed_ = 0;
+  uint64_t cancelled_ = 0;
+  size_t pending_ = 0;
+  size_t peak_depth_ = 0;
   size_t live_ = 0;
   std::exception_ptr first_error_{};
 };
+
+inline bool TimerHandle::cancel() {
+  if (!sim_) return false;
+  Simulator* s = std::exchange(sim_, nullptr);
+  return s->cancel_impl(node_, gen_);
+}
+
+inline bool TimerHandle::active() const {
+  return sim_ && sim_->nodes_[node_].gen == gen_;
+}
+
+inline bool TimerHandle::reschedule(Time t) {
+  if (!sim_ || sim_->nodes_[node_].gen != gen_) {
+    sim_ = nullptr;
+    return false;
+  }
+  Simulator* s = sim_;
+  std::coroutine_handle<> h = s->nodes_[node_].h;
+  cancel();
+  --s->cancelled_;  // a reschedule is a move, not a cancellation, in stats
+  *this = s->schedule_at(t, h);
+  return true;
+}
 
 }  // namespace hatrpc::sim

@@ -2,6 +2,13 @@
 // one-shot events, counting semaphores, MPSC/MPMC channels, wait groups,
 // and a mutex. All are single-(host-)threaded; "blocking" means suspending
 // the coroutine until another task signals it via the simulator queue.
+//
+// Waiters are linked intrusively: the list node lives inside the awaiter,
+// which lives inside the suspended coroutine's frame, so parking a task
+// allocates nothing. Timed waits pair the node with a cancellable
+// TimerHandle — whichever of notify/deadline fires first synchronously
+// removes the other, so a timed-out waiter leaves no dead event behind and
+// a notified waiter leaves no stale timer pinning run() open.
 #pragma once
 
 #include <cstddef>
@@ -10,6 +17,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -19,44 +27,130 @@ namespace hatrpc::sim {
 class WaitQueue {
  public:
   explicit WaitQueue(Simulator& sim) : sim_(sim) {}
+  WaitQueue(const WaitQueue&) = delete;  // nodes hold pointers into *this
+  WaitQueue& operator=(const WaitQueue&) = delete;
 
   /// Suspends the caller until notify_one()/notify_all() reaches it.
   auto wait() {
     struct Awaiter {
       WaitQueue& q;
+      Node n;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { q.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        n.h = h;
+        q.link(&n);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{*this};
+    return Awaiter{*this, {}};
+  }
+
+  /// Suspends until notified or absolute virtual time `deadline`, whichever
+  /// comes first. Returns true if notified, false on timeout. The losing
+  /// wakeup (timer or queue entry) is removed from the schedule either way.
+  auto wait_until(Time deadline) {
+    struct Awaiter {
+      WaitQueue& q;
+      Time deadline;
+      Node n;
+      bool await_ready() const noexcept {
+        return deadline <= q.sim_.now();  // immediate timeout
+      }
+      bool await_suspend(std::coroutine_handle<> h) {
+        n.h = h;
+        q.link(&n);
+        n.timer = q.sim_.schedule_at(deadline, h);
+        return true;
+      }
+      bool await_resume() noexcept {
+        if (!n.notified && n.q) n.q->unlink(&n);  // timed out while linked
+        return n.notified;
+      }
+    };
+    return Awaiter{*this, deadline, {}};
   }
 
   /// Resumes the oldest waiter (scheduled at the current virtual time).
-  void notify_one() {
-    if (waiters_.empty()) return;
-    auto h = waiters_.front();
-    waiters_.pop_front();
-    sim_.schedule_at(sim_.now(), h);
+  /// Returns whether anyone was actually woken.
+  bool notify_one() {
+    Node* n = head_;
+    if (!n) return false;
+    unlink(n);
+    n->notified = true;
+    n->timer.cancel();  // a timed waiter drops its deadline wakeup
+    sim_.schedule_at(sim_.now(), n->h);
+    return true;
   }
 
   void notify_all() {
-    while (!waiters_.empty()) notify_one();
+    while (notify_one()) {
+    }
   }
 
-  size_t waiting() const { return waiters_.size(); }
+  size_t waiting() const { return size_; }
   Simulator& simulator() { return sim_; }
 
  private:
+  /// Embedded in the awaiter (i.e. in the waiting coroutine's frame); the
+  /// destructor unlinks, so destroying a suspended waiter is safe.
+  struct Node {
+    std::coroutine_handle<> h{};
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    WaitQueue* q = nullptr;  // non-null while linked
+    TimerHandle timer{};
+    bool notified = false;
+
+    Node() = default;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+    ~Node() {
+      if (q) q->unlink(this);
+      timer.cancel();
+    }
+  };
+
+  void link(Node* n) {
+    n->q = this;
+    n->prev = tail_;
+    n->next = nullptr;
+    if (tail_) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+  }
+
+  void unlink(Node* n) {
+    if (n->prev) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+    n->prev = n->next = nullptr;
+    n->q = nullptr;
+    --size_;
+  }
+
   Simulator& sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  size_t size_ = 0;
 };
 
 /// One-shot event: waiters resume once set() is called; waits after set()
-/// complete immediately. State lives in a shared core so the timer task
-/// behind wait_until() stays valid even if the Event is destroyed first.
+/// complete immediately. State lives in a shared core so waiters that
+/// outlive the Event object stay valid.
 class Event {
  public:
-  explicit Event(Simulator& sim) : core_(std::make_shared<Core>(sim)) {}
+  explicit Event(Simulator& sim) : core_(pooled_shared<Core>(sim)) {}
 
   Task<void> wait() {
     auto core = core_;
@@ -64,12 +158,15 @@ class Event {
   }
 
   /// Waits until set() or virtual time `deadline`, whichever comes first;
-  /// returns whether the event was set. The deadline is absolute.
+  /// returns whether the event was set. The deadline is absolute. A timeout
+  /// cancels the waiter's timer entry — unlike the old implementation,
+  /// nothing lingers in the simulator queue until the deadline.
   Task<bool> wait_until(Time deadline) {
     auto core = core_;
     Simulator& sim = core->q.simulator();
-    if (!core->set && sim.now() < deadline) sim.spawn(wake_at(core, deadline));
-    while (!core->set && sim.now() < deadline) co_await core->q.wait();
+    while (!core->set && sim.now() < deadline) {
+      co_await core->q.wait_until(deadline);
+    }
     co_return core->set;
   }
 
@@ -86,11 +183,6 @@ class Event {
     WaitQueue q;
     bool set = false;
   };
-
-  static Task<void> wake_at(std::shared_ptr<Core> core, Time deadline) {
-    co_await core->q.simulator().sleep_until(deadline);
-    core->q.notify_all();
-  }
 
   std::shared_ptr<Core> core_;
 };
@@ -113,7 +205,9 @@ class Semaphore {
 
   void release(size_t n = 1) {
     permits_ += n;
-    for (size_t i = 0; i < n; ++i) q_.notify_one();
+    for (size_t i = 0; i < n; ++i) {
+      if (!q_.notify_one()) break;  // no waiters left — stop early
+    }
   }
 
   size_t available() const { return permits_; }

@@ -12,6 +12,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/arena.h"
+
 namespace hatrpc::sim {
 
 template <class T>
@@ -23,6 +25,11 @@ template <class T>
 struct TaskPromise;
 
 struct TaskPromiseBase {
+  // Coroutine frames are the sim's highest-churn allocation (one per
+  // awaited sub-task); recycle them through the FrameArena freelists.
+  static void* operator new(size_t n) { return frame_arena_alloc(n); }
+  static void operator delete(void* p, size_t n) { frame_arena_free(p, n); }
+
   std::coroutine_handle<> continuation{};
   std::exception_ptr error{};
 

@@ -351,7 +351,8 @@ sim::Duration QueuePair::prepare_send(SendWr& wr) {
     // Snapshot the payload into the WQE: from here on the WQE carries the
     // bytes and the application buffers are free for reuse (inline's
     // buffer-release semantics — no slot cross-talk under pipelining).
-    auto snap = std::make_shared<std::vector<std::byte>>(bytes);
+    // The bytes come from the fabric's recycled snapshot pool.
+    auto snap = fabric_.buf_arena().shared_lease(bytes);
     gather_payload(wr, snap->data());
     wr.sg_list.clear();
     wr.local = Sge{snap->data(), static_cast<uint32_t>(bytes)};
@@ -716,11 +717,13 @@ Task<void> Fabric::execute_wqe_inner(QueuePair& src, SendWr wr) {
       // reaches the requester — so racing CPU stores at the responder
       // behave like real hardware.
       co_await sim_.sleep(cm.nic_read_response);
-      std::vector<std::byte> snapshot;
+      sim::BufArena::Lease snapshot;
       bool nak = false;
       try {
         auto span = d.pd().resolve(wr.remote, bytes, kAccessRemoteRead);
-        snapshot.assign(span.begin(), span.end());
+        snapshot = buf_arena_.lease(span.size());
+        if (!span.empty())
+          std::memcpy(snapshot.data(), span.data(), span.size());
       } catch (const std::exception&) {
         nak = true;  // handled below — co_await is not allowed in a handler
       }

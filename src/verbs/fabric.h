@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "verbs/check.h"
 #include "verbs/cost_model.h"
@@ -62,6 +63,10 @@ class Fabric {
   Node* node(size_t i) { return nodes_.at(i).get(); }
   size_t node_count() const { return nodes_.size(); }
 
+  /// Recycled byte buffers for the NIC's payload snapshots (inline WQEs,
+  /// READ responses): one steady-state allocation instead of one per op.
+  sim::BufArena& buf_arena() { return buf_arena_; }
+
   /// Attaches a fault plan: stochastic wire faults apply to every WQE from
   /// now on, and each scheduled fault is armed as a timer task. Pass
   /// nullptr to restore fault-free operation.
@@ -104,6 +109,7 @@ class Fabric {
   obs::Obs obs_;  // before nodes_: Node constructors register into it
   VerbsCheck check_;  // before nodes_: Node constructors capture a pointer
   std::vector<std::unique_ptr<Node>> nodes_;
+  sim::BufArena buf_arena_;
   std::unique_ptr<FaultPlan> fault_plan_;
   uint32_t next_qpn_ = 1;
 };
