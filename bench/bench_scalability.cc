@@ -1,0 +1,433 @@
+// Scalability study (ROADMAP item 3 / DESIGN.md §13): one RDMA server,
+// sharded per core, under a 1→1024-client closed-loop sweep. Each config is
+// a fresh deterministic simulation: clients (event-polled, spread over
+// client nodes) drive Direct-WriteIMM channels against a TServerRdma whose
+// shard count, polling discipline and per-channel window are swept. The
+// handler charges its compute on the shard's pinned core, so the run
+// reproduces the three regimes the CPU model predicts:
+//
+//   knee      per-shard scaling stops when the pinned cores saturate
+//             (concurrent handlers on one core stretch under processor
+//             sharing);
+//   collapse  busy-polling shards > physical cores — two spinners time-slice
+//             one core, and throughput drops below the peak;
+//   crossover past the collapse point event polling (which frees the core
+//             between completions) overtakes busy polling.
+//
+// Not a google-benchmark binary: same-seed runs must be byte-identical, so
+// the JSON contains only virtual-time-derived numbers (wall-clock goes to
+// stdout only) and CI cmp's two runs of the reduced sweep.
+//
+//   bench_scalability --seed 1 --out BENCH_scalability.json
+//     [--clients 1,4,...] [--windows 1,32] [--shards 0,1,...]
+//     [--ops-per-client 40] [--bytes 128]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sync.h"
+#include "thrift/rdma.h"
+#include "verbs/fabric.h"
+
+namespace {
+
+using namespace hatrpc;
+using namespace std::chrono_literals;
+using sim::Task;
+
+struct Options {
+  uint64_t seed = 1;
+  std::vector<uint32_t> clients = {1, 4, 16, 64, 256, 1024};
+  std::vector<uint32_t> windows = {1, 32};
+  // 0 = the legacy unsharded server (pre-sharding baseline); the tail value
+  // over-subscribes the 28 simulated cores to provoke the collapse.
+  std::vector<uint32_t> shards = {0, 1, 4, 8, 16, 28, 56};
+  uint32_t ops_per_client = 40;
+  uint32_t bytes = 128;
+  uint32_t max_msg = 1024;
+  uint32_t clients_per_node = 8;
+  std::string out = "BENCH_scalability.json";
+};
+
+struct Row {
+  uint32_t shards = 0;
+  sim::PollMode mode = sim::PollMode::kBusy;
+  uint32_t window = 1;
+  uint32_t clients = 1;
+  uint64_t calls = 0;
+  sim::Time end{};
+  double mops = 0;
+  double mean_lat_us = 0;
+  uint64_t shard_accepts = 0;
+  uint64_t shard_polls = 0;
+  uint64_t window_stalls = 0;
+  double wall_s = 0;  // stdout only, never serialized
+};
+
+const char* mode_name(sim::PollMode m) {
+  return m == sim::PollMode::kBusy ? "busy" : "event";
+}
+
+// Handler compute pinned to the shard's core (-1 = legacy floating): a fixed
+// dispatch cost plus a payload-proportional term, the same work model the
+// figure benchmarks use.
+proto::Handler pinned_handler(verbs::Node& server, int core) {
+  return [&server, core](proto::View req) -> Task<proto::Buffer> {
+    co_await server.cpu().compute(
+        1000ns + sim::transfer_time(req.size(), 20.0), core);
+    co_return proto::Buffer(req.begin(), req.end());
+  };
+}
+
+Row run_config(const Options& opt, uint32_t shards, sim::PollMode mode,
+               uint32_t window, uint32_t clients) {
+  sim::Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* server = fabric.add_node();
+  std::vector<verbs::Node*> client_nodes;
+  const uint32_t nodes =
+      (clients + opt.clients_per_node - 1) / opt.clients_per_node;
+  for (uint32_t n = 0; n < std::max(1u, nodes); ++n)
+    client_nodes.push_back(fabric.add_node());
+
+  thrift::TServerRdma::Options so;
+  so.shards = shards;
+  so.steering = thrift::Steering::kRoundRobin;
+  so.bind_cores = shards > 0;
+  // Per-SRQ depth covers the shard's worst-case concurrent inbound burst
+  // (its share of the connections, window deep each); channels replenish
+  // consumed tokens, so the depth never needs to grow mid-run.
+  const uint32_t per_shard_conns =
+      shards > 0 ? (clients + shards - 1) / shards : clients;
+  so.srq_depth = per_shard_conns * window + 64;
+
+  std::optional<thrift::TServerRdma> srv;
+  if (shards == 0) {
+    srv.emplace(*server, pinned_handler(*server, -1), so);
+  } else {
+    thrift::TServerRdma::ShardProcessorFactory factory =
+        [server](uint32_t, int core, proto::BufferPool*) {
+          return pinned_handler(*server, core);
+        };
+    srv.emplace(*server, factory, so);
+  }
+
+  proto::ChannelConfig cfg;
+  cfg.with_client_poll(sim::PollMode::kEvent)  // keep client CPU out of the
+      .with_server_poll(mode)                  // study; sweep the server side
+      .with_window(window)
+      .with_max_msg(opt.max_msg);
+  std::vector<thrift::TRdmaEndPoint*> eps;
+  for (uint32_t c = 0; c < clients; ++c)
+    eps.push_back(srv->accept(*client_nodes[c / opt.clients_per_node],
+                              proto::ProtocolKind::kDirectWriteImm, cfg));
+
+  // A window needs enough calls per client to actually fill it.
+  const uint32_t iters = std::max(opt.ops_per_client, 2 * window);
+  sim::WaitGroup wg(sim);
+  sim::Duration lat_sum{};
+  const std::byte fill{uint8_t(0x2a ^ (opt.seed & 0xff))};
+  for (uint32_t c = 0; c < clients; ++c) {
+    for (uint32_t l = 0; l < window; ++l) {
+      uint32_t lane_iters = iters / window + (l < iters % window ? 1 : 0);
+      if (lane_iters == 0) continue;
+      wg.add(1);
+      sim.spawn([](sim::Simulator& sim, proto::RpcChannel& ch, uint32_t bytes,
+                   std::byte fill, uint32_t lane_iters, sim::WaitGroup& wg,
+                   sim::Duration& lat_sum) -> Task<void> {
+        proto::Buffer payload(bytes, fill);
+        for (uint32_t i = 0; i < lane_iters; ++i) {
+          sim::Time c0 = sim.now();
+          (co_await ch.call(payload, bytes)).value();
+          lat_sum += sim.now() - c0;
+        }
+        wg.done();
+      }(sim, eps[c]->channel(), opt.bytes, fill, lane_iters, wg, lat_sum));
+    }
+  }
+  sim::Time end{};
+  sim.spawn([](sim::Simulator& sim, sim::WaitGroup& wg, sim::Time& end,
+               thrift::TServerRdma& srv) -> Task<void> {
+    co_await wg.wait();
+    end = sim.now();
+    srv.stop();
+  }(sim, wg, end, *srv));
+
+  auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+
+  Row row;
+  row.shards = shards;
+  row.mode = mode;
+  row.window = window;
+  row.clients = clients;
+  row.calls = uint64_t(clients) * iters;
+  row.end = end;
+  double secs = sim::to_seconds(end);
+  row.mops = secs > 0 ? double(row.calls) / secs / 1e6 : 0;
+  row.mean_lat_us =
+      sim::to_seconds(lat_sum / int64_t(row.calls ? row.calls : 1)) * 1e6;
+  auto& counters = fabric.obs().counters;
+  row.shard_accepts = counters.shard_total(obs::Ctr::kShardAccepts);
+  row.shard_polls = counters.shard_total(obs::Ctr::kShardPolls);
+  row.window_stalls = counters.shard_total(obs::Ctr::kWindowStalls);
+  row.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+  return row;
+}
+
+// --- analysis -------------------------------------------------------------
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+using SeriesKey = std::tuple<uint32_t, sim::PollMode, uint32_t>;  // shards,
+                                                                  // mode, win
+
+/// First client count whose throughput falls below 80% of the linear
+/// extrapolation from the smallest point — the saturation knee. 0 = the
+/// series stayed linear over the swept range.
+uint32_t find_knee(const std::vector<const Row*>& pts) {
+  if (pts.size() < 2 || pts.front()->mops <= 0) return 0;
+  const double base = pts.front()->mops / pts.front()->clients;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    double linear = base * pts[i]->clients;
+    if (pts[i]->mops < 0.8 * linear) return pts[i]->clients;
+  }
+  return 0;
+}
+
+bool parse_list(const char* v, std::vector<uint32_t>& out) {
+  out.clear();
+  const char* p = v;
+  while (*p) {
+    char* endp = nullptr;
+    unsigned long x = std::strtoul(p, &endp, 10);
+    if (endp == p) return false;
+    out.push_back(uint32_t(x));
+    p = *endp == ',' ? endp + 1 : endp;
+    if (*endp && *endp != ',') return false;
+  }
+  return !out.empty();
+}
+
+std::string list_json(const std::vector<uint32_t>& v) {
+  std::string j = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) j += ",";
+    j += std::to_string(v[i]);
+  }
+  return j + "]";
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto eat = [&](const char* flag, auto set) {
+      if (a != flag) return false;
+      const char* v = next(i);
+      if (!v) throw std::runtime_error(a + " needs a value");
+      set(v);
+      return true;
+    };
+    bool ok =
+        eat("--seed", [&](const char* v) { opt.seed = std::stoull(v); }) ||
+        eat("--clients",
+            [&](const char* v) {
+              if (!parse_list(v, opt.clients))
+                throw std::runtime_error("bad --clients list");
+            }) ||
+        eat("--windows",
+            [&](const char* v) {
+              if (!parse_list(v, opt.windows))
+                throw std::runtime_error("bad --windows list");
+            }) ||
+        eat("--shards",
+            [&](const char* v) {
+              if (!parse_list(v, opt.shards))
+                throw std::runtime_error("bad --shards list");
+            }) ||
+        eat("--ops-per-client",
+            [&](const char* v) { opt.ops_per_client = std::stoul(v); }) ||
+        eat("--bytes", [&](const char* v) { opt.bytes = std::stoul(v); }) ||
+        eat("--max-msg",
+            [&](const char* v) { opt.max_msg = std::stoul(v); }) ||
+        eat("--out", [&](const char* v) { opt.out = v; });
+    if (!ok) {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  std::vector<Row> rows;
+  double wall_total = 0;
+  for (uint32_t shards : opt.shards) {
+    for (sim::PollMode mode : {sim::PollMode::kBusy, sim::PollMode::kEvent}) {
+      for (uint32_t window : opt.windows) {
+        for (uint32_t clients : opt.clients) {
+          Row r = run_config(opt, shards, mode, window, clients);
+          wall_total += r.wall_s;
+          std::printf(
+              "shards=%-3u %-5s w=%-3u c=%-5u  %8.4f Mops  "
+              "lat=%9.2fus  stalls=%-8llu (%.2fs wall)\n",
+              r.shards, mode_name(r.mode), r.window, r.clients, r.mops,
+              r.mean_lat_us, (unsigned long long)r.window_stalls, r.wall_s);
+          rows.push_back(std::move(r));
+        }
+      }
+    }
+  }
+
+  // Group into (shards, mode, window) series ordered by client count; the
+  // sweep above already emits clients in ascending order per series.
+  std::map<SeriesKey, std::vector<const Row*>> series;
+  for (const Row& r : rows)
+    series[{r.shards, r.mode, r.window}].push_back(&r);
+
+  std::string json = "{\"bench\":\"scalability\",\"config\":{";
+  json += "\"seed\":" + std::to_string(opt.seed);
+  json += ",\"clients\":" + list_json(opt.clients);
+  json += ",\"windows\":" + list_json(opt.windows);
+  json += ",\"shards\":" + list_json(opt.shards);
+  json += ",\"ops_per_client\":" + std::to_string(opt.ops_per_client);
+  json += ",\"bytes\":" + std::to_string(opt.bytes);
+  json += ",\"max_msg\":" + std::to_string(opt.max_msg);
+  json += ",\"cores\":28";
+  json += "},\"series\":[";
+  bool first = true;
+  for (const auto& [key, pts] : series) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"shards\":" + std::to_string(std::get<0>(key));
+    json += std::string(",\"mode\":\"") + mode_name(std::get<1>(key)) + "\"";
+    json += ",\"window\":" + std::to_string(std::get<2>(key));
+    json += ",\"points\":[";
+    for (size_t i = 0; i < pts.size(); ++i) {
+      const Row& r = *pts[i];
+      if (i) json += ",";
+      json += "{\"clients\":" + std::to_string(r.clients);
+      json += ",\"mops\":" + fmt(r.mops);
+      json += ",\"mean_lat_us\":" + fmt(r.mean_lat_us);
+      json += ",\"end_ns\":" + std::to_string(r.end.count());
+      json += ",\"calls\":" + std::to_string(r.calls);
+      json += ",\"shard_accepts\":" + std::to_string(r.shard_accepts);
+      json += ",\"shard_polls\":" + std::to_string(r.shard_polls);
+      json += ",\"window_stalls\":" + std::to_string(r.window_stalls);
+      json += "}";
+    }
+    json += "]}";
+  }
+  json += "],\"analysis\":{";
+
+  // Knee per series: where linear client scaling stops.
+  json += "\"knees\":[";
+  first = true;
+  for (const auto& [key, pts] : series) {
+    if (!first) json += ",";
+    first = false;
+    const Row* peak = pts.front();
+    for (const Row* p : pts)
+      if (p->mops > peak->mops) peak = p;
+    uint32_t knee = find_knee(pts);
+    json += "{\"shards\":" + std::to_string(std::get<0>(key));
+    json += std::string(",\"mode\":\"") + mode_name(std::get<1>(key)) + "\"";
+    json += ",\"window\":" + std::to_string(std::get<2>(key));
+    json += ",\"knee_clients\":" + std::to_string(knee);
+    json += ",\"peak_mops\":" + fmt(peak->mops);
+    json += ",\"peak_clients\":" + std::to_string(peak->clients);
+    json += "}";
+  }
+  json += "]";
+
+  // Over-subscription collapse: at the largest client count, compare the
+  // best shard count against the largest (over-subscribed) one.
+  const uint32_t cmax = opt.clients.back();
+  json += ",\"collapse\":[";
+  first = true;
+  for (sim::PollMode mode : {sim::PollMode::kBusy, sim::PollMode::kEvent}) {
+    for (uint32_t window : opt.windows) {
+      uint32_t peak_shards = 0, over_shards = 0;
+      double peak_mops = 0, over_mops = 0;
+      for (uint32_t shards : opt.shards) {
+        auto it = series.find({shards, mode, window});
+        if (it == series.end()) continue;
+        for (const Row* p : it->second) {
+          if (p->clients != cmax) continue;
+          if (p->mops > peak_mops) {
+            peak_mops = p->mops;
+            peak_shards = shards;
+          }
+          if (shards >= over_shards) {
+            over_shards = shards;
+            over_mops = p->mops;
+          }
+        }
+      }
+      if (!first) json += ",";
+      first = false;
+      bool collapsed = over_shards > peak_shards && over_mops < 0.7 * peak_mops;
+      json += std::string("{\"mode\":\"") + mode_name(mode) + "\"";
+      json += ",\"window\":" + std::to_string(window);
+      json += ",\"clients\":" + std::to_string(cmax);
+      json += ",\"peak_shards\":" + std::to_string(peak_shards);
+      json += ",\"peak_mops\":" + fmt(peak_mops);
+      json += ",\"oversub_shards\":" + std::to_string(over_shards);
+      json += ",\"oversub_mops\":" + fmt(over_mops);
+      json += std::string(",\"collapsed\":") + (collapsed ? "true" : "false");
+      json += "}";
+    }
+  }
+  json += "]";
+
+  // Event-vs-busy crossover on the over-subscribed shard count: the client
+  // count where freeing the core between completions starts to win.
+  const uint32_t smax = opt.shards.back();
+  json += ",\"event_vs_busy_oversub\":[";
+  first = true;
+  for (uint32_t window : opt.windows) {
+    auto bi = series.find({smax, sim::PollMode::kBusy, window});
+    auto ei = series.find({smax, sim::PollMode::kEvent, window});
+    uint32_t crossover = 0;
+    if (bi != series.end() && ei != series.end()) {
+      for (size_t i = 0; i < bi->second.size() && i < ei->second.size(); ++i) {
+        if (ei->second[i]->mops > bi->second[i]->mops) {
+          crossover = ei->second[i]->clients;
+          break;
+        }
+      }
+    }
+    if (!first) json += ",";
+    first = false;
+    json += "{\"shards\":" + std::to_string(smax);
+    json += ",\"window\":" + std::to_string(window);
+    json += ",\"crossover_clients\":" + std::to_string(crossover);
+    json += "}";
+  }
+  json += "]}}\n";
+
+  std::ofstream(opt.out) << json;
+  std::printf("wrote %s (%.1fs simulated wall total)\n", opt.out.c_str(),
+              wall_total);
+  return 0;
+}

@@ -3,6 +3,10 @@
 //
 //   timers   a storm of sleeping tasks whose durations span every wheel
 //            level plus the far-future overflow heap  -> events/sec
+//   shallow  a handful of sleepers firing many short timers, staying under
+//            the scheduler's small-queue capacity — the sparse-storm shape
+//            the wheel rebuild regressed, now served by the sorted-vector
+//            fast path                                 -> events/sec
 //   cancels  timed waiters that are always notified before their deadline,
 //            so every wait cancels its timer           -> cancels/sec
 //   rpc      a small Eager-SendRecv echo workload, the end-to-end shape the
@@ -39,6 +43,8 @@ struct Options {
   uint64_t seed = 1;
   uint32_t timer_tasks = 64;
   uint32_t timers_per_task = 4000;
+  uint32_t shallow_tasks = 8;  // stays well under Simulator::kSmallCap
+  uint32_t shallow_timers_per_task = 50000;
   uint32_t cancel_waiters = 2000;
   uint32_t cancel_rounds = 10;
   uint32_t rpc_clients = 4;
@@ -107,7 +113,25 @@ PhaseResult run_timer_phase(const Options& opt) {
   return res;
 }
 
-// --- phase 2: cancel storm ------------------------------------------------
+// --- phase 2: shallow storm -----------------------------------------------
+
+Task<void> shallow_ticker(sim::Simulator& sim, uint64_t seed, uint32_t sleeps) {
+  sim::Rng rng(seed);
+  for (uint32_t i = 0; i < sleeps; ++i)
+    co_await sim.sleep(std::chrono::nanoseconds(rng.next() % 2048));
+}
+
+PhaseResult run_shallow_phase(const Options& opt) {
+  sim::Simulator sim;
+  for (uint32_t t = 0; t < opt.shallow_tasks; ++t)
+    sim.spawn(shallow_ticker(sim, opt.seed * 900001ull + t,
+                             opt.shallow_timers_per_task));
+  auto t0 = std::chrono::steady_clock::now();
+  sim::Simulator::RunResult r = sim.run();
+  return PhaseResult{"shallow", r, wall_since(t0), r.events_processed, 0};
+}
+
+// --- phase 3: cancel storm ------------------------------------------------
 
 struct CancelShared {
   sim::WaitQueue q;
@@ -167,7 +191,7 @@ PhaseResult run_cancel_phase(const Options& opt) {
   return res;
 }
 
-// --- phase 3: RPC echo ----------------------------------------------------
+// --- phase 4: RPC echo ----------------------------------------------------
 
 Task<void> rpc_client(proto::RpcChannel& ch, uint32_t bytes, uint32_t iters) {
   proto::Buffer payload(bytes, std::byte{0x2a});
@@ -275,6 +299,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
             [&](const char* v) { opt.timer_tasks = std::stoul(v); }) ||
         eat("--timers-per-task",
             [&](const char* v) { opt.timers_per_task = std::stoul(v); }) ||
+        eat("--shallow-tasks",
+            [&](const char* v) { opt.shallow_tasks = std::stoul(v); }) ||
+        eat("--shallow-timers-per-task",
+            [&](const char* v) { opt.shallow_timers_per_task = std::stoul(v); }) ||
         eat("--cancel-waiters",
             [&](const char* v) { opt.cancel_waiters = std::stoul(v); }) ||
         eat("--cancel-rounds",
@@ -300,13 +328,17 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
 
-  PhaseResult phases[] = {run_timer_phase(opt), run_cancel_phase(opt),
-                          run_rpc_phase(opt)};
+  PhaseResult phases[] = {run_timer_phase(opt), run_shallow_phase(opt),
+                          run_cancel_phase(opt), run_rpc_phase(opt)};
+  constexpr size_t kPhases = sizeof(phases) / sizeof(phases[0]);
 
   std::string json = "{\"bench\":\"sim_core\",\"config\":{";
   json += "\"seed\":" + std::to_string(opt.seed);
   json += ",\"timer_tasks\":" + std::to_string(opt.timer_tasks);
   json += ",\"timers_per_task\":" + std::to_string(opt.timers_per_task);
+  json += ",\"shallow_tasks\":" + std::to_string(opt.shallow_tasks);
+  json += ",\"shallow_timers_per_task\":" +
+          std::to_string(opt.shallow_timers_per_task);
   json += ",\"cancel_waiters\":" + std::to_string(opt.cancel_waiters);
   json += ",\"cancel_rounds\":" + std::to_string(opt.cancel_rounds);
   json += ",\"rpc_clients\":" + std::to_string(opt.rpc_clients);
@@ -317,7 +349,7 @@ int main(int argc, char** argv) {
   json += "},";
   std::string trace = "sim_core_trace_v1 seed=" + std::to_string(opt.seed) +
                       "\n";
-  for (size_t i = 0; i < 3; ++i) {
+  for (size_t i = 0; i < kPhases; ++i) {
     if (i) json += ",";
     json += phase_json(phases[i]);
     trace += phase_trace(phases[i]);

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Runs the Fig. 4 protocol-latency and Fig. 5 protocol-throughput benchmarks,
-# the cluster failover benchmark, and the sim-core scheduler microbenchmark,
-# emitting JSON baselines (BENCH_fig04.json / BENCH_fig05.json /
-# BENCH_cluster.json / BENCH_sim_core.json by default). All simulated timing
-# is bit-reproducible across machines and runs; bench_sim_core additionally
-# reports machine-dependent wall-clock rates next to a deterministic trace
-# digest (BENCH_sim_core.trace) that CI cmp's across same-seed runs.
+# the cluster failover benchmark, the sim-core scheduler microbenchmark, and
+# the sharded-server scalability sweep, emitting JSON baselines
+# (BENCH_fig04.json / BENCH_fig05.json / BENCH_cluster.json /
+# BENCH_sim_core.json / BENCH_scalability.json by default). All simulated
+# timing is bit-reproducible across machines and runs; bench_sim_core
+# additionally reports machine-dependent wall-clock rates next to a
+# deterministic trace digest (BENCH_sim_core.trace) that CI cmp's across
+# same-seed runs, and bench_scalability's JSON is wholly virtual-time-derived
+# (wall-clock goes to stdout only) so same-seed outputs are byte-identical.
 #
 # Environment overrides:
 #   BUILD_DIR     build tree containing bench/ binaries (default: build)
@@ -17,9 +20,11 @@
 #   OUTCLUSTER    cluster output JSON path              (default: BENCH_cluster.json)
 #   OUTSIMCORE    sim-core output JSON path             (default: BENCH_sim_core.json)
 #   TRACESIMCORE  sim-core trace digest path            (default: BENCH_sim_core.trace)
+#   OUTSCAL       scalability output JSON path          (default: BENCH_scalability.json)
 #   CLUSTER_ARGS  extra bench_cluster flags, e.g. "--client-nodes 24 --records 1000"
 #   SIMCORE_ARGS  extra bench_sim_core flags, e.g. "--cancel-rounds 100"
-#   SEED          cluster + sim-core seed               (default: 1)
+#   SCAL_ARGS     extra bench_scalability flags, e.g. "--clients 1,8,64 --shards 0,4"
+#   SEED          cluster + sim-core + scalability seed (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,15 +38,18 @@ OUT="${OUT:-BENCH_fig05.json}"
 OUTCLUSTER="${OUTCLUSTER:-BENCH_cluster.json}"
 OUTSIMCORE="${OUTSIMCORE:-BENCH_sim_core.json}"
 TRACESIMCORE="${TRACESIMCORE:-BENCH_sim_core.trace}"
+OUTSCAL="${OUTSCAL:-BENCH_scalability.json}"
 CLUSTER_ARGS="${CLUSTER_ARGS:-}"
 SIMCORE_ARGS="${SIMCORE_ARGS:-}"
+SCAL_ARGS="${SCAL_ARGS:-}"
 SEED="${SEED:-1}"
 
 BIN04="$BUILD_DIR/bench/bench_fig04_protocol_latency"
 BIN05="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
 BINCLUSTER="$BUILD_DIR/bench/bench_cluster"
 BINSIMCORE="$BUILD_DIR/bench/bench_sim_core"
-for bin in "$BIN04" "$BIN05" "$BINCLUSTER" "$BINSIMCORE"; do
+BINSCAL="$BUILD_DIR/bench/bench_scalability"
+for bin in "$BIN04" "$BIN05" "$BINCLUSTER" "$BINSIMCORE" "$BINSCAL"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -69,4 +77,9 @@ done
 "$BINSIMCORE" --seed "$SEED" --out "$OUTSIMCORE" --trace-out "$TRACESIMCORE" \
   $SIMCORE_ARGS
 
-echo "wrote $OUT04, $OUT, $OUTCLUSTER and $OUTSIMCORE (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"
+# The 1→1024-client sharded-server sweep; its analysis block calls out the
+# per-config saturation knee and the over-subscription collapse point.
+# shellcheck disable=SC2086
+"$BINSCAL" --seed "$SEED" --out "$OUTSCAL" $SCAL_ARGS
+
+echo "wrote $OUT04, $OUT, $OUTCLUSTER, $OUTSIMCORE and $OUTSCAL (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"

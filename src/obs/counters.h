@@ -53,6 +53,8 @@ enum class Ctr : uint8_t {
   kOneSidedFallbacks,  // one-sided reads that fell back to RPC (torn/stale/miss)
   kResyncOps,          // records streamed to a rejoining replica
   kTimerCancels,       // deadline timers removed before firing (TimerHandle)
+  kShardAccepts,       // connections steered onto a server shard at accept
+  kShardPolls,         // CQEs consumed by a shard's polling loop
   kCount,
 };
 
@@ -95,6 +97,8 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kOneSidedFallbacks: return "one_sided_fallbacks";
     case Ctr::kResyncOps: return "resync_ops";
     case Ctr::kTimerCancels: return "timer_cancels";
+    case Ctr::kShardAccepts: return "shard_accepts";
+    case Ctr::kShardPolls: return "shard_polls";
     case Ctr::kCount: break;
   }
   return "unknown";
@@ -116,9 +120,10 @@ struct CounterSet {
 };
 
 /// Registry of counter scopes. Node scopes are keyed by node id; channel
-/// scopes are handed out in construction order via register_channel(), so
-/// ids are deterministic for a deterministic program. Scopes live in deques
-/// so handed-out references stay stable as new scopes appear.
+/// and shard scopes are handed out in construction order via
+/// register_channel()/register_shard(), so ids are deterministic for a
+/// deterministic program. Scopes live in deques so handed-out references
+/// stay stable as new scopes appear.
 class Counters {
  public:
   CounterSet& node(uint32_t id) { return scope(nodes_, id); }
@@ -129,14 +134,31 @@ class Counters {
   const CounterSet& channel(uint32_t id) const {
     return const_cast<Counters*>(this)->channel(id);
   }
+  CounterSet& shard(uint32_t id) { return scope(shards_, id); }
+  const CounterSet& shard(uint32_t id) const {
+    return const_cast<Counters*>(this)->shard(id);
+  }
 
   uint32_t register_channel() {
     channels_.emplace_back();
     return static_cast<uint32_t>(channels_.size() - 1);
   }
 
+  uint32_t register_shard() {
+    shards_.emplace_back();
+    return static_cast<uint32_t>(shards_.size() - 1);
+  }
+
   size_t node_count() const { return nodes_.size(); }
   size_t channel_count() const { return channels_.size(); }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Sum of one counter over all shard scopes (steering/balance oracles).
+  uint64_t shard_total(Ctr c) const {
+    uint64_t t = 0;
+    for (const auto& s : shards_) t += s.get(c);
+    return t;
+  }
 
   /// Sum of one counter over all node scopes (channel scopes mirror a
   /// subset of the node charges, so summing both would double-count).
@@ -168,6 +190,9 @@ class Counters {
     for (uint32_t i = 0; i < nodes_.size(); ++i) emit("node", i, nodes_[i]);
     for (uint32_t i = 0; i < channels_.size(); ++i)
       emit("channel", i, channels_[i]);
+    // Shard lines come last so programs without shards dump byte-identical
+    // output to the pre-sharding registry.
+    for (uint32_t i = 0; i < shards_.size(); ++i) emit("shard", i, shards_[i]);
     return out;
   }
 
@@ -179,6 +204,7 @@ class Counters {
 
   std::deque<CounterSet> nodes_;
   std::deque<CounterSet> channels_;
+  std::deque<CounterSet> shards_;
 };
 
 }  // namespace hatrpc::obs

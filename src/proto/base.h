@@ -65,6 +65,16 @@ class ChannelBase : public RpcChannel {
     bind_obs(client.fabric(), client.id());
     cep_.qp->attach_counters(channel_counters());
     sep_.qp->attach_counters(channel_counters());
+    // Per-core sharded servers: pin the server-side polling to the shard's
+    // core and mirror CQE consumption into the shard's counter scope.
+    if (cfg_.server_core >= 0) {
+      sep_.scq->bind_core(cfg_.server_core);
+      sep_.rcq->bind_core(cfg_.server_core);
+    }
+    if (cfg_.shard_counters) {
+      sep_.scq->attach_shard(cfg_.shard_counters);
+      sep_.rcq->attach_shard(cfg_.shard_counters);
+    }
     if (cfg_.window == 0) cfg_.window = 1;
     if (cfg_.window > kMaxWindow)
       throw std::length_error("channel window exceeds the slot-tag range");
@@ -131,6 +141,8 @@ class ChannelBase : public RpcChannel {
     if (free_slots_.size() == 0) {
       cl_.counters().add(obs::Ctr::kWindowStalls);
       channel_counters()->add(obs::Ctr::kWindowStalls);
+      if (cfg_.shard_counters)
+        cfg_.shard_counters->add(obs::Ctr::kWindowStalls);
     }
     auto s = co_await free_slots_.pop();
     if (!s)  // the pool is never closed; defensive

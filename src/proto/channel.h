@@ -84,6 +84,16 @@ struct ChannelConfig {
   /// NUMA placement of the driving threads relative to their NICs.
   bool client_numa_local = true;
   bool server_numa_local = true;
+  /// Per-core sharded servers: when >= 0, the server endpoint's CQs charge
+  /// their polling costs to this core, and busy waits skip the per-wait
+  /// spinner registration (the owning shard registers ONE persistent
+  /// polling thread via Cpu::pin_spinner that every connection on the
+  /// shard multiplexes onto). -1 keeps the legacy floating behaviour.
+  int server_core = -1;
+  /// Shard-scope counter set owned by the steering server; the channel
+  /// mirrors shard-attributable events into it (CQE polls via the server
+  /// CQs, window stalls). Null = not sharded.
+  obs::CounterSet* shard_counters = nullptr;
   /// Zero-copy send path: payloads go out inline (≤ max_inline_data) or as
   /// gather SGE lists straight from the caller's buffer (registered on
   /// demand through the PD's MrCache) instead of being staged through slot
@@ -125,6 +135,14 @@ struct ChannelConfig {
   }
   ChannelConfig& with_server_srq(verbs::SharedReceiveQueue* srq) {
     server_srq = srq;
+    return *this;
+  }
+  ChannelConfig& with_server_core(int core) {
+    server_core = core;
+    return *this;
+  }
+  ChannelConfig& with_shard_counters(obs::CounterSet* shard) {
+    shard_counters = shard;
     return *this;
   }
   ChannelConfig& with_numa(bool client_local, bool server_local) {

@@ -223,15 +223,10 @@ class EagerPipe {
         static_cast<uint32_t>(msg.size()) + (slot_prefix ? 4u : 0u);
     const uint32_t wire = hdr + static_cast<uint32_t>(msg.size());
     if (wire > cfg_.eager_slot) {
-      // Does not fit one slot: segment through the staged path. The framed
-      // copy is exactly what the staging path would have built anyway.
-      if (slot_prefix) {
-        Buffer framed(4 + msg.size());
-        put_u32(framed.data(), *slot_prefix);
-        std::memcpy(framed.data() + 4, msg.data(), msg.size());
-        co_return co_await send(framed);
-      }
-      co_return co_await send(msg);
+      // Does not fit one slot: segment with per-slot gather SGEs straight
+      // from the user buffer (no staging copy — this copy used to dominate
+      // the fig05 profile for multi-slot messages).
+      co_return co_await send_zc_segmented(msg, slot_prefix, std::move(keep));
     }
     const uint32_t nslots = cfg_.eager_slots;
     while (outstanding_ > 0 && src_.scq->try_poll()) --outstanding_;
@@ -270,6 +265,66 @@ class EagerPipe {
     ++stats_->sends;
     ++outstanding_;
     ++cursor_;
+    co_return true;
+  }
+
+  // Multi-slot zero-copy send. The wire image is byte-identical to the
+  // staged path — first segment [u32 total][u32 slot?][payload slice],
+  // later segments raw payload slices, same per-segment byte_len — so the
+  // receiver's assemble() is oblivious; only the sender-side staging copy
+  // (and its copy_time compute) disappears. Each segment gathers [header |
+  // payload slice]: the header rides the per-slot zc scratch ring (slot
+  // reuse is gated on send completions exactly like the staged ring), the
+  // payload slice comes from the user buffer registered once up front. For
+  // owned payloads every segment's WQE shares the keep_alive, so the bytes
+  // live until the last segment executes.
+  sim::Task<bool> send_zc_segmented(View msg, const uint32_t* slot_prefix,
+                                    std::shared_ptr<const void> keep) {
+    const uint32_t slot = cfg_.eager_slot;
+    const uint32_t nslots = cfg_.eager_slots;
+    const uint32_t pfx = slot_prefix ? 4u : 0u;
+    const uint32_t total = static_cast<uint32_t>(msg.size()) + pfx;
+    size_t off = 0;
+    bool first = true;
+    while (outstanding_ > 0 && src_.scq->try_poll()) --outstanding_;
+    if (!msg.empty())
+      src_.node->pd().mr_cache().get(msg.data(), msg.size(), chan_);
+    while (first || off < msg.size()) {
+      const uint32_t idx = cursor_ % nslots;
+      const uint32_t hdr = first ? 4u + pfx : 0u;
+      const uint32_t take = static_cast<uint32_t>(
+          std::min<size_t>(slot - hdr, msg.size() - off));
+      while (outstanding_ >= nslots) {
+        verbs::Wc wc = co_await src_.send_wc();
+        if (!wc.ok()) {
+          last_status_ = wc.status;
+          co_return false;
+        }
+        --outstanding_;
+      }
+      // Matching bookkeeping only — no staging copy on the zero-copy path.
+      co_await src_.node->cpu().compute(cost_.eager_match_cpu);
+      verbs::SendWr wr{.wr_id = idx,
+                       .opcode = verbs::Opcode::kSend,
+                       .signaled = true};
+      if (hdr > 0) {
+        std::byte* h =
+            zc_hdr_->data() + static_cast<size_t>(idx) * kZcHdrBytes;
+        put_u32(h, total);
+        if (slot_prefix) put_u32(h + 4, *slot_prefix);
+        wr.sg_list.push_back({h, hdr});
+      }
+      if (take > 0)
+        wr.sg_list.push_back(
+            {const_cast<std::byte*>(msg.data() + off), take});
+      if (keep) wr.keep_alive = keep;
+      co_await src_.qp->post_send(std::move(wr));
+      ++stats_->sends;
+      ++outstanding_;
+      off += take;
+      ++cursor_;
+      first = false;
+    }
     co_return true;
   }
 

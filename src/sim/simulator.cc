@@ -16,6 +16,37 @@ void Simulator::spawn(Task<void> t) {
   run_root(this, std::move(t));
 }
 
+// Shallow schedules take the small-queue fast path; crossing kSmallCap
+// migrates every resident into the wheel/heap in one sweep and stays in
+// wheel mode until the wheel fully drains (see find_next_batch).
+void Simulator::insert(uint32_t idx) {
+  if (small_mode_) {
+    if (small_.size() < kSmallCap) {
+      small_insert(idx);
+      return;
+    }
+    small_mode_ = false;
+    std::vector<uint32_t> spill;
+    spill.swap(small_);
+    for (uint32_t i : spill) wheel_or_heap_insert(i);
+  }
+  wheel_or_heap_insert(idx);
+}
+
+// Binary-search insert keeping small_ sorted by (time, seq) — dispatch
+// order is identical to what the wheel would produce.
+void Simulator::small_insert(uint32_t idx) {
+  TimerNode& n = nodes_[idx];
+  n.state = TimerNode::kSmallQ;
+  auto before = [this](uint32_t a, uint32_t b) {
+    const TimerNode& x = nodes_[a];
+    const TimerNode& y = nodes_[b];
+    return x.t != y.t ? x.t < y.t : x.seq < y.seq;
+  };
+  small_.insert(std::upper_bound(small_.begin(), small_.end(), idx, before),
+                idx);
+}
+
 // Places a node by its timestamp: in-window times go to the wheel, times
 // beyond the window — or behind the cursor after a run_until() left the
 // cursor ahead of now — go to the overflow heap. The window is the
@@ -23,7 +54,7 @@ void Simulator::spawn(Task<void> t) {
 // wheel_link derives (level, slot) from tt XOR cursor, so a timestamp just
 // past the block boundary would XOR to a level >= kLevels even though its
 // distance is small. `(tt ^ cursor) < kSpan` is exactly "same block".
-void Simulator::insert(uint32_t idx) {
+void Simulator::wheel_or_heap_insert(uint32_t idx) {
   TimerNode& n = nodes_[idx];
   uint64_t tt = static_cast<uint64_t>(n.t.count());
   if (tt >= wheel_cursor_ && (tt ^ wheel_cursor_) < kSpan) {
@@ -142,6 +173,20 @@ void Simulator::collect_heap_batch() {
 }
 
 bool Simulator::find_next_batch() {
+  if (small_mode_) {
+    // The whole schedule lives in small_, already in dispatch order: the
+    // batch is the front run of equal timestamps.
+    if (small_.empty()) return false;
+    batch_time_ = nodes_[small_.front()].t;
+    size_t run = 1;
+    while (run < small_.size() && nodes_[small_[run]].t == batch_time_) ++run;
+    for (size_t i = 0; i < run; ++i) {
+      nodes_[small_[i]].state = TimerNode::kBatched;
+      batch_.push_back(small_[i]);
+    }
+    small_.erase(small_.begin(), small_.begin() + run);
+    return true;
+  }
   for (;;) {
     // Reap lazily-cancelled heap entries and migrate entries that now fall
     // inside the wheel window (the cursor may have advanced since they were
@@ -164,7 +209,10 @@ bool Simulator::find_next_batch() {
     }
 
     if (wheel_count_ == 0) {
-      if (overflow_.empty()) return false;
+      if (overflow_.empty()) {
+        small_mode_ = true;  // fully drained: hand back to the fast path
+        return false;
+      }
       uint64_t tt = static_cast<uint64_t>(overflow_.top().t.count());
       if (tt > wheel_cursor_) {
         // Everything pending is far-future: re-window the wheel around it
@@ -228,6 +276,10 @@ bool Simulator::cancel_impl(uint32_t idx, uint64_t gen) {
   switch (n.state) {
     case TimerNode::kPending:
       wheel_unlink(idx);
+      free_node(idx);
+      break;
+    case TimerNode::kSmallQ:
+      small_.erase(std::find(small_.begin(), small_.end(), idx));
       free_node(idx);
       break;
     case TimerNode::kOverflow:  // the heap entry is reaped lazily at pop

@@ -17,6 +17,14 @@
 //     when a cascade from a higher level appended nodes out of order.
 //   * TimerNodes live in one never-shrinking vector with an index freelist;
 //     a generation counter per node lets a stale TimerHandle fail safely.
+//   * Shallow schedules (<= kSmallCap pending timers) bypass the wheel
+//     entirely: a plain vector kept sorted by (time, seq) serves insert,
+//     cancel and batch collection. Sparse timer storms used to pay wheel
+//     cascades and bitmap scans per event; binary-search insert into a
+//     <= 64-entry vector is cheaper until the depth crosses the threshold,
+//     at which point everything migrates into the wheel/heap in one sweep.
+//     The wheel mode hands back to the small queue only when it fully
+//     drains, so deep workloads never flap between modes.
 #pragma once
 
 #include <algorithm>
@@ -199,6 +207,7 @@ class Simulator {
       kOverflow,  // owned by the overflow heap
       kBatched,   // collected into the current dispatch batch
       kDead,      // cancelled while heap-owned or batched; reaped lazily
+      kSmallQ,    // resident in the shallow-depth sorted queue
     };
     State state = kFree;
   };
@@ -251,6 +260,8 @@ class Simulator {
 
   // --- wheel operations (definitions in simulator.cc) -------------------
   void insert(uint32_t idx);
+  void wheel_or_heap_insert(uint32_t idx);
+  void small_insert(uint32_t idx);
   void wheel_link(uint32_t idx);
   void wheel_unlink(uint32_t idx);
   void cascade(unsigned level, unsigned slot);
@@ -276,6 +287,13 @@ class Simulator {
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
       overflow_;
+
+  // Shallow-depth fast path: while small_mode_ holds, every pending timer
+  // lives in this vector, sorted by (t, seq). Crossing kSmallCap migrates
+  // everything into the wheel/heap; the wheel hands back only on full drain.
+  std::vector<uint32_t> small_;
+  bool small_mode_ = true;
+  static constexpr size_t kSmallCap = 64;
 
   std::vector<uint32_t> batch_;  // node ids dispatching at batch_time_
   Time batch_time_{0};

@@ -220,58 +220,216 @@ class TRdmaTransport {
   std::vector<std::unique_ptr<TRdmaEndPoint>> endpoints_;
 };
 
+/// Connection→shard steering policy, applied once at accept time.
+enum class Steering : uint8_t {
+  kRoundRobin,   // accept order modulo shard count
+  kLeastLoaded,  // fewest live connections, ties to the lowest shard id
+  kAffinity,     // hash of the client node id (QP-hash analogue): a client
+                 // always lands on the same shard, like RSS/flow steering
+};
+
+constexpr const char* to_string(Steering s) {
+  switch (s) {
+    case Steering::kRoundRobin: return "round_robin";
+    case Steering::kLeastLoaded: return "least_loaded";
+    case Steering::kAffinity: return "affinity";
+  }
+  return "unknown";
+}
+
 /// Server-side counterpart of TServerSocket: the RDMA engine delivers each
 /// request to the processor registered at channel-creation time, so
 /// TServerRdma is the factory/owner of endpoints on the server node.
+///
+/// With Options::shards > 0 the server splits into per-core shards, each
+/// owning an independent polling context that never contends with its
+/// siblings: a private SRQ (its own pre-posted recv pool), a private slab
+/// of pooled buffers, a private counter scope (shard_accepts, shard_polls,
+/// window_stalls), and — when bind_cores is set — a pinned core whose
+/// single busy-polling thread (Cpu::pin_spinner) serves every connection
+/// steered onto the shard. Doorbell coalescing batches are per QP, hence
+/// never shared across shards either. Connections are steered at accept
+/// time by the configured policy. shards == 0 is the legacy unsharded
+/// server, bit-identical to the pre-sharding behaviour.
 class TServerRdma {
  public:
   struct Options {
-    /// When nonzero the server creates one shared receive queue, pre-posts
-    /// this many recv tokens, and attaches every accepted recv-consuming
-    /// channel to it (the ibv_srq deployment pattern: one recv pool instead
-    /// of per-connection recv rings, so posted-recv memory scales with the
-    /// expected burst, not with the connection count).
+    /// When nonzero the server creates a shared receive queue (one per
+    /// shard when sharded), pre-posts this many recv tokens on each, and
+    /// attaches every accepted recv-consuming channel to its shard's (the
+    /// ibv_srq deployment pattern: one recv pool instead of per-connection
+    /// recv rings, so posted-recv memory scales with the expected burst,
+    /// not with the connection count).
     uint32_t srq_depth = 0;
+    /// Number of per-core shards; 0 = legacy unsharded server.
+    uint32_t shards = 0;
+    /// Connection→shard policy applied at accept time.
+    Steering steering = Steering::kRoundRobin;
+    /// Pin shard i to core i % cores. Off by default so that a sharded
+    /// server without binding stays comparable to the legacy one; the
+    /// scalability bench turns it on to study per-core saturation and
+    /// over-subscription collapse.
+    bool bind_cores = false;
+    /// Per-shard private buffer slab (pool_blocks blocks of pool_block
+    /// bytes, pre-registered): response staging memory a shard's handlers
+    /// can lease without ever touching another shard's pool. 0 = none.
+    uint32_t pool_block = 0;
+    uint32_t pool_blocks = 0;
+  };
+
+  /// Per-shard processor factory: lets a sharded server give each shard
+  /// its own handler — typically one that charges handler compute on the
+  /// shard's pinned core and stages responses in the shard's private pool.
+  using ShardProcessorFactory = std::function<proto::Handler(
+      uint32_t shard, int core, proto::BufferPool* pool)>;
+
+  struct Shard {
+    uint32_t index = 0;
+    int core = -1;  // pinned core, -1 when bind_cores is off
+    uint32_t ctr_id = 0;
+    obs::CounterSet* ctrs = nullptr;
+    verbs::SharedReceiveQueue* srq = nullptr;
+    std::optional<proto::BufferPool> pool;
+    std::optional<sim::Cpu::SpinGuard> spinner;  // the shard's polling thread
+    proto::Handler processor;  // empty = use the server-wide processor
+    std::vector<std::unique_ptr<TRdmaEndPoint>> endpoints;
   };
 
   TServerRdma(verbs::Node& node, proto::Handler processor)
       : TServerRdma(node, std::move(processor), Options{}) {}
 
   TServerRdma(verbs::Node& node, proto::Handler processor, Options opts)
-      : node_(node), processor_(std::move(processor)) {
-    if (opts.srq_depth > 0) {
-      srq_ = node_.create_srq();
-      for (uint32_t i = 0; i < opts.srq_depth; ++i)
-        srq_->post_recv(verbs::RecvWr{.wr_id = i});
+      : node_(node), processor_(std::move(processor)), opts_(opts) {
+    if (opts_.shards == 0) {
+      if (opts_.srq_depth > 0) {
+        srq_ = node_.create_srq();
+        for (uint32_t i = 0; i < opts_.srq_depth; ++i)
+          srq_->post_recv(verbs::RecvWr{.wr_id = i});
+      }
+      return;
     }
+    init_shards(nullptr);
+  }
+
+  TServerRdma(verbs::Node& node, ShardProcessorFactory factory, Options opts)
+      : node_(node), opts_(opts) {
+    if (opts_.shards == 0) opts_.shards = 1;
+    init_shards(&factory);
   }
 
   /// Accepts a new connection from `client` using `kind`; the simulation
-  /// analogue of TRdmaTransport's QP handshake + buffer exchange. When the
-  /// server runs an SRQ, the accepted channel's server side drains it.
+  /// analogue of TRdmaTransport's QP handshake + buffer exchange. Sharded
+  /// servers steer the connection to a shard first and stamp its SRQ, core
+  /// and counter scope into the channel config.
   TRdmaEndPoint* accept(verbs::Node& client, proto::ProtocolKind kind,
                         proto::ChannelConfig cfg) {
-    if (srq_) cfg.with_server_srq(srq_);
-    endpoints_.push_back(std::make_unique<TRdmaEndPoint>(
-        proto::make_channel(kind, client, node_, processor_, cfg), client,
-        cfg));
-    return endpoints_.back().get();
+    if (shards_.empty()) {
+      if (srq_) cfg.with_server_srq(srq_);
+      endpoints_.push_back(std::make_unique<TRdmaEndPoint>(
+          proto::make_channel(kind, client, node_, processor_, cfg), client,
+          cfg));
+      return endpoints_.back().get();
+    }
+    Shard& sh = shards_[pick_shard(client)];
+    ++accepted_;
+    sh.ctrs->add(obs::Ctr::kShardAccepts);
+    if (sh.srq) cfg.with_server_srq(sh.srq);
+    if (sh.core >= 0) cfg.with_server_core(sh.core);
+    cfg.with_shard_counters(sh.ctrs);
+    // The shard's polling thread starts spinning with its first busy-mode
+    // connection (an idle shard's core stays free for its siblings).
+    if (sh.core >= 0 && cfg.server_poll == sim::PollMode::kBusy &&
+        !sh.spinner)
+      sh.spinner.emplace(node_.cpu().pin_spinner(sh.core));
+    const proto::Handler& h = sh.processor ? sh.processor : processor_;
+    sh.endpoints.push_back(std::make_unique<TRdmaEndPoint>(
+        proto::make_channel(kind, client, node_, h, cfg), client, cfg));
+    return sh.endpoints.back().get();
   }
 
   void stop() {
     for (auto& ep : endpoints_) ep->shutdown();
     if (srq_) srq_->close();
+    for (Shard& sh : shards_) {
+      for (auto& ep : sh.endpoints) ep->shutdown();
+      if (sh.srq) sh.srq->close();
+      sh.spinner.reset();  // the polling thread parks; the core frees up
+    }
   }
 
   verbs::Node& node() { return node_; }
   verbs::SharedReceiveQueue* srq() { return srq_; }
-  size_t connections() const { return endpoints_.size(); }
+  size_t connections() const {
+    size_t n = endpoints_.size();
+    for (const Shard& sh : shards_) n += sh.endpoints.size();
+    return n;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  const Shard& shard(uint32_t i) const { return shards_.at(i); }
+  Shard& shard(uint32_t i) { return shards_.at(i); }
 
  private:
+  void init_shards(const ShardProcessorFactory* factory) {
+    auto& counters = node_.fabric().obs().counters;
+    shards_.reserve(opts_.shards);
+    for (uint32_t i = 0; i < opts_.shards; ++i) {
+      // Build the shard in place: the factory (and any handler it returns)
+      // may capture the pool's address, which must be its final home inside
+      // shards_, not a local about to be moved from.
+      Shard& sh = shards_.emplace_back();
+      sh.index = i;
+      if (opts_.bind_cores) sh.core = static_cast<int>(i) % node_.cpu().cores();
+      sh.ctr_id = counters.register_shard();
+      sh.ctrs = &counters.shard(sh.ctr_id);
+      if (opts_.srq_depth > 0) {
+        sh.srq = node_.create_srq();
+        for (uint32_t r = 0; r < opts_.srq_depth; ++r)
+          sh.srq->post_recv(verbs::RecvWr{.wr_id = r});
+      }
+      if (opts_.pool_block > 0 && opts_.pool_blocks > 0)
+        sh.pool.emplace(node_, opts_.pool_block, opts_.pool_blocks, sh.ctrs);
+      if (factory && *factory)
+        sh.processor = (*factory)(i, sh.core,
+                                  sh.pool ? &*sh.pool : nullptr);
+    }
+  }
+
+  /// splitmix64 finalizer — the same mix HatKV's ring uses, here standing
+  /// in for hashing the QP number at accept time.
+  static uint64_t mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint32_t pick_shard(const verbs::Node& client) const {
+    const auto n = static_cast<uint32_t>(shards_.size());
+    switch (opts_.steering) {
+      case Steering::kRoundRobin:
+        return static_cast<uint32_t>(accepted_ % n);
+      case Steering::kLeastLoaded: {
+        uint32_t best = 0;
+        for (uint32_t i = 1; i < n; ++i)
+          if (shards_[i].endpoints.size() <
+              shards_[best].endpoints.size())
+            best = i;  // strict < keeps ties on the lowest shard id
+        return best;
+      }
+      case Steering::kAffinity:
+        return static_cast<uint32_t>(mix(client.id()) % n);
+    }
+    return 0;
+  }
+
   verbs::Node& node_;
   proto::Handler processor_;
-  verbs::SharedReceiveQueue* srq_ = nullptr;
-  std::vector<std::unique_ptr<TRdmaEndPoint>> endpoints_;
+  Options opts_;
+  verbs::SharedReceiveQueue* srq_ = nullptr;  // legacy unsharded SRQ
+  std::vector<std::unique_ptr<TRdmaEndPoint>> endpoints_;  // legacy path
+  std::vector<Shard> shards_;
+  uint64_t accepted_ = 0;  // sharded accepts (round-robin cursor)
 };
 
 }  // namespace hatrpc::thrift

@@ -92,6 +92,17 @@ class CompletionQueue {
 
   uint32_t capacity() const { return capacity_; }
 
+  /// Pins this CQ's polling costs to one core (per-core sharded servers).
+  /// Busy waits on a bound CQ do NOT register a per-wait spinning thread:
+  /// the owning shard registers ONE persistent spinner (Cpu::pin_spinner)
+  /// that all of its connections' waits multiplex onto.
+  void bind_core(int core) { core_ = core; }
+  int bound_core() const { return core_; }
+
+  /// Mirrors per-CQE consumption into a shard-scope counter set (owned by
+  /// the sharded server that steered this CQ's connection).
+  void attach_shard(obs::CounterSet* shard) { shard_ = shard; }
+
   /// Non-blocking poll (ibv_poll_cq with no wait). No pickup delay applied —
   /// callers embedding this in their own spin loop charge their own time.
   std::optional<Wc> try_poll() {
@@ -99,14 +110,14 @@ class CompletionQueue {
     Wc wc = cqes_.front();
     cqes_.pop_front();
     ++consumed_;
-    if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
+    count_polled();
     return wc;
   }
 
   /// Waits for the next completion with the given polling discipline,
   /// charging the discipline's pickup latency and the software CQE cost.
   Task<Wc> wait(PollMode mode) {
-    if (mode == PollMode::kBusy) {
+    if (mode == PollMode::kBusy && core_ < 0) {
       auto guard = cpu_.busy_guard();
       co_return co_await wait_inner(mode);
     }
@@ -124,7 +135,7 @@ class CompletionQueue {
       out.push_back(cqes_.front());
       cqes_.pop_front();
       ++consumed_;
-      if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
+      count_polled();
     }
     if (!out.empty() && ctrs_) ctrs_->add(obs::Ctr::kCqBatchPolls);
     return out;
@@ -135,7 +146,7 @@ class CompletionQueue {
   /// paying the per-CQE software cost for each but only one wake-up. This
   /// is what amortizes interrupt/poll overhead for pipelined channels.
   Task<std::vector<Wc>> wait_many(PollMode mode, size_t max_n) {
-    if (mode == PollMode::kBusy) {
+    if (mode == PollMode::kBusy && core_ < 0) {
       auto guard = cpu_.busy_guard();
       co_return co_await wait_many_inner(mode, max_n);
     }
@@ -155,13 +166,18 @@ class CompletionQueue {
   uint64_t consumed() const { return consumed_; }
 
  private:
+  void count_polled() {
+    if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
+    if (shard_) shard_->add(obs::Ctr::kShardPolls);
+  }
+
   Task<Wc> wait_inner(PollMode mode) {
     while (true) {
       while (cqes_.empty()) {
         if (closed_) co_return Wc{.status = WcStatus::kWrFlushErr};
         co_await avail_.wait();
       }
-      co_await sim_.sleep(cpu_.pickup_delay(mode));
+      co_await sim_.sleep(cpu_.pickup_delay(mode, core_));
       if (!cqes_.empty()) break;  // lost a race with another poller
       if (closed_) co_return Wc{.status = WcStatus::kWrFlushErr};
     }
@@ -169,7 +185,7 @@ class CompletionQueue {
     Wc wc = cqes_.front();
     cqes_.pop_front();
     ++consumed_;
-    if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
+    count_polled();
     co_return wc;
   }
 
@@ -182,7 +198,7 @@ class CompletionQueue {
         }
         co_await avail_.wait();
       }
-      co_await sim_.sleep(cpu_.pickup_delay(mode));
+      co_await sim_.sleep(cpu_.pickup_delay(mode, core_));
       if (!cqes_.empty()) break;  // lost a race with another poller
       if (closed_) {
         co_return std::vector<Wc>{Wc{.status = WcStatus::kWrFlushErr}};
@@ -196,7 +212,7 @@ class CompletionQueue {
       out.push_back(cqes_.front());
       cqes_.pop_front();
       ++consumed_;
-      if (ctrs_) ctrs_->add(obs::Ctr::kCqesPolled);
+      count_polled();
     }
     if (ctrs_) ctrs_->add(obs::Ctr::kCqBatchPolls);
     co_return out;
@@ -206,9 +222,11 @@ class CompletionQueue {
   sim::Cpu& cpu_;
   const CostModel& cost_;
   obs::CounterSet* ctrs_;
+  obs::CounterSet* shard_ = nullptr;  // shard scope (sharded servers)
   VerbsCheck* check_;
   uint32_t capacity_;
   uint32_t node_id_;
+  int core_ = sim::Cpu::kAnyCore;     // pinned polling core, -1 = floating
   sim::WaitQueue avail_;
   std::deque<Wc> cqes_;
   bool closed_ = false;

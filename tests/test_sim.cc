@@ -3,7 +3,9 @@
 // determinism, and RNG statistical sanity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "sim/cpu.h"
@@ -332,6 +334,99 @@ TEST(Cpu, EventPickupPaysInterruptWhenIdle) {
             cpu.pickup_delay(PollMode::kEvent));
 }
 
+TEST(CpuCoreBinding, PinnedComputeContendsOnlyOnItsCore) {
+  auto pinned = [](Simulator& s, Cpu& cpu, int core, Time& end) -> Task<void> {
+    co_await cpu.compute(10us, core);
+    end = s.now();
+  };
+  {
+    // Different cores: both run at full speed.
+    Simulator sim;
+    Cpu cpu(sim, {.cores = 4, .ctx_switch = 1us});
+    Time a{}, b{};
+    sim.spawn(pinned(sim, cpu, 0, a));
+    sim.spawn(pinned(sim, cpu, 1, b));
+    sim.run();
+    EXPECT_EQ(a, 10us);
+    EXPECT_EQ(b, 10us);
+  }
+  {
+    // Same core: the second arrival sees the first resident and
+    // time-slices (2x stretch + context switch).
+    Simulator sim;
+    Cpu cpu(sim, {.cores = 4, .ctx_switch = 1us});
+    Time a{}, b{};
+    sim.spawn(pinned(sim, cpu, 2, a));
+    sim.spawn(pinned(sim, cpu, 2, b));
+    sim.run();
+    EXPECT_EQ(std::min(a, b), 10us);
+    EXPECT_EQ(std::max(a, b), 21us);
+  }
+  {
+    // Core ids wrap modulo the core count: core 6 of 4 IS core 2 — that
+    // wrap is how a shard sweep drives over-subscription.
+    Simulator sim;
+    Cpu cpu(sim, {.cores = 4, .ctx_switch = 1us});
+    Time a{}, b{};
+    sim.spawn(pinned(sim, cpu, 2, a));
+    sim.spawn(pinned(sim, cpu, 6, b));
+    sim.run();
+    EXPECT_EQ(std::max(a, b), 21us);
+  }
+}
+
+TEST(CpuCoreBinding, ShardSpinnerSelfCreditsItsCore) {
+  // The shard's polling thread IS its compute thread (run-to-completion):
+  // with one spinner pinned, pinned compute on that core is uncontended.
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 2, .ctx_switch = 1us});
+  auto spin = cpu.pin_spinner(0);
+  Time end{};
+  sim.spawn([](Simulator& s, Cpu& cpu, Time& end) -> Task<void> {
+    co_await cpu.compute(10us, 0);
+    end = s.now();
+  }(sim, cpu, end));
+  sim.run();
+  EXPECT_EQ(end, 10us);
+}
+
+TEST(CpuCoreBinding, TwoSpinnersOnOneCoreCollapsePickup) {
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 2});
+  auto s0 = cpu.pin_spinner(0);
+  const Duration alone = cpu.pickup_delay(PollMode::kBusy, 0);
+  EXPECT_LT(alone, 1us);  // a lone spinner reacts within its check interval
+  auto s1 = cpu.pin_spinner(0);  // a second shard lands on the same core
+  const Duration shared = cpu.pickup_delay(PollMode::kBusy, 0);
+  EXPECT_GT(shared, 10 * alone);  // reschedule quantum + context switch
+  // A shard alone on the other core is unaffected.
+  auto s2 = cpu.pin_spinner(1);
+  EXPECT_EQ(cpu.pickup_delay(PollMode::kBusy, 1), alone);
+}
+
+TEST(CpuCoreBinding, UnboundModelUnchangedWhileNothingIsPinned) {
+  // Guard for the bit-identity requirement: with zero pinned spinners or
+  // pinned work, the floating formulas see exactly the legacy inputs.
+  Simulator sim;
+  Cpu cpu(sim, {.cores = 2});
+  EXPECT_DOUBLE_EQ(cpu.oversubscription(), 1.0);
+  {
+    auto g1 = cpu.busy_guard();
+    auto g2 = cpu.busy_guard();
+    auto g3 = cpu.busy_guard();
+    auto g4 = cpu.busy_guard();
+    EXPECT_DOUBLE_EQ(cpu.oversubscription(), 2.0);
+  }
+  // Pinned spinners DO count toward whole-node demand.
+  auto s0 = cpu.pin_spinner(0);
+  auto s1 = cpu.pin_spinner(1);
+  auto s2 = cpu.pin_spinner(0);
+  EXPECT_DOUBLE_EQ(cpu.oversubscription(), 1.5);
+  EXPECT_EQ(cpu.busy_pollers(), 3);
+  EXPECT_EQ(cpu.spinners(0), 2);
+  EXPECT_EQ(cpu.spinners(1), 1);
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(7), b(7), c(8);
   bool all_equal = true, any_diff_seed = false;
@@ -471,6 +566,71 @@ TEST(TimingWheel, SpanBoundaryCrossingGoesThroughOverflow) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
   EXPECT_EQ(sim.now(), Time(kSpan + 500));
+  EXPECT_EQ(sim.pending_timers(), 0u);
+}
+
+TEST(ShallowQueue, MigrationPastCapacityPreservesOrder) {
+  // The scheduler starts in a sorted-vector fast path and migrates to the
+  // timing wheel when pending depth crosses the small-queue capacity (64).
+  // Spawning ~3x that many sleepers forces the migration mid-insert; the
+  // dispatch order must still be (timestamp, then schedule order).
+  Simulator sim;
+  constexpr int kN = 200;
+  std::vector<int> order;
+  auto sleeper = [](Simulator& s, std::vector<int>& order, int id,
+                    Duration d) -> Task<void> {
+    co_await s.sleep(d);
+    order.push_back(id);
+  };
+  std::vector<std::pair<uint64_t, int>> expect;
+  for (int i = 0; i < kN; ++i) {
+    // Scrambled wakeups with deliberate collisions (the % 59 folds many ids
+    // onto the same timestamp, exercising the equal-time FIFO rule).
+    const uint64_t t_us = 1 + (uint64_t(i) * 37) % 59;
+    sim.spawn(sleeper(sim, order, i, Duration(t_us * 1000)));
+    expect.emplace_back(t_us, i);
+  }
+  sim.run();
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(order.size(), size_t(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(order[i], expect[i].second) << "at " << i;
+  EXPECT_EQ(sim.pending_timers(), 0u);
+}
+
+TEST(ShallowQueue, ReArmsAfterWheelDrainsAndStaysCancellable) {
+  // Push past the small-queue capacity so the run starts on the wheel, let
+  // everything drain, then schedule (and cancel) in the re-armed fast path.
+  Simulator sim;
+  std::vector<int> order;
+  auto sleeper = [](Simulator& s, std::vector<int>& order, int id,
+                    Duration d) -> Task<void> {
+    co_await s.sleep(d);
+    order.push_back(id);
+  };
+  sim.spawn([](Simulator& s, std::vector<int>& order,
+               auto sleeper) -> Task<void> {
+    for (int i = 0; i < 100; ++i) s.spawn(sleeper(s, order, i, Duration(1000 + i)));
+    co_await s.sleep(10us);  // everything above has drained by now
+    TimerHandle th;
+    bool fired = false;
+    s.spawn([](Simulator& s2, TimerHandle& th2, bool& f) -> Task<void> {
+      co_await ScheduleAt{s2, s2.now() + Duration(5000), &th2};
+      f = true;
+    }(s, th, fired));
+    s.spawn(sleeper(s, order, 1000, 2us));
+    s.spawn(sleeper(s, order, 1001, 1us));
+    co_await s.sleep(500ns);
+    EXPECT_TRUE(th.cancel());  // cancel while resident in the shallow queue
+    co_await s.sleep(10us);
+    EXPECT_FALSE(fired);
+  }(sim, order, sleeper));
+  Simulator::RunResult r = sim.run();
+  ASSERT_EQ(order.size(), 102u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(order[100], 1001);  // 1us before 2us in the re-armed queue
+  EXPECT_EQ(order[101], 1000);
+  EXPECT_EQ(r.timers_cancelled, 1u);
   EXPECT_EQ(sim.pending_timers(), 0u);
 }
 
