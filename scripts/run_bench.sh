@@ -21,10 +21,12 @@
 #   OUTSIMCORE    sim-core output JSON path             (default: BENCH_sim_core.json)
 #   TRACESIMCORE  sim-core trace digest path            (default: BENCH_sim_core.trace)
 #   OUTSCAL       scalability output JSON path          (default: BENCH_scalability.json)
+#   OUTADAPT      adaptive-hints output JSON path       (default: BENCH_adaptive.json)
 #   CLUSTER_ARGS  extra bench_cluster flags, e.g. "--client-nodes 24 --records 1000"
 #   SIMCORE_ARGS  extra bench_sim_core flags, e.g. "--cancel-rounds 100"
 #   SCAL_ARGS     extra bench_scalability flags, e.g. "--clients 1,8,64 --shards 0,4"
-#   SEED          cluster + sim-core + scalability seed (default: 1)
+#   ADAPT_ARGS    extra bench_adaptive flags, e.g. "--over-channels 32"
+#   SEED          cluster + sim-core + scalability + adaptive seed (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +41,11 @@ OUTCLUSTER="${OUTCLUSTER:-BENCH_cluster.json}"
 OUTSIMCORE="${OUTSIMCORE:-BENCH_sim_core.json}"
 TRACESIMCORE="${TRACESIMCORE:-BENCH_sim_core.trace}"
 OUTSCAL="${OUTSCAL:-BENCH_scalability.json}"
+OUTADAPT="${OUTADAPT:-BENCH_adaptive.json}"
 CLUSTER_ARGS="${CLUSTER_ARGS:-}"
 SIMCORE_ARGS="${SIMCORE_ARGS:-}"
 SCAL_ARGS="${SCAL_ARGS:-}"
+ADAPT_ARGS="${ADAPT_ARGS:-}"
 SEED="${SEED:-1}"
 
 BIN04="$BUILD_DIR/bench/bench_fig04_protocol_latency"
@@ -49,7 +53,9 @@ BIN05="$BUILD_DIR/bench/bench_fig05_protocol_throughput"
 BINCLUSTER="$BUILD_DIR/bench/bench_cluster"
 BINSIMCORE="$BUILD_DIR/bench/bench_sim_core"
 BINSCAL="$BUILD_DIR/bench/bench_scalability"
-for bin in "$BIN04" "$BIN05" "$BINCLUSTER" "$BINSIMCORE" "$BINSCAL"; do
+BINADAPT="$BUILD_DIR/bench/bench_adaptive"
+for bin in "$BIN04" "$BIN05" "$BINCLUSTER" "$BINSIMCORE" "$BINSCAL" \
+           "$BINADAPT"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -82,4 +88,9 @@ done
 # shellcheck disable=SC2086
 "$BINSCAL" --seed "$SEED" --out "$OUTSCAL" $SCAL_ARGS
 
-echo "wrote $OUT04, $OUT, $OUTCLUSTER, $OUTSIMCORE and $OUTSCAL (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"
+# bench_adaptive exits non-zero if the frozen-controller ablation diverges
+# from its static twin (the adaptive observation path must cost nothing).
+# shellcheck disable=SC2086
+"$BINADAPT" --seed "$SEED" --out "$OUTADAPT" $ADAPT_ARGS
+
+echo "wrote $OUT04, $OUT, $OUTCLUSTER, $OUTSIMCORE, $OUTSCAL and $OUTADAPT (window=$WINDOW, zero_copy=$ZERO_COPY, filter=$FILTER, seed=$SEED)"

@@ -95,6 +95,65 @@ Plan select_plan_raw(PerfGoal goal, uint32_t concurrency,
   return plan;
 }
 
+namespace {
+
+bool eager_family(ProtocolKind k) {
+  return k == ProtocolKind::kEagerSendRecv ||
+         k == ProtocolKind::kHybridEagerRndv || k == ProtocolKind::kArGrpc;
+}
+
+bool rndv_family(ProtocolKind k) {
+  return k == ProtocolKind::kWriteRndv || k == ProtocolKind::kReadRndv;
+}
+
+}  // namespace
+
+Plan replan_classified(const Plan& current, PerfGoal goal, bool payload_large,
+                       Subscription sub, const SelectionParams& p) {
+  Plan plan = current;
+
+  // Protocol rule: the eager<->rendezvous switch follows the payload regime
+  // (§4.3: slot staging amortizes below 4 KB, segmented copies drown above).
+  // Direct-*/bypass protocols keep their pre-known buffers either way.
+  if (payload_large && eager_family(current.protocol)) {
+    plan.protocol = ProtocolKind::kWriteRndv;
+  } else if (!payload_large && rndv_family(current.protocol)) {
+    plan.protocol = ProtocolKind::kEagerSendRecv;
+  }
+
+  // Polling rule: busy polling only survives while the observed concurrency
+  // leaves spare cores; once over-subscribed every spinner waits out
+  // reschedule quanta (Fig. 5), so both sides drop to event. kFull is the
+  // dead band — keep whatever the current plan does.
+  switch (sub) {
+    case Subscription::kUnder:
+      plan.client_poll = sim::PollMode::kBusy;
+      plan.server_poll = sim::PollMode::kBusy;
+      break;
+    case Subscription::kFull:
+      break;
+    case Subscription::kOver:
+      plan.client_poll = sim::PollMode::kEvent;
+      plan.server_poll = sim::PollMode::kEvent;
+      break;
+  }
+
+  // A latency goal keeps the client spinning regardless (§4.1's lateral
+  // asymmetry: the client burns its own core, not the server's).
+  if (goal == PerfGoal::kLatency) plan.client_poll = sim::PollMode::kBusy;
+  (void)p;
+  return plan;
+}
+
+Plan replan_observed(const Plan& current, PerfGoal goal, const Observed& o,
+                     const SelectionParams& p) {
+  const bool large = o.payload_ewma > static_cast<double>(p.small_msg_max);
+  const double infl = o.inflight_ewma < 0 ? 0 : o.inflight_ewma;
+  const auto conc = static_cast<uint32_t>(infl + 0.5);
+  return replan_classified(current, goal, large,
+                           classify_subscription(conc == 0 ? 1 : conc, p), p);
+}
+
 Plan select_plan(const ServiceHints& hints, const std::string& function,
                  const SelectionParams& params) {
   auto get = [&](Key k, Perspective v) {

@@ -25,6 +25,10 @@ struct Plan {
   bool numa_bind = false;          // bind client threads under-subscription
   Transport transport = Transport::kRdma;
   uint32_t expected_payload = 0;   // plumbed to READ-sized fetches
+  /// Sliding-window depth the adaptive controller manages; 0 = unmanaged
+  /// (the channel keeps whatever its ChannelConfig says). Static selection
+  /// leaves this at 0, so pre-adaptive plans compare equal as before.
+  uint32_t window = 0;
 
   bool operator==(const Plan&) const = default;
 };
@@ -42,6 +46,35 @@ Plan select_plan(const ServiceHints& hints, const std::string& function,
 /// Fig. 6 design-space printer).
 Plan select_plan_raw(PerfGoal goal, uint32_t concurrency,
                      uint32_t payload_bytes, bool numa_hint,
+                     const SelectionParams& params);
+
+// ---- Re-plan entry points (adaptive hints, ROADMAP item 4) --------------
+// The static map above answers "what does the hint triple predict"; these
+// answer "what do the measured counters say", re-selecting only the fields
+// a live channel can actually change without invalidating its hints:
+//   * protocol family — eager-family <-> rendezvous as the payload EWMA
+//     crosses small_msg_max (§4.3's 4 KB switch, applied online). The
+//     pre-known-buffer protocols (Direct-*/bypass) are left alone: their
+//     reserved buffers already serve every size the hint promised.
+//   * polling — busy while the observed concurrency under-subscribes the
+//     core budget, event once it over-subscribes (the Fig-5 collapse).
+// Window management lives in hint::AdaptiveController (it needs stall and
+// idle-slot ratios, not just point classifications).
+
+/// Live observations, typically sourced from an obs::FunctionFootprint.
+struct Observed {
+  double payload_ewma = 0;   // max(req, resp) bytes, smoothed
+  double inflight_ewma = 0;  // aggregate in-flight calls, smoothed
+};
+
+/// Classified core: the caller has already decided (with hysteresis) what
+/// the payload and subscription regimes are.
+Plan replan_classified(const Plan& current, PerfGoal goal, bool payload_large,
+                       Subscription sub, const SelectionParams& params);
+
+/// Convenience entry: classifies the raw EWMAs with the static thresholds
+/// (no hysteresis — the controller latches its own bands).
+Plan replan_observed(const Plan& current, PerfGoal goal, const Observed& o,
                      const SelectionParams& params);
 
 }  // namespace hatrpc::hint

@@ -55,6 +55,9 @@ enum class Ctr : uint8_t {
   kTimerCancels,       // deadline timers removed before firing (TimerHandle)
   kShardAccepts,       // connections steered onto a server shard at accept
   kShardPolls,         // CQEs consumed by a shard's polling loop
+  kPlanSwitches,       // adaptive controller republished a function's plan
+  kEpochSwaps,         // adaptive channels rebuilt for a new plan epoch
+  kRecvLeases,         // responses delivered in place from the recv ring
   kCount,
 };
 
@@ -99,6 +102,9 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kTimerCancels: return "timer_cancels";
     case Ctr::kShardAccepts: return "shard_accepts";
     case Ctr::kShardPolls: return "shard_polls";
+    case Ctr::kPlanSwitches: return "plan_switches";
+    case Ctr::kEpochSwaps: return "epoch_swaps";
+    case Ctr::kRecvLeases: return "recv_leases";
     case Ctr::kCount: break;
   }
   return "unknown";

@@ -1,0 +1,134 @@
+// Per-function footprint scopes: the live observations the adaptive hint
+// controller (src/hint/adaptive.h) feeds on. Where Counters answers "how
+// many doorbells did this channel ring", a FunctionFootprint answers "what
+// does THIS RPC function look like right now" — payload and concurrency
+// EWMAs plus a live in-flight gauge shared by every channel that carries
+// the function, so a 100-connection client still observes one aggregate
+// concurrency figure (the quantity the Fig-6 map classifies on).
+//
+// Footprints are pure bookkeeping: recording a sample costs no virtual
+// time, and nothing here feeds the deterministic counter dump() oracles —
+// a program that never reads its footprints behaves bit-identically to one
+// without them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace hatrpc::obs {
+
+/// One completed call's footprint, as observed by the issuing channel.
+struct CallSample {
+  uint64_t req_bytes = 0;
+  uint64_t resp_bytes = 0;
+  /// The call blocked on a full window before acquiring a slot.
+  bool stalled = false;
+  /// Live calls in flight on the function when this one was issued
+  /// (aggregate across channels — the observed concurrency).
+  uint32_t inflight = 0;
+};
+
+/// Aggregated live view of one RPC function.
+class FunctionFootprint {
+ public:
+  explicit FunctionFootprint(std::string name) : name_(std::move(name)) {}
+
+  /// Marks a call issued; returns the aggregate in-flight count INCLUDING
+  /// this call (what CallSample::inflight should carry).
+  uint32_t call_begin() {
+    ++inflight_;
+    if (inflight_ > peak_inflight_) peak_inflight_ = inflight_;
+    return inflight_;
+  }
+  void call_end() {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  /// Folds one completed call into the EWMAs. `alpha` is the smoothing
+  /// weight (new = old + alpha * (sample - old)).
+  void record(const CallSample& s, double alpha) {
+    ++calls_;
+    if (s.stalled) ++stalls_;
+    req_bytes_ += s.req_bytes;
+    resp_bytes_ += s.resp_bytes;
+    const double payload =
+        static_cast<double>(s.req_bytes > s.resp_bytes ? s.req_bytes
+                                                       : s.resp_bytes);
+    if (calls_ == 1) {
+      payload_ewma_ = payload;
+      inflight_ewma_ = static_cast<double>(s.inflight);
+    } else {
+      payload_ewma_ += alpha * (payload - payload_ewma_);
+      inflight_ewma_ += alpha * (static_cast<double>(s.inflight) -
+                                 inflight_ewma_);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t calls() const { return calls_; }
+  uint64_t stalls() const { return stalls_; }
+  uint64_t req_bytes() const { return req_bytes_; }
+  uint64_t resp_bytes() const { return resp_bytes_; }
+  uint32_t inflight() const { return inflight_; }
+  uint32_t peak_inflight() const { return peak_inflight_; }
+  /// max(request, response) bytes, exponentially smoothed.
+  double payload_ewma() const { return payload_ewma_; }
+  /// Aggregate in-flight calls at issue time, exponentially smoothed.
+  double inflight_ewma() const { return inflight_ewma_; }
+
+ private:
+  std::string name_;
+  uint64_t calls_ = 0;
+  uint64_t stalls_ = 0;
+  uint64_t req_bytes_ = 0;
+  uint64_t resp_bytes_ = 0;
+  uint32_t inflight_ = 0;
+  uint32_t peak_inflight_ = 0;
+  double payload_ewma_ = 0;
+  double inflight_ewma_ = 0;
+};
+
+/// Registry of function footprints. Ids are handed out in registration
+/// order (deterministic for a deterministic program); scopes live in a
+/// deque so handed-out pointers stay stable as new functions appear.
+class FootprintRegistry {
+ public:
+  uint32_t register_function(std::string name) {
+    fns_.emplace_back(std::move(name));
+    return static_cast<uint32_t>(fns_.size() - 1);
+  }
+
+  FunctionFootprint& function(uint32_t id) { return fns_.at(id); }
+  const FunctionFootprint& function(uint32_t id) const { return fns_.at(id); }
+  size_t function_count() const { return fns_.size(); }
+
+  /// Deterministic text dump (id order), for tests and debug output.
+  std::string dump() const {
+    std::string out;
+    for (uint32_t i = 0; i < fns_.size(); ++i) {
+      const FunctionFootprint& f = fns_[i];
+      out += "fn/";
+      out += std::to_string(i);
+      out += '/';
+      out += f.name();
+      out += ": calls=";
+      out += std::to_string(f.calls());
+      out += " stalls=";
+      out += std::to_string(f.stalls());
+      out += " req_bytes=";
+      out += std::to_string(f.req_bytes());
+      out += " resp_bytes=";
+      out += std::to_string(f.resp_bytes());
+      out += " peak_inflight=";
+      out += std::to_string(f.peak_inflight());
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::deque<FunctionFootprint> fns_;
+};
+
+}  // namespace hatrpc::obs

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "obs/counters.h"   // IWYU pragma: export
+#include "obs/footprint.h"  // IWYU pragma: export
 #include "obs/histogram.h"  // IWYU pragma: export
 #include "obs/trace.h"      // IWYU pragma: export
 
@@ -11,6 +12,7 @@ namespace hatrpc::obs {
 struct Obs {
   Counters counters;
   Tracer tracer;
+  FootprintRegistry footprints;
 };
 
 }  // namespace hatrpc::obs

@@ -31,6 +31,12 @@ struct PendingCall {
   uint32_t len = 0;
   Buffer resp;  // used by protocols whose dispatcher owns the resp bytes
   verbs::WcStatus status = verbs::WcStatus::kSuccess;
+  /// Leased delivery (call_leased): the caller asks the dispatcher to park
+  /// the in-place ring view instead of materializing a copy; the ring slot
+  /// rides to the caller's LeasedReply, which reposts it on release.
+  bool lease_wanted = false;
+  View lease_view{};
+  uint32_t lease_slot = UINT32_MAX;  // UINT32_MAX = delivered owned
 };
 
 class ChannelBase : public RpcChannel {
@@ -42,6 +48,41 @@ class ChannelBase : public RpcChannel {
     cep_.close();
     sep_.close();
     extra_shutdown();
+  }
+
+  // ---- Live reconfiguration (adaptive hints) ----------------------------
+
+  /// The polling discipline is read per CQ wait, so flipping it here takes
+  /// effect on the very next wait without disturbing anything in flight.
+  void set_poll_modes(sim::PollMode client, sim::PollMode server) override {
+    cep_.poll = client;
+    sep_.poll = server;
+    cfg_.client_poll = client;
+    cfg_.server_poll = server;
+  }
+
+  /// Bounds the circulating window to `n` slots without reallocating ring
+  /// resources. Shrinking withholds free slots synchronously (and catches
+  /// the rest in release_slot as in-flight calls drain); growing re-releases
+  /// withheld slots up to the allocated cfg_.window. Everything here is
+  /// synchronous — no awaits — so an in-flight slot is never reconfigured.
+  bool resize_window(uint32_t n) override {
+    if (n == 0) n = 1;
+    if (n > cfg_.window) return false;  // beyond allocation: rebuild needed
+    if (cfg_.window == 1) return n == 1;  // unwindowed channels have no pool
+    target_window_ = n;
+    while (live_window_ > target_window_) {
+      auto s = free_slots_.try_pop();
+      if (!s) break;  // the rest are in flight; release_slot withholds them
+      withheld_.push_back(*s);
+      --live_window_;
+    }
+    while (live_window_ < target_window_ && !withheld_.empty()) {
+      free_slots_.push(withheld_.back());
+      withheld_.pop_back();
+      ++live_window_;
+    }
+    return true;
   }
 
   void abort() override {
@@ -79,6 +120,8 @@ class ChannelBase : public RpcChannel {
     if (cfg_.window > kMaxWindow)
       throw std::length_error("channel window exceeds the slot-tag range");
     for (uint32_t s = 0; s < cfg_.window; ++s) free_slots_.push(s);
+    live_window_ = target_window_ = cfg_.window;
+    inflight_gauge_ = cfg_.shard_inflight;
   }
 
   /// Spawns the protocol's server loop(s); called by the factory after the
@@ -149,7 +192,16 @@ class ChannelBase : public RpcChannel {
       throw RpcError(RpcErrc::kChannelClosed, "window slot pool closed");
     co_return *s;
   }
-  void release_slot(uint32_t s) { free_slots_.push(s); }
+  void release_slot(uint32_t s) {
+    // A live shrink withholds slots as their calls come home instead of
+    // recirculating them (resize_window above).
+    if (live_window_ > target_window_) {
+      withheld_.push_back(s);
+      --live_window_;
+      return;
+    }
+    free_slots_.push(s);
+  }
 
   /// Once a dispatcher consumes a terminal completion the channel is dead:
   /// calls that acquire a slot after that point fail immediately instead of
@@ -171,6 +223,9 @@ class ChannelBase : public RpcChannel {
   verbs::Endpoint cep_;  // client side
   verbs::Endpoint sep_;  // server side
   sim::Channel<uint32_t> free_slots_;
+  uint32_t live_window_ = 1;    // slots circulating (free or in flight)
+  uint32_t target_window_ = 1;  // live bound set by resize_window
+  std::vector<uint32_t> withheld_;  // parked slots awaiting a re-grow
   bool stop_ = false;
   bool dead_ = false;
   verbs::WcStatus dead_status_ = verbs::WcStatus::kWrFlushErr;

@@ -94,6 +94,12 @@ struct ChannelConfig {
   /// mirrors shard-attributable events into it (CQE polls via the server
   /// CQs, window stalls). Null = not sharded.
   obs::CounterSet* shard_counters = nullptr;
+  /// Live in-flight gauge owned by the steering server's shard: call()
+  /// increments it while the call is outstanding, so kLeastLoaded steering
+  /// ranks shards by what they are doing NOW, not by how many connections
+  /// they ever accepted. Null = not tracked. Only leaf channels (those
+  /// built on ChannelBase) honour it, so a hybrid's inner call counts once.
+  uint64_t* shard_inflight = nullptr;
   /// Zero-copy send path: payloads go out inline (≤ max_inline_data) or as
   /// gather SGE lists straight from the caller's buffer (registered on
   /// demand through the PD's MrCache) instead of being staged through slot
@@ -145,6 +151,10 @@ struct ChannelConfig {
     shard_counters = shard;
     return *this;
   }
+  ChannelConfig& with_shard_inflight(uint64_t* gauge) {
+    shard_inflight = gauge;
+    return *this;
+  }
   ChannelConfig& with_numa(bool client_local, bool server_local) {
     client_numa_local = client_local;
     server_numa_local = server_local;
@@ -169,6 +179,57 @@ struct ChannelStats {
   size_t server_registered = 0;  // bytes of MR pinned at the server
 };
 
+/// A response delivered without the client-side materialization copy where
+/// the protocol can manage it: either a view into the channel's pooled recv
+/// ring (released — i.e. the ring slot reposted — when the lease dies) or
+/// an owned Buffer fallback. A lease must not outlive its channel.
+class LeasedReply {
+ public:
+  LeasedReply() = default;
+  explicit LeasedReply(Buffer owned) : owned_(std::move(owned)) {}
+  LeasedReply(View v, std::function<void()> release)
+      : view_(v), release_(std::move(release)) {}
+  LeasedReply(LeasedReply&& o) noexcept
+      : owned_(std::move(o.owned_)), view_(o.view_),
+        release_(std::move(o.release_)) {
+    o.release_ = nullptr;
+    o.view_ = {};
+  }
+  LeasedReply& operator=(LeasedReply&& o) noexcept {
+    if (this != &o) {
+      release();
+      owned_ = std::move(o.owned_);
+      view_ = o.view_;
+      release_ = std::move(o.release_);
+      o.release_ = nullptr;
+      o.view_ = {};
+    }
+    return *this;
+  }
+  LeasedReply(const LeasedReply&) = delete;
+  LeasedReply& operator=(const LeasedReply&) = delete;
+  ~LeasedReply() { release(); }
+
+  View bytes() const { return release_ ? view_ : View(owned_); }
+  /// True when the bytes live in the channel's recv ring (no copy paid).
+  bool in_place() const { return static_cast<bool>(release_); }
+  /// Reposts the underlying ring slot early (the dtor does it otherwise).
+  void release() {
+    if (release_) {
+      release_();
+      release_ = nullptr;
+    }
+    view_ = {};
+  }
+
+ private:
+  Buffer owned_;
+  View view_{};
+  std::function<void()> release_;
+};
+
+using LeasedResult = Result<LeasedReply, RpcError>;
+
 class RpcChannel {
  public:
   virtual ~RpcChannel() = default;
@@ -179,6 +240,11 @@ class RpcChannel {
   /// size their read from it; 0 = max_msg). Non-transport failures
   /// (handler exceptions, oversized messages) propagate as exceptions.
   sim::Task<CallResult> call(View req, uint32_t resp_size_hint = 0);
+
+  /// Like call(), but the response may be delivered in place from the
+  /// channel's recv ring (zero-copy receive). Protocols without an in-place
+  /// path fall back to call() semantics with an owned buffer.
+  sim::Task<LeasedResult> call_leased(View req, uint32_t resp_size_hint = 0);
 
   /// Stops the server-side serve loop(s) so the simulation can drain.
   virtual void shutdown() = 0;
@@ -191,10 +257,40 @@ class RpcChannel {
   virtual ProtocolKind kind() const = 0;
   virtual ChannelStats stats() const { return stats_; }
 
+  // ---- Live reconfiguration (adaptive hints) ----------------------------
+  // The adaptive controller re-selects polling and window online; protocol
+  // changes need a channel rebuild (epoch swap). Defaults are conservative
+  // no-ops so non-reconfigurable channels simply report "rebuild me".
+
+  /// Switches the polling discipline each side uses from the next CQ wait
+  /// on. Takes effect immediately and never touches in-flight calls (the
+  /// discipline is consumed per wait).
+  virtual void set_poll_modes(sim::PollMode /*client*/,
+                              sim::PollMode /*server*/) {}
+
+  /// Bounds the number of in-flight calls to `n` without reallocating:
+  /// shrinking withholds free slots as they come home (in-flight calls
+  /// drain untouched), growing re-releases withheld ones. Returns false if
+  /// `n` exceeds what the channel allocated — that needs an epoch swap.
+  virtual bool resize_window(uint32_t /*n*/) { return false; }
+
+  /// This channel's counter scope (null when unbound). Lets the adaptive
+  /// layer read window_stalls and copy deltas without friending obs.
+  virtual const obs::CounterSet* counters() const {
+    return obs_ ? &obs_->counters.channel(obs_id_) : nullptr;
+  }
+
  protected:
   /// Protocol-specific call body. Throws RpcError for transport failures
   /// (the call() wrapper folds those into the Result).
   virtual sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) = 0;
+
+  /// Protocol-specific leased-call body; the default materializes through
+  /// do_call. Overrides deliver single-segment responses in place.
+  virtual sim::Task<LeasedReply> do_call_leased(View req,
+                                                uint32_t resp_size_hint) {
+    co_return LeasedReply(co_await do_call(req, resp_size_hint));
+  }
 
   /// Hooks this channel into the fabric's observability layer: allocates a
   /// channel-scoped counter set and remembers the client node id as the
@@ -211,16 +307,33 @@ class RpcChannel {
   uint32_t obs_channel_id() const { return obs_id_; }
   uint32_t obs_pid() const { return obs_pid_; }
 
+  /// Scoped increment of the owning shard's live in-flight gauge (the
+  /// kLeastLoaded steering signal). Exception-safe: the decrement rides the
+  /// coroutine frame's unwinding whichever way the call resolves.
+  struct InflightGuard {
+    explicit InflightGuard(uint64_t* g) : g_(g) {
+      if (g_) ++*g_;
+    }
+    InflightGuard(const InflightGuard&) = delete;
+    InflightGuard& operator=(const InflightGuard&) = delete;
+    ~InflightGuard() {
+      if (g_) --*g_;
+    }
+    uint64_t* g_;
+  };
+
   ChannelStats stats_;
   obs::Obs* obs_ = nullptr;
   sim::Simulator* sim_clock_ = nullptr;
   uint32_t obs_id_ = 0;
   uint32_t obs_pid_ = 0;
+  uint64_t* inflight_gauge_ = nullptr;  // set by ChannelBase from the config
 };
 
 inline sim::Task<CallResult> RpcChannel::call(View req,
                                               uint32_t resp_size_hint) {
   ++stats_.calls;
+  InflightGuard gauge(inflight_gauge_);
   const bool trace = obs_ && obs_->tracer.enabled();
   const sim::Time t0 = trace ? sim_clock_->now() : sim::Time{};
   try {
@@ -239,6 +352,31 @@ inline sim::Task<CallResult> RpcChannel::call(View req,
           "call-failed/" + std::string(to_string(kind())), "rpc", t0,
           sim_clock_->now() - t0, obs_pid_, obs_id_);
     co_return CallResult(e);
+  }
+}
+
+inline sim::Task<LeasedResult> RpcChannel::call_leased(
+    View req, uint32_t resp_size_hint) {
+  ++stats_.calls;
+  InflightGuard gauge(inflight_gauge_);
+  const bool trace = obs_ && obs_->tracer.enabled();
+  const sim::Time t0 = trace ? sim_clock_->now() : sim::Time{};
+  try {
+    LeasedReply resp = co_await do_call_leased(req, resp_size_hint);
+    if (trace)
+      obs_->tracer.complete("call/" + std::string(to_string(kind())), "rpc",
+                            t0, sim_clock_->now() - t0, obs_pid_, obs_id_);
+    co_return LeasedResult(std::move(resp));
+  } catch (const RpcError& e) {
+    if (obs_) {
+      obs_->counters.channel(obs_id_).add(obs::Ctr::kFailedCalls);
+      obs_->counters.node(obs_pid_).add(obs::Ctr::kFailedCalls);
+    }
+    if (trace)
+      obs_->tracer.complete(
+          "call-failed/" + std::string(to_string(kind())), "rpc", t0,
+          sim_clock_->now() - t0, obs_pid_, obs_id_);
+    co_return LeasedResult(e);
   }
 }
 

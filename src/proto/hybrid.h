@@ -45,11 +45,33 @@ class HybridChannel : public RpcChannel {
   RpcChannel& eager_path() { return *eager_; }
   RpcChannel& rndv_path() { return *rndv_; }
 
+  /// Live reconfiguration forwards to both inner channels: the threshold
+  /// split is per call, so either path may serve the next one.
+  void set_poll_modes(sim::PollMode client, sim::PollMode server) override {
+    eager_->set_poll_modes(client, server);
+    rndv_->set_poll_modes(client, server);
+  }
+
+  bool resize_window(uint32_t n) override {
+    const bool e = eager_->resize_window(n);
+    const bool r = rndv_->resize_window(n);
+    return e && r;
+  }
+
  protected:
   sim::Task<Buffer> do_call(View req, uint32_t resp_size_hint) override {
     size_t decisive = std::max<size_t>(req.size(), resp_size_hint);
     RpcChannel& path = decisive <= threshold_ ? *eager_ : *rndv_;
     CallResult r = co_await path.call(req, resp_size_hint);
+    if (!r) throw r.error();
+    co_return std::move(*r);
+  }
+
+  sim::Task<LeasedReply> do_call_leased(View req,
+                                        uint32_t resp_size_hint) override {
+    size_t decisive = std::max<size_t>(req.size(), resp_size_hint);
+    RpcChannel& path = decisive <= threshold_ ? *eager_ : *rndv_;
+    LeasedResult r = co_await path.call_leased(req, resp_size_hint);
     if (!r) throw r.error();
     co_return std::move(*r);
   }

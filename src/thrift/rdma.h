@@ -6,15 +6,65 @@
 // the connection "handshake" (channel creation = QP/MR setup + exchange).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "hint/adaptive.h"
 #include "proto/buffer_pool.h"
 #include "proto/channel.h"
 #include "thrift/protocol.h"
 #include "thrift/transport.h"
 
 namespace hatrpc::thrift {
+
+/// The per-function plan cache of paper §4.3 ("caching the RPC function
+/// type"), made invalidation-aware for adaptive hints: every published
+/// plan carries an epoch that bumps when the plan CHANGES. Clients stamp
+/// the epoch they resolved; when a runtime controller republishes a
+/// re-selected plan, stamped snapshots go stale and the next flush()
+/// re-resolves instead of trusting a dead plan.
+class PlanCache {
+ public:
+  struct Snapshot {
+    hint::Plan plan;
+    uint64_t epoch = 0;
+  };
+
+  /// Publishes `plan` for `fn`. Idempotent: the epoch bumps only when the
+  /// plan actually differs from the cached one. Returns the entry's epoch.
+  uint64_t publish(const std::string& fn, const hint::Plan& plan) {
+    Entry& e = map_[fn];
+    if (e.epoch == 0 || !(e.plan == plan)) {
+      e.plan = plan;
+      ++e.epoch;
+    }
+    return e.epoch;
+  }
+
+  /// Current snapshot for `fn`; nullopt when never published.
+  std::optional<Snapshot> resolve(const std::string& fn) const {
+    auto it = map_.find(fn);
+    if (it == map_.end()) return std::nullopt;
+    return Snapshot{it->second.plan, it->second.epoch};
+  }
+
+  /// Epoch validation: is a snapshot stamped `epoch` still current?
+  bool fresh(const std::string& fn, uint64_t epoch) const {
+    auto it = map_.find(fn);
+    return it != map_.end() && it->second.epoch == epoch;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    hint::Plan plan;
+    uint64_t epoch = 0;
+  };
+  std::map<std::string, Entry> map_;  // ordered: deterministic iteration
+};
 
 /// Interface point between the Thrift layer and the RDMA engine: one
 /// established protocol channel. On the zero-copy send path the endpoint
@@ -54,6 +104,25 @@ class TRdma final : public MessageTransport {
   /// hints plumb through here, paper §4.3 "dynamic hints").
   void set_response_size_hint(uint32_t bytes) { resp_hint_ = bytes; }
 
+  /// Binds the transport to `fn`'s cached plan: each flush() validates its
+  /// stamped epoch against the cache and — on a miss (the controller
+  /// republished a re-selected plan) — re-resolves, re-stamping the
+  /// response-size hint from the fresh plan. The client half of the §4.3
+  /// plan-cache invalidation protocol.
+  void bind_plan(PlanCache& cache, std::string fn) {
+    plan_cache_ = &cache;
+    plan_fn_ = std::move(fn);
+    plan_epoch_ = 0;
+  }
+  /// How many times the bound plan went stale and was re-resolved.
+  uint64_t plan_refreshes() const { return plan_refreshes_; }
+
+  /// Leased receive path: flush() uses call_leased(), so single-segment
+  /// responses are consumed straight from the channel's recv ring (read()
+  /// copies out of the ring view; no intermediate materialization). The
+  /// lease — and its ring slot — is held until the next flush()/close().
+  void enable_leased_reads(bool on = true) { leased_reads_ = on; }
+
   void write(View data) {
     if (proto::BufferPool* pool = ep_.pool(); pool && out_.empty()) {
       // Zero-copy staging: the outbound message accumulates in a pooled,
@@ -76,28 +145,37 @@ class TRdma final : public MessageTransport {
   /// response for read(). Transport failures surface as RpcError (the
   /// Result's error arm re-raised), matching TSocket's exception shape.
   sim::Task<void> flush() {
+    refresh_plan();
+    // The outbound bytes: the pooled lease (held across the call so the
+    // channel's borrowed gather view stays valid) or the heap spill.
+    Buffer heap;
+    View req;
     if (lease_) {
-      // The lease stays held across the call, so the channel's borrowed
-      // gather view stays valid until the response resolves.
-      proto::CallResult r =
-          co_await ep_.channel().call(View{lease_.data(), out_len_},
-                                      resp_hint_);
-      lease_.release();
-      out_len_ = 0;
-      in_ = std::move(r).value();
-      rpos_ = 0;
-      co_return;
+      req = View{lease_.data(), out_len_};
+    } else {
+      heap = std::move(out_);
+      out_.clear();
+      req = heap;
     }
-    Buffer req = std::move(out_);
-    out_.clear();
-    proto::CallResult r = co_await ep_.channel().call(req, resp_hint_);
-    in_ = std::move(r).value();
+    if (leased_reads_) {
+      proto::LeasedResult r = co_await ep_.channel().call_leased(req,
+                                                                 resp_hint_);
+      end_send();
+      in_.clear();
+      in_lease_ = std::move(r).value();
+    } else {
+      proto::CallResult r = co_await ep_.channel().call(req, resp_hint_);
+      end_send();
+      in_lease_.release();
+      in_ = std::move(r).value();
+    }
     rpos_ = 0;
   }
 
   sim::Task<size_t> read(std::byte* p, size_t max) {
-    size_t n = std::min(max, in_.size() - rpos_);
-    std::memcpy(p, in_.data() + rpos_, n);
+    View src = in_view();
+    size_t n = std::min(max, src.size() - rpos_);
+    std::memcpy(p, src.data() + rpos_, n);
     rpos_ += n;
     co_return n;
   }
@@ -108,20 +186,49 @@ class TRdma final : public MessageTransport {
     co_await flush();
   }
   sim::Task<std::optional<Buffer>> recv() override {
-    Buffer b(in_.begin() + static_cast<ptrdiff_t>(rpos_), in_.end());
-    rpos_ = in_.size();
+    View src = in_view();
+    Buffer b(src.begin() + static_cast<ptrdiff_t>(rpos_), src.end());
+    rpos_ = src.size();
     co_return b;
   }
-  void close() override { ep_.shutdown(); }
+  void close() override {
+    in_lease_.release();
+    ep_.shutdown();
+  }
 
  private:
+  View in_view() const {
+    return leased_reads_ ? in_lease_.bytes() : View(in_);
+  }
+  void end_send() {
+    if (lease_) {
+      lease_.release();
+      out_len_ = 0;
+    }
+  }
+  void refresh_plan() {
+    if (!plan_cache_ || plan_cache_->fresh(plan_fn_, plan_epoch_)) return;
+    if (auto s = plan_cache_->resolve(plan_fn_)) {
+      plan_epoch_ = s->epoch;
+      if (s->plan.expected_payload > 0)
+        resp_hint_ = s->plan.expected_payload;
+      ++plan_refreshes_;
+    }
+  }
+
   TRdmaEndPoint& ep_;
   Buffer out_;
   proto::BufferPool::Lease lease_;  // zero-copy staging block
   size_t out_len_ = 0;              // bytes staged into the lease
   Buffer in_;
+  proto::LeasedReply in_lease_;     // leased-reads inbound view
+  bool leased_reads_ = false;
   size_t rpos_ = 0;
   uint32_t resp_hint_ = 0;
+  PlanCache* plan_cache_ = nullptr;
+  std::string plan_fn_;
+  uint64_t plan_epoch_ = 0;
+  uint64_t plan_refreshes_ = 0;
 };
 
 /// TRdmaTransport — the connection-establishment half of the bridge layer
@@ -287,6 +394,11 @@ class TServerRdma {
     uint32_t index = 0;
     int core = -1;  // pinned core, -1 when bind_cores is off
     uint32_t ctr_id = 0;
+    /// Live in-flight gauge: every call() on a channel accepted onto this
+    /// shard holds +1 while outstanding. kLeastLoaded steers on this, so a
+    /// shard that accepted a long-dead burst ranks idle again the moment
+    /// its calls drain (accept counts never decay; this does).
+    uint64_t inflight = 0;
     obs::CounterSet* ctrs = nullptr;
     verbs::SharedReceiveQueue* srq = nullptr;
     std::optional<proto::BufferPool> pool;
@@ -330,21 +442,59 @@ class TServerRdma {
           cfg));
       return endpoints_.back().get();
     }
-    Shard& sh = shards_[pick_shard(client)];
-    ++accepted_;
-    sh.ctrs->add(obs::Ctr::kShardAccepts);
-    if (sh.srq) cfg.with_server_srq(sh.srq);
-    if (sh.core >= 0) cfg.with_server_core(sh.core);
-    cfg.with_shard_counters(sh.ctrs);
-    // The shard's polling thread starts spinning with its first busy-mode
-    // connection (an idle shard's core stays free for its siblings).
-    if (sh.core >= 0 && cfg.server_poll == sim::PollMode::kBusy &&
-        !sh.spinner)
-      sh.spinner.emplace(node_.cpu().pin_spinner(sh.core));
+    Shard& sh = stamp_shard(client, cfg);
     const proto::Handler& h = sh.processor ? sh.processor : processor_;
     sh.endpoints.push_back(std::make_unique<TRdmaEndPoint>(
         proto::make_channel(kind, client, node_, h, cfg), client, cfg));
     return sh.endpoints.back().get();
+  }
+
+  /// Adaptive accept: like accept(), but wraps the connection in an
+  /// AdaptiveChannel seeded with `prior`, so the runtime controller
+  /// re-selects protocol/polling/window from live counters. Shard
+  /// resources (SRQ, core, counter scope, in-flight gauge) are stamped
+  /// into the config every rebuilt epoch inherits, so plan changes never
+  /// migrate a connection off its shard. When `fn` is given, the
+  /// function's footprint scope (shared across connections carrying the
+  /// same function) feeds the controller, and the adopted plan is
+  /// published into `cache` under `fn`.
+  TRdmaEndPoint* accept_adaptive(verbs::Node& client, hint::Plan prior,
+                                 proto::ChannelConfig cfg,
+                                 const hint::AdaptiveParams& params = {},
+                                 PlanCache* cache = nullptr,
+                                 const std::string& fn = {}) {
+    obs::FunctionFootprint* fp = fn.empty() ? nullptr : footprint_for(fn);
+    std::vector<std::unique_ptr<TRdmaEndPoint>>* home;
+    const proto::Handler* h;
+    if (shards_.empty()) {
+      if (srq_) cfg.with_server_srq(srq_);
+      home = &endpoints_;
+      h = &processor_;
+    } else {
+      Shard& sh = stamp_shard(client, cfg);
+      home = &sh.endpoints;
+      h = sh.processor ? &sh.processor : &processor_;
+    }
+    auto ch = hint::make_adaptive_channel(client, node_, *h, cfg, prior,
+                                          params, fp);
+    if (cache && !fn.empty()) cache->publish(fn, ch->plan());
+    home->push_back(
+        std::make_unique<TRdmaEndPoint>(std::move(ch), client, cfg));
+    return home->back().get();
+  }
+
+  /// Server half of the §4.3 plan-cache invalidation: republishes an
+  /// adaptive endpoint's currently adopted plan. Returns true when the
+  /// cache entry changed (every client snapshot stamped with the old epoch
+  /// goes stale and re-resolves on its next flush).
+  static bool refresh_plan(PlanCache& cache, const std::string& fn,
+                           TRdmaEndPoint& ep) {
+    auto* ad = dynamic_cast<hint::AdaptiveChannel*>(&ep.channel());
+    if (!ad) return false;
+    auto cur = cache.resolve(fn);
+    if (cur && cur->plan == ad->plan()) return false;
+    cache.publish(fn, ad->plan());
+    return true;
   }
 
   void stop() {
@@ -370,6 +520,34 @@ class TServerRdma {
   Shard& shard(uint32_t i) { return shards_.at(i); }
 
  private:
+  /// Steers `client` onto a shard and stamps the shard's resources into
+  /// `cfg` (shared by accept and accept_adaptive).
+  Shard& stamp_shard(const verbs::Node& client, proto::ChannelConfig& cfg) {
+    Shard& sh = shards_[pick_shard(client)];
+    ++accepted_;
+    sh.ctrs->add(obs::Ctr::kShardAccepts);
+    if (sh.srq) cfg.with_server_srq(sh.srq);
+    if (sh.core >= 0) cfg.with_server_core(sh.core);
+    cfg.with_shard_counters(sh.ctrs);
+    cfg.with_shard_inflight(&sh.inflight);
+    // The shard's polling thread starts spinning with its first busy-mode
+    // connection (an idle shard's core stays free for its siblings).
+    if (sh.core >= 0 && cfg.server_poll == sim::PollMode::kBusy &&
+        !sh.spinner)
+      sh.spinner.emplace(node_.cpu().pin_spinner(sh.core));
+    return sh;
+  }
+
+  /// Find-or-register the function's footprint scope: connections carrying
+  /// the same function share one scope, so the controller observes the
+  /// AGGREGATE concurrency (the quantity the Fig-6 map classifies on).
+  obs::FunctionFootprint* footprint_for(const std::string& fn) {
+    auto& reg = node_.fabric().obs().footprints;
+    for (uint32_t i = 0; i < reg.function_count(); ++i)
+      if (reg.function(i).name() == fn) return &reg.function(i);
+    return &reg.function(reg.register_function(fn));
+  }
+
   void init_shards(const ShardProcessorFactory* factory) {
     auto& counters = node_.fabric().obs().counters;
     shards_.reserve(opts_.shards);
@@ -410,11 +588,19 @@ class TServerRdma {
       case Steering::kRoundRobin:
         return static_cast<uint32_t>(accepted_ % n);
       case Steering::kLeastLoaded: {
+        // Primary key: the live in-flight gauge (what the shard is doing
+        // NOW — a shard that absorbed a burst ranks idle again once it
+        // drains). Secondary: connection count, so idle shards still fill
+        // evenly. Strict < keeps ties on the lowest shard id.
         uint32_t best = 0;
-        for (uint32_t i = 1; i < n; ++i)
-          if (shards_[i].endpoints.size() <
-              shards_[best].endpoints.size())
-            best = i;  // strict < keeps ties on the lowest shard id
+        for (uint32_t i = 1; i < n; ++i) {
+          const Shard& a = shards_[i];
+          const Shard& b = shards_[best];
+          if (a.inflight < b.inflight ||
+              (a.inflight == b.inflight &&
+               a.endpoints.size() < b.endpoints.size()))
+            best = i;
+        }
         return best;
       }
       case Steering::kAffinity:

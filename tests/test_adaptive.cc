@@ -1,0 +1,532 @@
+// Adaptive hints (ROADMAP item 4): the runtime controller that re-selects
+// protocol, polling, and window from live counters. Covers the controller's
+// hysteresis dead band and cooldown (no flapping at the 4 KB boundary), the
+// epoch-swap protocol (in-flight windowed calls drain on the old plan, all
+// succeed), live window resizing as a concurrency bound, the leased
+// receive path (in-place delivery + slot repost), live in-flight
+// kLeastLoaded steering, and the determinism oracle: a frozen controller
+// drives its channel bit-identically to the static twin it wraps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hint/adaptive.h"
+#include "hint/selection.h"
+#include "proto/channel.h"
+#include "sim/sync.h"
+#include "thrift/rdma.h"
+#include "verbs/verbs.h"
+
+namespace hatrpc::hint {
+namespace {
+
+using proto::Buffer;
+using proto::ChannelConfig;
+using proto::Handler;
+using proto::ProtocolKind;
+using proto::View;
+using sim::PollMode;
+using sim::Simulator;
+using sim::Task;
+using namespace std::chrono_literals;
+
+Handler echo_handler(verbs::Node& server) {
+  return [&server](View req) -> Task<Buffer> {
+    co_await server.cpu().compute(200ns);
+    co_return Buffer(req.begin(), req.end());
+  };
+}
+
+/// A small-message eager prior, the static plan most tests start from.
+Plan eager_prior(uint32_t payload = 512) {
+  Plan p;
+  p.protocol = ProtocolKind::kEagerSendRecv;
+  p.client_poll = PollMode::kBusy;
+  p.server_poll = PollMode::kBusy;
+  p.expected_payload = payload;
+  return p;
+}
+
+/// Controller params tuned for tests: decide quickly, no cooldown unless
+/// the test sets one.
+AdaptiveParams fast_params() {
+  AdaptiveParams p;
+  p.alpha = 0.5;
+  p.min_samples = 2;
+  p.cooldown = 0us;
+  return p;
+}
+
+obs::CallSample sample(uint64_t bytes, uint32_t inflight = 1,
+                       bool stalled = false) {
+  return {bytes, bytes, stalled, inflight};
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveController decision logic (no channel).
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveController, HysteresisDeadBandHoldsThePlanAtTheBoundary) {
+  Simulator sim;
+  AdaptiveParams p = fast_params();
+  p.hysteresis = 0.25;  // dead band: 3072..5120 around the 4 KB switch
+  AdaptiveController ctrl(sim, eager_prior(), p);
+
+  // Payloads wandering WITHIN the band never flip the latched regime.
+  for (uint64_t b : {4000u, 4300u, 3900u, 4500u, 3800u, 5000u, 3200u}) {
+    ctrl.observe(sample(b));
+    EXPECT_EQ(ctrl.maybe_replan(), std::nullopt) << b;
+  }
+  EXPECT_FALSE(ctrl.payload_large());
+  EXPECT_EQ(ctrl.switches(), 0u);
+
+  // Leaving the band on the far side flips it exactly once.
+  std::optional<Plan> adopted;
+  for (int i = 0; i < 8 && !adopted; ++i) {
+    ctrl.observe(sample(64 << 10));
+    adopted = ctrl.maybe_replan();
+  }
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_TRUE(ctrl.payload_large());
+  EXPECT_EQ(adopted->protocol, ProtocolKind::kWriteRndv);
+  EXPECT_EQ(ctrl.switches(), 1u);
+}
+
+TEST(AdaptiveController, CooldownBoundsSwitchesUnderOscillation) {
+  Simulator sim;
+  AdaptiveParams p = fast_params();
+  p.cooldown = std::chrono::milliseconds(10);
+  AdaptiveController ctrl(sim, eager_prior(), p);
+
+  // A workload oscillating hard across the 4 KB switch every few calls
+  // would re-plan every interval without the cooldown; with it, at most
+  // one adoption per cooldown period.
+  uint64_t flips = 0;
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t bytes = (round % 2) ? (64u << 10) : 64u;
+    for (int i = 0; i < 4; ++i) ctrl.observe(sample(bytes));
+    if (ctrl.maybe_replan()) ++flips;
+    sim.run_until(sim.now() + std::chrono::microseconds(100));
+  }
+  // 40 rounds * 100us = 4ms of virtual time < one 10ms cooldown: after the
+  // first adoption the controller must hold still.
+  EXPECT_EQ(flips, 1u);
+  EXPECT_EQ(ctrl.switches(), 1u);
+}
+
+TEST(AdaptiveController, PollingFollowsObservedConcurrency) {
+  Simulator sim;
+  AdaptiveParams p = fast_params();
+  AdaptiveController ctrl(sim, eager_prior(), p);
+  EXPECT_EQ(ctrl.subscription(), Subscription::kUnder);
+
+  // Observed concurrency far over the 28-core budget: both sides drop to
+  // event polling.
+  std::optional<Plan> adopted;
+  for (int i = 0; i < 16 && !adopted; ++i) {
+    ctrl.observe(sample(512, /*inflight=*/160));
+    adopted = ctrl.maybe_replan();
+  }
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(ctrl.subscription(), Subscription::kOver);
+  EXPECT_EQ(adopted->client_poll, PollMode::kEvent);
+  EXPECT_EQ(adopted->server_poll, PollMode::kEvent);
+
+  // Back under 16: busy polling returns.
+  adopted.reset();
+  for (int i = 0; i < 32 && !adopted; ++i) {
+    ctrl.observe(sample(512, /*inflight=*/1));
+    adopted = ctrl.maybe_replan();
+  }
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(adopted->client_poll, PollMode::kBusy);
+}
+
+TEST(AdaptiveController, WindowGrowsOnStallsAndShrinksWhenIdle) {
+  Simulator sim;
+  AdaptiveParams p = fast_params();
+  Plan prior = eager_prior();
+  prior.window = 4;
+  AdaptiveController ctrl(sim, prior, p);
+
+  // Every call stalled on a full window: the window doubles.
+  std::optional<Plan> adopted;
+  for (int i = 0; i < 4 && !adopted; ++i) {
+    ctrl.observe(sample(512, 8, /*stalled=*/true));
+    adopted = ctrl.maybe_replan();
+  }
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(adopted->window, 8u);
+
+  // No stalls and in-flight well under half the window: it halves.
+  adopted.reset();
+  for (int i = 0; i < 64 && !adopted; ++i) {
+    ctrl.observe(sample(512, 1, false));
+    adopted = ctrl.maybe_replan();
+  }
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_LT(adopted->window, 8u);
+}
+
+TEST(AdaptiveController, FrozenControllerNeverAdopts) {
+  Simulator sim;
+  AdaptiveController ctrl(sim, eager_prior(), fast_params());
+  ctrl.freeze();
+  for (int i = 0; i < 32; ++i) {
+    ctrl.observe(sample(256 << 10, 200, true));
+    EXPECT_EQ(ctrl.maybe_replan(), std::nullopt);
+  }
+  EXPECT_EQ(ctrl.switches(), 0u);
+  // Observation still works frozen (the ablation observes, never acts).
+  EXPECT_GT(ctrl.footprint().payload_ewma(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveChannel: live reconfigure and epoch swaps.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveChannel, PayloadShiftSwapsEpochToRendezvousAndAllCallsSucceed) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  ChannelConfig cfg = ChannelConfig{}.with_window(4);
+  auto ch = make_adaptive_channel(*cl, *sv, echo_handler(*sv), cfg,
+                                  eager_prior(), fast_params());
+  int failures = 0;
+  sim::WaitGroup wg(sim);
+  // Four lanes so the swap happens with calls in flight on the old epoch.
+  for (int t = 0; t < 4; ++t) {
+    wg.add();
+    sim.spawn([](AdaptiveChannel& ch, int t, int& failures,
+                 sim::WaitGroup& wg) -> Task<void> {
+      for (int i = 0; i < 24; ++i) {
+        // Phase shift at i==8: small -> large payloads.
+        const size_t bytes = i < 8 ? 512 : (32u << 10) + 128 * t;
+        Buffer req(bytes, std::byte(0x5a + t));
+        auto r = co_await ch.call(req, uint32_t(bytes));
+        if (!r || *r != req) ++failures;
+      }
+      wg.done();
+    }(*ch, t, failures, wg));
+  }
+  sim.spawn([](sim::WaitGroup& wg, AdaptiveChannel& ch) -> Task<void> {
+    co_await wg.wait();
+    ch.shutdown();
+  }(wg, *ch));
+  sim.run();
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_GE(ch->epoch(), 1u) << "payload shift should have rebuilt";
+  EXPECT_EQ(ch->kind(), ProtocolKind::kWriteRndv);
+  EXPECT_GE(cl->counters().get(obs::Ctr::kEpochSwaps), 1u);
+  EXPECT_GE(cl->counters().get(obs::Ctr::kPlanSwitches), 1u);
+}
+
+TEST(AdaptiveChannel, ResizeWindowBoundsConcurrencyWithoutRebuilding) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  ChannelConfig cfg = ChannelConfig{}.with_window(8);
+  int live = 0, peak = 0;
+  Handler gauge = [&](View req) -> Task<Buffer> {
+    ++live;
+    if (live > peak) peak = live;
+    co_await sv->cpu().compute(2us);
+    --live;
+    co_return Buffer(req.begin(), req.end());
+  };
+  auto ch = proto::make_channel(ProtocolKind::kEagerSendRecv, *cl, *sv,
+                                gauge, cfg);
+  EXPECT_FALSE(ch->resize_window(16)) << "beyond allocation needs a rebuild";
+  EXPECT_TRUE(ch->resize_window(2));
+  sim::WaitGroup wg(sim);
+  for (int t = 0; t < 8; ++t) {
+    wg.add();
+    sim.spawn([](proto::RpcChannel& ch, sim::WaitGroup& wg) -> Task<void> {
+      Buffer req(256, std::byte{0x11});
+      for (int i = 0; i < 4; ++i) (co_await ch.call(req, 256)).value();
+      wg.done();
+    }(*ch, wg));
+  }
+  sim.spawn([](sim::WaitGroup& wg, proto::RpcChannel& ch) -> Task<void> {
+    co_await wg.wait();
+    ch.shutdown();
+  }(wg, *ch));
+  sim.run();
+  EXPECT_LE(peak, 2) << "shrunk window must bound in-flight calls";
+
+  // Re-grow within the allocation: the withheld slots come back.
+  EXPECT_TRUE(ch->resize_window(8));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism oracle: frozen adaptive == static twin, bit for bit.
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::string dump;
+  sim::Time end{};
+};
+
+template <class MakeChannel>
+RunResult run_phased(MakeChannel make) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  auto ch = make(sim, *cl, *sv);
+  sim.spawn([](proto::RpcChannel& ch) -> Task<void> {
+    for (int i = 0; i < 48; ++i) {
+      const size_t bytes = (i / 8) % 2 ? 24000 : 512;  // phase shifts
+      Buffer req(bytes, std::byte{0x3c});
+      auto r = co_await ch.call(req, uint32_t(bytes));
+      r.value();
+    }
+    ch.shutdown();
+  }(*ch));
+  sim.run();
+  return {fabric.obs().counters.dump(), sim.now()};
+}
+
+TEST(AdaptiveChannel, FrozenRunIsBitIdenticalToTheStaticTwin) {
+  ChannelConfig cfg = ChannelConfig{}.with_window(4);
+  Plan prior = eager_prior();
+  RunResult fixed = run_phased(
+      [&](Simulator&, verbs::Node& cl, verbs::Node& sv) {
+        return proto::make_channel(prior.protocol, cl, sv, echo_handler(sv),
+                                   cfg);
+      });
+  RunResult frozen = run_phased(
+      [&](Simulator&, verbs::Node& cl, verbs::Node& sv) {
+        auto ch = make_adaptive_channel(cl, sv, echo_handler(sv), cfg, prior,
+                                        fast_params());
+        ch->freeze();
+        return ch;
+      });
+  RunResult live = run_phased(
+      [&](Simulator&, verbs::Node& cl, verbs::Node& sv) {
+        return make_adaptive_channel(cl, sv, echo_handler(sv), cfg, prior,
+                                     fast_params());
+      });
+  EXPECT_EQ(frozen.dump, fixed.dump);
+  EXPECT_EQ(frozen.end, fixed.end);
+  // Sanity: the UNfrozen controller actually diverges on this workload.
+  EXPECT_NE(live.dump, fixed.dump);
+}
+
+// ---------------------------------------------------------------------------
+// Leased receive path (fig05 satellite).
+// ---------------------------------------------------------------------------
+
+TEST(LeasedReceive, InPlaceDeliverySkipsTheClientCopyAndRepostsTheSlot) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  ChannelConfig cfg = ChannelConfig{}.with_zero_copy();
+  auto ch = proto::make_channel(ProtocolKind::kEagerSendRecv, *cl, *sv,
+                                echo_handler(*sv), cfg);
+  uint64_t copy_after_warmup = 0;
+  sim.spawn([](verbs::Fabric& fabric, proto::RpcChannel& ch,
+               uint64_t& copy_after) -> Task<void> {
+    Buffer req(1024, std::byte{0x77});
+    // Many more calls than the ring has slots: leases must repost.
+    for (int i = 0; i < 64; ++i) {
+      auto r = co_await ch.call_leased(req, 1024);
+      proto::LeasedReply reply = std::move(*r);
+      EXPECT_TRUE(reply.in_place());
+      EXPECT_EQ(reply.bytes().size(), req.size());
+      if (reply.bytes().size() == req.size()) {
+        EXPECT_TRUE(
+            std::equal(req.begin(), req.end(), reply.bytes().begin()));
+      }
+      if (i == 0)
+        copy_after = fabric.node(0)->counters().get(obs::Ctr::kCopyBytes);
+      reply.release();
+    }
+    // No client-side materialization copies after warm-up.
+    EXPECT_EQ(fabric.node(0)->counters().get(obs::Ctr::kCopyBytes),
+              copy_after);
+    EXPECT_EQ(fabric.node(0)->counters().get(obs::Ctr::kRecvLeases), 64u);
+    ch.shutdown();
+  }(fabric, *ch, copy_after_warmup));
+  sim.run();
+}
+
+TEST(LeasedReceive, WindowedLeasesRouteAndFallBackWhenRingIsTight) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* cl = fabric.add_node();
+  verbs::Node* sv = fabric.add_node();
+  // window 4 of a 16-slot ring: leased delivery allowed (4*2 <= 16).
+  ChannelConfig cfg = ChannelConfig{}.with_window(4).with_zero_copy();
+  auto ch = proto::make_channel(ProtocolKind::kEagerSendRecv, *cl, *sv,
+                                echo_handler(*sv), cfg);
+  int failures = 0;
+  sim::WaitGroup wg(sim);
+  for (int t = 0; t < 4; ++t) {
+    wg.add();
+    sim.spawn([](proto::RpcChannel& ch, int t, int& failures,
+                 sim::WaitGroup& wg) -> Task<void> {
+      for (int i = 0; i < 16; ++i) {
+        Buffer req(700 + 64 * t, std::byte(0x42 + t));
+        auto r = co_await ch.call_leased(req, uint32_t(req.size()));
+        if (!r) {
+          ++failures;
+        } else {
+          proto::LeasedReply reply = std::move(*r);
+          View got = reply.bytes();
+          if (got.size() != req.size() ||
+              !std::equal(req.begin(), req.end(), got.begin()))
+            ++failures;
+        }
+      }
+      wg.done();
+    }(*ch, t, failures, wg));
+  }
+  sim.spawn([](sim::WaitGroup& wg, proto::RpcChannel& ch) -> Task<void> {
+    co_await wg.wait();
+    ch.shutdown();
+  }(wg, *ch));
+  sim.run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_GT(cl->counters().get(obs::Ctr::kRecvLeases), 0u);
+
+  // A window as deep as the ring must NOT lease (deadlock guard): the
+  // fallback still answers, owned.
+  ChannelConfig deep = ChannelConfig{}.with_window(16).with_zero_copy();
+  auto ch2 = proto::make_channel(ProtocolKind::kEagerSendRecv, *cl, *sv,
+                                 echo_handler(*sv), deep);
+  sim.spawn([](proto::RpcChannel& ch) -> Task<void> {
+    Buffer req(256, std::byte{0x01});
+    auto r = co_await ch.call_leased(req, 256);
+    EXPECT_FALSE(r->in_place());
+    ch.shutdown();
+  }(*ch2));
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Live in-flight steering (kLeastLoaded satellite).
+// ---------------------------------------------------------------------------
+
+TEST(LeastLoaded, SteersAwayFromBusyShardsAndRecoversAfterDrain) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* sv = fabric.add_node();
+  std::vector<verbs::Node*> clients;
+  for (int i = 0; i < 4; ++i) clients.push_back(fabric.add_node());
+
+  thrift::TServerRdma::Options opts;
+  opts.shards = 2;
+  opts.steering = thrift::Steering::kLeastLoaded;
+  thrift::TServerRdma server(*sv, echo_handler(*sv), opts);
+
+  ChannelConfig cfg;
+  // Two idle accepts fill the shards evenly (secondary key).
+  auto* ep0 = server.accept(*clients[0], ProtocolKind::kEagerSendRecv, cfg);
+  server.accept(*clients[1], ProtocolKind::kEagerSendRecv, cfg);
+  EXPECT_EQ(server.shard(0).endpoints.size(), 1u);
+  EXPECT_EQ(server.shard(1).endpoints.size(), 1u);
+
+  sim.spawn([](Simulator& sim, thrift::TServerRdma& server,
+               thrift::TRdmaEndPoint* ep0, verbs::Node* c2,
+               verbs::Node* c3) -> Task<void> {
+    // A call in flight on shard 0: the next accept must avoid it even
+    // though both shards hold one connection.
+    sim::Event started(sim);
+    sim.spawn([](thrift::TRdmaEndPoint* ep, sim::Event started)
+                  -> Task<void> {
+      started.set();
+      Buffer req(600000, std::byte{0x10});  // long: segmented + handler
+      (co_await ep->channel().call(req, 600000)).value();
+    }(ep0, started));
+    co_await started.wait();
+    co_await sim.sleep(1us);  // let the call enter the channel
+    auto* ep2 = server.accept(*c2, ProtocolKind::kEagerSendRecv, {});
+    EXPECT_EQ(server.shard(1).endpoints.size(), 2u)
+        << "burst steering must rank by live in-flight, not accepts";
+    // Drain, then the next accept goes by connection count again: shard 0
+    // (1 conn) beats shard 1 (2 conns) once its in-flight gauge is back
+    // to zero — a stale post-burst ranking would keep avoiding shard 0.
+    co_await sim.sleep(std::chrono::milliseconds(50));
+    EXPECT_EQ(server.shard(0).inflight, 0u);
+    auto* ep3 = server.accept(*c3, ProtocolKind::kEagerSendRecv, {});
+    EXPECT_EQ(server.shard(0).endpoints.size(), 2u);
+    (void)ep2;
+    (void)ep3;
+    server.stop();
+  }(sim, server, ep0, clients[2], clients[3]));
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache invalidation (thrift plumbing).
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, EpochBumpsOnlyWhenThePlanChanges) {
+  thrift::PlanCache cache;
+  Plan a = eager_prior();
+  EXPECT_EQ(cache.publish("get", a), 1u);
+  EXPECT_EQ(cache.publish("get", a), 1u) << "idempotent republish";
+  EXPECT_TRUE(cache.fresh("get", 1));
+  Plan b = a;
+  b.protocol = ProtocolKind::kWriteRndv;
+  EXPECT_EQ(cache.publish("get", b), 2u);
+  EXPECT_FALSE(cache.fresh("get", 1)) << "stale snapshots must invalidate";
+  auto s = cache.resolve("get");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->plan.protocol, ProtocolKind::kWriteRndv);
+  EXPECT_FALSE(cache.resolve("missing").has_value());
+}
+
+TEST(PlanCache, AdaptiveAcceptPublishesAndRefreshInvalidatesClients) {
+  Simulator sim;
+  verbs::Fabric fabric(sim);
+  verbs::Node* sv = fabric.add_node();
+  verbs::Node* cl = fabric.add_node();
+  thrift::TServerRdma server(*sv, echo_handler(*sv));
+  thrift::PlanCache cache;
+
+  AdaptiveParams params = fast_params();
+  auto* ep = server.accept_adaptive(*cl, eager_prior(),
+                                    ChannelConfig{}.with_window(2), params,
+                                    &cache, "get");
+  ASSERT_TRUE(cache.resolve("get").has_value());
+  const uint64_t epoch0 = cache.resolve("get")->epoch;
+
+  thrift::TRdma transport(*ep);
+  transport.bind_plan(cache, "get");
+  sim.spawn([](Simulator& sim, thrift::TServerRdma& server,
+               thrift::TRdma& transport, thrift::PlanCache& cache,
+               thrift::TRdmaEndPoint* ep, uint64_t epoch0) -> Task<void> {
+    // First flush resolves the published prior.
+    transport.write(Buffer(512, std::byte{0x2a}));
+    co_await transport.flush();
+    EXPECT_EQ(transport.plan_refreshes(), 1u);
+
+    // Drive the controller across the 4 KB switch, then republish.
+    for (int i = 0; i < 12; ++i) {
+      transport.write(Buffer(32 << 10, std::byte{0x2b}));
+      co_await transport.flush();
+    }
+    EXPECT_TRUE(thrift::TServerRdma::refresh_plan(cache, "get", *ep))
+        << "controller re-selection must republish";
+    EXPECT_GT(cache.resolve("get")->epoch, epoch0);
+
+    // The stale client snapshot re-resolves on its next flush.
+    transport.write(Buffer(512, std::byte{0x2c}));
+    co_await transport.flush();
+    EXPECT_EQ(transport.plan_refreshes(), 2u);
+    server.stop();
+  }(sim, server, transport, cache, ep, epoch0));
+  sim.run();
+}
+
+}  // namespace
+}  // namespace hatrpc::hint
