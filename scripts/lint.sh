@@ -35,8 +35,12 @@ rule() {
 # Only src/proto (the channel implementations) and src/verbs (the device
 # model itself) may ring doorbells; upper layers that post raw WQEs bypass
 # hint planning, reliability, and the observability counters.
+# Exception: kv/cluster.cc's ReadViewClient — the one-sided READ path is
+# channel-free BY DESIGN (Storm-style version-validated READ, DESIGN.md
+# §11); it posts exactly one READ WQE and validates the snapshot itself.
 grep -rn --include='*.h' --include='*.cc' -E '\bpost_send(_chain)?\(' src \
   | grep -v '^src/proto/' | grep -v '^src/verbs/' \
+  | grep -v '^src/kv/cluster\.cc' \
   | rule 'raw-post-send-outside-proto' \
          'post_send belongs to src/proto and src/verbs; use a channel.'
 
@@ -66,6 +70,23 @@ grep -rnz --include='*.h' --include='*.cc' \
   | tr '\0' '\n' | grep -v '^$' \
   | rule 'sendwr-brace-owning-member' \
          'braced SendWr temporaries with sg_list/keep_alive double-free under GCC 12 coroutines; use a named WR.'
+
+# --- Rule 5: every observability counter has a producer. --------------------
+# A Ctr enumerator nobody references outside counters.h is a dead counter:
+# dashboards and DESIGN.md read as if the event were instrumented when
+# nothing ever increments it. Add the add()/slot() site or delete the
+# enumerator (and its doc claims) — see the kShardSteals note in DESIGN.md.
+sed -n '/enum class Ctr/,/^};/p' src/obs/counters.h \
+  | grep -oE '^  k[A-Za-z0-9]+' | tr -d ' ' | grep -v '^kCount$' \
+  | while read -r ctr; do
+      if ! grep -rq --include='*.h' --include='*.cc' --include='*.cpp' \
+          "Ctr::$ctr\b" src tests bench examples \
+          --exclude=counters.h; then
+        echo "src/obs/counters.h: Ctr::$ctr has no use outside counters.h"
+      fi
+    done \
+  | rule 'dead-counter' \
+         'every Ctr enumerator needs a producer or reader outside counters.h.'
 
 # --- clang-tidy (optional: degrades to a notice when absent). ---------------
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -176,6 +176,9 @@ sim::Task<proto::Buffer> AdaptiveChannel::do_call(proto::View req,
                                                   uint32_t resp_size_hint) {
   auto ep = cur_;  // pin: a swap mid-call must not re-route us
   ++ep->inflight;
+  // Epoch-lifetime check: with inflight already raised, the reaper cannot
+  // have retired this epoch — a report here means the drain gate broke.
+  sim_.rc_read(ep.get(), 0, "AdaptiveChannel.epoch", RC_HERE);
   const uint64_t stalls0 = epoch_stalls(*ep);
   const uint32_t live = ctrl_.call_begin();
   proto::CallResult r = co_await ep->ch->call(req, resp_size_hint);
@@ -192,6 +195,7 @@ sim::Task<proto::LeasedReply> AdaptiveChannel::do_call_leased(
     proto::View req, uint32_t resp_size_hint) {
   auto ep = cur_;
   ++ep->inflight;
+  sim_.rc_read(ep.get(), 0, "AdaptiveChannel.epoch", RC_HERE);
   const uint64_t stalls0 = epoch_stalls(*ep);
   const uint32_t live = ctrl_.call_begin();
   proto::LeasedResult r = co_await ep->ch->call_leased(req, resp_size_hint);
@@ -252,12 +256,23 @@ void AdaptiveChannel::epoch_swap(const Plan& next) {
   sim_.spawn(reap(std::move(old)));
 }
 
+AdaptiveChannel::~AdaptiveChannel() {
+  // Epoch objects may share addresses with future allocations: drop their
+  // racecheck histories so a recycled address can't inherit a provenance.
+  if (cur_) sim_.rc_forget(cur_.get(), 0);
+  for (const auto& ep : retired_) sim_.rc_forget(ep.get(), 0);
+}
+
 sim::Task<void> AdaptiveChannel::reap(std::shared_ptr<Epoch> old) {
   // In-flight calls (and leases) drain on the old plan; only then does the
   // old epoch's serve loop stop. The object itself stays alive in
   // retired_ so late lease releases still find their rings.
   co_await old->drained.wait();
   old->ch->shutdown();
+  // From here on any call pinned to this epoch is a lifetime violation
+  // (the drained event is the release/acquire edge ordering this retire
+  // after every legal access).
+  sim_.rc_retire(old.get(), 0, "AdaptiveChannel.epoch", RC_HERE);
 }
 
 std::unique_ptr<AdaptiveChannel> make_adaptive_channel(

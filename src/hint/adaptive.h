@@ -131,6 +131,7 @@ class AdaptiveChannel : public proto::RpcChannel {
                   proto::Handler handler, proto::ChannelConfig cfg,
                   Plan prior, const AdaptiveParams& params,
                   obs::FunctionFootprint* fp = nullptr);
+  ~AdaptiveChannel() override;
 
   void shutdown() override;
   void abort() override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/rc_annotate.h"
+
 namespace hatrpc::kv {
 
 using sim::Task;
@@ -109,6 +111,12 @@ Task<void> ReadView::publish(std::string_view key, std::string_view value,
   // torn window a remote READ can race is an actual span of virtual time.
   static constexpr auto kPhase = std::chrono::nanoseconds(120);
   std::byte* slot = mr_->data() + size_t(bucket_of(key)) * kSlotBytes;
+  // The slot is racy BY DESIGN against remote READs (readers validate the
+  // head/tail version pair), so both sides mark it with the relaxed update
+  // class: update/update pairs never conflict, but a strict access sneaking
+  // into the region would.
+  sim::Simulator& rsim = node_.fabric().simulator();
+  rsim.rc_update(slot, 0, "ReadView.slot", RC_HERE);
   auto put_u64 = [](std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); };
   auto put_u32 = [](std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); };
   if (key.size() > kKeyMax || value.size() > kValMax) {
@@ -126,13 +134,15 @@ Task<void> ReadView::publish(std::string_view key, std::string_view value,
   std::memcpy(slot + 16 + kKeyMax, value.data(), value.size());
   co_await node_.cpu().compute(kPhase);
   put_u64(slot + kSlotBytes - 8, version);  // tail last: slot whole again
+  rsim.rc_update(slot, 0, "ReadView.slot", RC_HERE);
 }
 
 ReadViewClient::ReadViewClient(verbs::Node& client, verbs::Node& server,
                                verbs::RemoteAddr base)
     : cl_(verbs::make_endpoint(client, sim::PollMode::kBusy)),
       sv_(verbs::make_endpoint(server, sim::PollMode::kBusy)),
-      scratch_(client.pd().alloc_mr(ReadView::kSlotBytes)), base_(base) {
+      scratch_(client.pd().alloc_mr(ReadView::kSlotBytes)), base_(base),
+      rc_sim_(&client.fabric().simulator()) {
   // One-sided: the server endpoint only anchors the QP; nothing ever
   // polls its CQs.
   verbs::connect(cl_, sv_);
@@ -148,6 +158,13 @@ Task<std::optional<ViewRecord>> ReadViewClient::read(std::string_view key) {
                  base_.rkey}});
   verbs::Wc wc = co_await cl_.send_wc();
   if (!wc.ok()) proto::throw_wc("view read", wc.status);
+  // Same key the publisher uses: the remote address the READ targeted IS
+  // the server slot's address in the sim. Relaxed class — a snapshot
+  // racing a publish is the validated-torn-read path, not a bug.
+  rc_sim_->rc_update(
+      reinterpret_cast<const void*>(base_.addr +
+                                    uint64_t(bucket) * ReadView::kSlotBytes),
+      0, "ReadView.slot", RC_HERE);
   const std::byte* p = scratch_->data();
   auto u64 = [](const std::byte* q) {
     uint64_t v;

@@ -166,6 +166,7 @@ class ReadViewClient {
   verbs::Endpoint sv_;
   verbs::MemoryRegion* scratch_;
   verbs::RemoteAddr base_;
+  sim::Simulator* rc_sim_;
   uint64_t next_wr_ = 1;
 };
 

@@ -58,6 +58,7 @@ enum class Ctr : uint8_t {
   kPlanSwitches,       // adaptive controller republished a function's plan
   kEpochSwaps,         // adaptive channels rebuilt for a new plan epoch
   kRecvLeases,         // responses delivered in place from the recv ring
+  kRaceReports,        // race/lifetime diagnostics recorded by RaceCheck
   kCount,
 };
 
@@ -105,6 +106,7 @@ constexpr const char* to_string(Ctr c) {
     case Ctr::kPlanSwitches: return "plan_switches";
     case Ctr::kEpochSwaps: return "epoch_swaps";
     case Ctr::kRecvLeases: return "recv_leases";
+    case Ctr::kRaceReports: return "race_reports";
     case Ctr::kCount: break;
   }
   return "unknown";
@@ -116,6 +118,8 @@ struct CounterSet {
 
   void add(Ctr c, uint64_t n = 1) { v[static_cast<size_t>(c)] += n; }
   uint64_t get(Ctr c) const { return v[static_cast<size_t>(c)]; }
+  /// Stable slot reference for external mirrors (RaceCheck::bind_mirror).
+  uint64_t& slot(Ctr c) { return v[static_cast<size_t>(c)]; }
   uint64_t operator[](Ctr c) const { return get(c); }
 
   CounterSet delta_since(const CounterSet& base) const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "sim/rc_annotate.h"
 #include "verbs/verbs.h"
 
 namespace hatrpc::proto {
@@ -33,11 +34,21 @@ class BufferPool {
         blocks_(blocks == 0 ? 1 : blocks),
         storage_(std::make_unique_for_overwrite<std::byte[]>(
             static_cast<size_t>(block_bytes) * (blocks == 0 ? 1 : blocks))),
-        used_(blocks_, false) {
+        used_(blocks_, false), leased_(blocks_, false),
+        rc_sim_(&node.fabric().simulator()) {
     slab_mr_ = node.pd().mr_cache().get(
         storage_.get(), static_cast<size_t>(block_) * blocks_, chan_);
     free_.reserve(blocks_);
     for (uint32_t i = blocks_; i-- > 0;) free_.push_back(i);
+  }
+
+  // Racecheck histories are keyed on the pool's address; the moved-from
+  // shell's destructor forgets them, so a recycled address starts clean.
+  // (Runtime never actually moves a live pool — containers emplace in
+  // place — but vector/optional require move-constructibility.)
+  BufferPool(BufferPool&&) = default;
+  ~BufferPool() {
+    for (uint32_t i = 0; i < blocks_; ++i) rc_sim_->rc_forget(this, i);
   }
 
   class Lease {
@@ -73,6 +84,14 @@ class BufferPool {
       heap_.reset();
     }
 
+    /// Marks a mutation of the leased block for the race checker (the
+    /// serialization paths that fill leases call this; tests use it to
+    /// inject deliberate conflicts). No-op for heap-fallback leases.
+    void annotate_write(const char* site) {
+      if (pool_)
+        pool_->rc_sim_->rc_write(pool_, idx_, "BufferPool.slot", site);
+    }
+
    private:
     friend class BufferPool;
     BufferPool* pool_ = nullptr;
@@ -99,6 +118,12 @@ class BufferPool {
       if (chan_) chan_->add(obs::Ctr::kPoolBufferReuses);
     }
     used_[idx] = true;
+    leased_[idx] = true;
+    // Lease handoff: the previous holder's release orders before this
+    // acquire; the slot then begins a fresh lifetime owned by the caller.
+    rc_sim_->rc_sync_acquire(this, idx);
+    rc_sim_->rc_revive(this, idx);
+    rc_sim_->rc_write(this, idx, "BufferPool.slot", RC_HERE);
     l.pool_ = this;
     l.idx_ = idx;
     l.data_ = storage_.get() + static_cast<size_t>(idx) * block_;
@@ -113,7 +138,21 @@ class BufferPool {
   verbs::MemoryRegion* slab_mr() { return slab_mr_; }
 
  private:
-  void release_block(uint32_t idx) { free_.push_back(idx); }
+  void release_block(uint32_t idx) {
+    if (!leased_[idx]) {
+      // Double release: a no-op for the pool (the slot is already free —
+      // pushing again would hand it to two owners), diagnosed as a
+      // lifetime violation when the checker is on.
+      rc_sim_->rc_lifetime(this, idx, "BufferPool.slot", RC_HERE,
+                           "release of a slot that is not leased");
+      return;
+    }
+    leased_[idx] = false;
+    rc_sim_->rc_write(this, idx, "BufferPool.slot", RC_HERE);
+    rc_sim_->rc_retire(this, idx, "BufferPool.slot", RC_HERE);
+    rc_sim_->rc_sync_release(this, idx);
+    free_.push_back(idx);
+  }
 
   verbs::Node& node_;
   obs::CounterSet* chan_;
@@ -123,6 +162,8 @@ class BufferPool {
   verbs::MemoryRegion* slab_mr_ = nullptr;
   std::vector<uint32_t> free_;
   std::vector<bool> used_;
+  std::vector<bool> leased_;  // guards against double release
+  sim::Simulator* rc_sim_;
   uint64_t reuses_ = 0;
   uint64_t exhausted_ = 0;
 };

@@ -26,6 +26,7 @@
 
 #include "proto/error.h"
 #include "proto/result.h"
+#include "sim/rc_annotate.h"
 #include "sim/task.h"
 #include "verbs/verbs.h"
 
@@ -334,6 +335,10 @@ inline sim::Task<CallResult> RpcChannel::call(View req,
                                               uint32_t resp_size_hint) {
   ++stats_.calls;
   InflightGuard gauge(inflight_gauge_);
+  // Relaxed access: the gauge is read by kLeastLoaded steering with no
+  // ordering on purpose (a stale load balance decision is still correct).
+  if (inflight_gauge_ && sim_clock_)
+    sim_clock_->rc_update(inflight_gauge_, 0, "shard.inflight_gauge", RC_HERE);
   const bool trace = obs_ && obs_->tracer.enabled();
   const sim::Time t0 = trace ? sim_clock_->now() : sim::Time{};
   try {
@@ -359,6 +364,8 @@ inline sim::Task<LeasedResult> RpcChannel::call_leased(
     View req, uint32_t resp_size_hint) {
   ++stats_.calls;
   InflightGuard gauge(inflight_gauge_);
+  if (inflight_gauge_ && sim_clock_)
+    sim_clock_->rc_update(inflight_gauge_, 0, "shard.inflight_gauge", RC_HERE);
   const bool trace = obs_ && obs_->tracer.enabled();
   const sim::Time t0 = trace ? sim_clock_->now() : sim::Time{};
   try {

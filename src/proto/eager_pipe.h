@@ -14,6 +14,7 @@
 
 #include "proto/channel.h"
 #include "proto/wire.h"
+#include "sim/rc_annotate.h"
 #include "sim/sync.h"
 
 namespace hatrpc::proto {
@@ -27,7 +28,9 @@ class EagerPipe {
             const ChannelConfig& cfg, ChannelStats* stats,
             obs::CounterSet* chan)
       : src_(src), dst_(dst), cfg_(cfg), stats_(stats), chan_(chan),
-        cost_(src.node->fabric().cost()) {
+        cost_(src.node->fabric().cost()),
+        rc_sim_(&src.node->fabric().simulator()),
+        zc_leased_(cfg.eager_slots, false) {
     send_ring_ = src_.node->pd().alloc_mr(ring_bytes());
     recv_ring_ = dst_.node->pd().alloc_mr(ring_bytes());
     // Zero-copy sends still need a registered scratch ring for the tiny
@@ -36,6 +39,11 @@ class EagerPipe {
       zc_hdr_ = src_.node->pd().alloc_mr(
           static_cast<size_t>(kZcHdrBytes) * cfg_.eager_slots);
     for (uint32_t i = 0; i < cfg_.eager_slots; ++i) post_recv_slot(i);
+  }
+
+  EagerPipe(EagerPipe&&) = default;
+  ~EagerPipe() {
+    for (uint32_t i = 0; i < cfg_.eager_slots; ++i) rc_sim_->rc_forget(this, i);
   }
 
   size_t ring_bytes() const {
@@ -152,6 +160,11 @@ class EagerPipe {
       // Single segment: message matching is still bookkeeping work, but the
       // payload is consumed in place — no assembly copy.
       co_await dst_.node->cpu().compute(cost_.eager_match_cpu);
+      zc_leased_[idx] = true;
+      // The slot begins a leased lifetime owned by the consumer; the view
+      // read below conflicts with anything that reposts the slot early.
+      rc_sim_->rc_revive(this, idx);
+      rc_sim_->rc_read(this, idx, "EagerPipe.recv_slot", RC_HERE);
       ZcMsg m;
       m.view = View{s + 4, total};
       m.slot = idx;
@@ -166,7 +179,20 @@ class EagerPipe {
   }
 
   /// Reposts an in-place message's ring slot once the consumer is done.
-  void release(uint32_t slot) { post_recv_slot(slot); }
+  /// Releasing a slot that is not leased (double release, or release after
+  /// the slot was already reposted) is a no-op — reposting twice would put
+  /// the slot in the recv queue twice and let two future messages land in
+  /// the same bytes — and a RaceCheck lifetime diagnostic.
+  void release(uint32_t slot) {
+    if (slot >= zc_leased_.size() || !zc_leased_[slot]) {
+      rc_sim_->rc_lifetime(this, slot, "EagerPipe.recv_slot", RC_HERE,
+                           "release of a recv slot that is not leased");
+      return;
+    }
+    zc_leased_[slot] = false;
+    rc_sim_->rc_retire(this, slot, "EagerPipe.recv_slot", RC_HERE);
+    post_recv_slot(slot);
+  }
 
   /// Status of the completion that made send()/recv() bail out.
   verbs::WcStatus last_status() const { return last_status_; }
@@ -352,6 +378,8 @@ class EagerPipe {
   verbs::MemoryRegion* send_ring_;
   verbs::MemoryRegion* recv_ring_;
   verbs::MemoryRegion* zc_hdr_ = nullptr;
+  sim::Simulator* rc_sim_;
+  std::vector<bool> zc_leased_;  // in-place recv slots awaiting release()
   uint32_t outstanding_ = 0;
   uint32_t cursor_ = 0;  // staging slot cursor, persistent across messages
   verbs::WcStatus last_status_ = verbs::WcStatus::kSuccess;

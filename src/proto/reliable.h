@@ -212,8 +212,13 @@ class ReliableChannel : public RpcChannel {
     Handler user = user_handler_;
     obs::CounterSet* chan = channel_counters();
     obs::CounterSet* node = &sv_.counters();
-    return [dedupe, user, chan, node](View req) -> sim::Task<Buffer> {
+    sim::Simulator* rsim = &sim_;
+    return [dedupe, user, chan, node, rsim](View req) -> sim::Task<Buffer> {
       RpcHeader h = get_rpc_header(req.data());
+      // Relaxed per-seq access: concurrent executions of a retried seq are
+      // racy by design — whichever finishes first populates the cache and
+      // the loser's insert is a harmless overwrite of an equal response.
+      rsim->rc_update(dedupe.get(), h.seq, "ReliableChannel.dedupe", RC_HERE);
       if (auto it = dedupe->cache.find(h.seq); it != dedupe->cache.end()) {
         ++dedupe->replays;
         chan->add(obs::Ctr::kReplays);

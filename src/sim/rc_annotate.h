@@ -1,0 +1,65 @@
+// Lightweight annotation layer over RaceCheck: wrap a hazard-site value in
+// rc::shared<T> (or use the keyed RC_*_AT macros directly) and every access
+// feeds the happens-before engine with a static "file:line" provenance.
+// All of it compiles to a single pointer test when the checker is off.
+#pragma once
+
+#include "sim/simulator.h"
+
+#define RC_STR_INNER(x) #x
+#define RC_STR(x) RC_STR_INNER(x)
+#define RC_HERE __FILE__ ":" RC_STR(__LINE__)
+
+// Keyed forms for state that is not wrapped in rc::shared (per-slot arrays,
+// per-key caches): `obj` anchors the location, `sub` selects the element.
+#define RC_READ_AT(sim, obj, sub, name) \
+  (sim).rc_read((obj), (sub), (name), RC_HERE)
+#define RC_WRITE_AT(sim, obj, sub, name) \
+  (sim).rc_write((obj), (sub), (name), RC_HERE)
+#define RC_UPDATE_AT(sim, obj, sub, name) \
+  (sim).rc_update((obj), (sub), (name), RC_HERE)
+
+// Whole-object forms for rc::shared<T>.
+#define RC_READ(sh) (sh).read(RC_HERE)
+#define RC_WRITE(sh) (sh).write(RC_HERE)
+#define RC_UPDATE(sh) (sh).update(RC_HERE)
+
+namespace hatrpc::sim::rc {
+
+/// A value whose accesses are checked for happens-before ordering. The
+/// wrapper itself is the location key, so moving one starts a fresh
+/// (unordered) history — don't move them across an access you care about.
+template <class T>
+class shared {
+ public:
+  shared(Simulator& sim, const char* name, T init = T{})
+      : sim_(&sim), name_(name), v_(std::move(init)) {}
+  shared(const shared&) = delete;
+  shared& operator=(const shared&) = delete;
+  ~shared() { sim_->rc_forget(this, 0); }
+
+  const T& read(const char* site) const {
+    sim_->rc_read(this, 0, name_, site);
+    return v_;
+  }
+  T& write(const char* site) {
+    sim_->rc_write(this, 0, name_, site);
+    return v_;
+  }
+  /// Relaxed access for racy-by-design state (gauges, caches): updates
+  /// never conflict with each other, only with strict reads/writes.
+  T& update(const char* site) {
+    sim_->rc_update(this, 0, name_, site);
+    return v_;
+  }
+
+  /// Unchecked peek for code outside the contract (dump/debug paths).
+  const T& unsafe() const { return v_; }
+
+ private:
+  Simulator* sim_;
+  const char* name_;
+  T v_;
+};
+
+}  // namespace hatrpc::sim::rc

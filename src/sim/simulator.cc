@@ -311,6 +311,21 @@ void Simulator::drain(bool bounded, Time deadline) {
       break;
     }
     now_ = batch_time_;
+    // Seeded tiebreak perturbation: any permutation of a same-timestamp
+    // batch is a legal schedule (equal-time events have no imposed order
+    // beyond the FIFO convention). Gated on the seed, not the stream
+    // state, so a stream value of 0 cannot silently disable it.
+    if (tiebreak_seed_ != 0 && batch_.size() > 1) {
+      auto draw = [this] {
+        tiebreak_state_ += 0x9e3779b97f4a7c15ull;  // splitmix64
+        uint64_t z = tiebreak_state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+      };
+      for (size_t i = batch_.size() - 1; i > 0; --i)
+        std::swap(batch_[i], batch_[draw() % (i + 1)]);
+    }
     // An event in this batch may cancel a later timer at the same
     // timestamp (e.g. a notify racing its timeout): dispatch re-checks
     // liveness per node. Resumptions may grow nodes_, so no references
@@ -322,14 +337,24 @@ void Simulator::drain(bool bounded, Time deadline) {
         continue;
       }
       std::coroutine_handle<> h = nodes_[idx].h;
+      uint32_t rc_clock = nodes_[idx].rc_clock;
+      nodes_[idx].rc_clock = RaceCheck::kNoClock;  // keep free_node from dropping it
       free_node(idx);
       --pending_;
       ++processed_;
+      if (rc_clock != RaceCheck::kNoClock) {
+        if (rc_) {
+          rc_->begin_segment(rc_clock);
+        } else {
+          rc_owner_->drop(rc_clock);
+        }
+      }
       h.resume();
     }
     batch_.clear();
   }
   if (bounded && now_ < deadline && pending_ == 0) now_ = deadline;
+  if (rc_) rc_->run_barrier();
   if (first_error_) {
     auto e = std::exchange(first_error_, nullptr);
     std::rethrow_exception(e);

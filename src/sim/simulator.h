@@ -32,12 +32,17 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <ostream>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/arena.h"
+#include "sim/racecheck.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -105,11 +110,91 @@ class Simulator {
   Simulator() {
     std::fill_n(slot_head_, kLevels * kSlots, kNil);
     std::fill_n(slot_tail_, kLevels * kSlots, kNil);
+    rc_owner_ = std::make_unique<RaceCheck>(*this);  // sets rc_ per RACECHECK
+    if (const char* s = std::getenv("RACECHECK_TIEBREAK"))
+      set_tiebreak_seed(std::strtoull(s, nullptr, 10));
   }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
+
+  /// The per-simulator race/lifetime checker (see racecheck.h). Always
+  /// constructed; whether its hooks run is governed by its mode.
+  RaceCheck& racecheck() { return *rc_owner_; }
+
+  /// Seeds the same-timestamp dispatch shuffle. Seed 0 (the default)
+  /// keeps the classic FIFO sequence order; any other seed applies a
+  /// deterministic Fisher-Yates permutation to every dispatch batch of
+  /// size > 1. The RACECHECK_TIEBREAK environment variable provides the
+  /// initial value; an explicit call overrides it.
+  void set_tiebreak_seed(uint64_t s) {
+    tiebreak_seed_ = s;
+    tiebreak_state_ = s;
+  }
+  uint64_t tiebreak_seed() const { return tiebreak_seed_; }
+
+  // ---- RaceCheck forwarding (no-ops when the checker is off; the token
+  // ---- forms stay balanced across mode toggles by always dropping) ------
+  uint32_t rc_capture() {
+    return rc_ ? rc_->capture() : RaceCheck::kNoClock;
+  }
+  void rc_drop(uint32_t tok) {
+    if (tok != RaceCheck::kNoClock) rc_owner_->drop(tok);
+  }
+  /// Joins a captured token into the CURRENT segment (CQE consumption).
+  void rc_consume(uint32_t tok) {
+    if (tok == RaceCheck::kNoClock) return;
+    if (rc_) {
+      rc_->acquire_token(tok);
+    } else {
+      rc_owner_->drop(tok);
+    }
+  }
+  /// Rides a captured token on a pending timer's own snapshot (the
+  /// notify->wake path: the waiter's pre-suspend clock joins the wake).
+  void rc_join(uint32_t tok, const TimerHandle& t) {
+    if (tok == RaceCheck::kNoClock) return;
+    if (rc_ && t.sim_ == this && nodes_[t.node_].gen == t.gen_ &&
+        nodes_[t.node_].rc_clock != RaceCheck::kNoClock) {
+      rc_->merge_into(tok, nodes_[t.node_].rc_clock);
+    } else {
+      rc_owner_->drop(tok);
+    }
+  }
+  void rc_read(const void* o, uint64_t sub, const char* name,
+               const char* site) {
+    if (rc_) rc_->access(o, sub, RaceCheck::Access::kRead, name, site);
+  }
+  void rc_write(const void* o, uint64_t sub, const char* name,
+                const char* site) {
+    if (rc_) rc_->access(o, sub, RaceCheck::Access::kWrite, name, site);
+  }
+  void rc_update(const void* o, uint64_t sub, const char* name,
+                 const char* site) {
+    if (rc_) rc_->access(o, sub, RaceCheck::Access::kUpdate, name, site);
+  }
+  void rc_sync_release(const void* o, uint64_t sub = 0) {
+    if (rc_) rc_->sync_release(o, sub);
+  }
+  void rc_sync_acquire(const void* o, uint64_t sub = 0) {
+    if (rc_) rc_->sync_acquire(o, sub);
+  }
+  void rc_retire(const void* o, uint64_t sub, const char* name,
+                 const char* site) {
+    if (rc_) rc_->retire(o, sub, name, site);
+  }
+  void rc_revive(const void* o, uint64_t sub) {
+    if (rc_) rc_->revive(o, sub);
+  }
+  void rc_forget(const void* o, uint64_t sub) {
+    if (rc_) rc_->forget(o, sub);
+  }
+  void rc_lifetime(const void* o, uint64_t sub, const char* name,
+                   const char* site, std::string detail) {
+    if (rc_) rc_->report_lifetime(o, sub, name, site, std::move(detail));
+  }
+  bool rc_on() const { return rc_ != nullptr; }
 
   /// Queues `h` to resume at absolute virtual time `t` (>= now). The
   /// returned handle can cancel or reschedule the resumption; it may be
@@ -121,6 +206,7 @@ class Simulator {
     n.t = t;
     n.seq = seq_++;
     n.h = h;
+    n.rc_clock = rc_ ? rc_->capture() : RaceCheck::kNoClock;
     insert(idx);
     if (++pending_ > peak_depth_) peak_depth_ = pending_;
     return TimerHandle(this, idx, n.gen);
@@ -181,6 +267,7 @@ class Simulator {
 
  private:
   friend class TimerHandle;
+  friend class RaceCheck;
 
   // --- timing wheel geometry -------------------------------------------
   static constexpr unsigned kLevelBits = 6;             // 64 slots per level
@@ -199,6 +286,7 @@ class Simulator {
     std::coroutine_handle<> h{};
     uint32_t prev = kNil;  // intrusive slot list (wheel residents only)
     uint32_t next = kNil;  // doubles as the freelist link
+    uint32_t rc_clock = RaceCheck::kNoClock;  // scheduler's VC snapshot
     uint8_t level = 0;     // wheel position, valid while state == kPending
     uint8_t slot = 0;
     enum State : uint8_t {
@@ -255,6 +343,10 @@ class Simulator {
     n.state = TimerNode::kFree;
     n.prev = kNil;
     n.next = free_nodes_;
+    if (n.rc_clock != RaceCheck::kNoClock) {
+      rc_owner_->drop(n.rc_clock);
+      n.rc_clock = RaceCheck::kNoClock;
+    }
     free_nodes_ = idx;
   }
 
@@ -306,6 +398,14 @@ class Simulator {
   size_t peak_depth_ = 0;
   size_t live_ = 0;
   std::exception_ptr first_error_{};
+
+  // RaceCheck: rc_owner_ always exists; rc_ is non-null exactly while the
+  // checker is enabled (maintained by RaceCheck::set_mode), so the hot
+  // path pays one pointer test when off.
+  std::unique_ptr<RaceCheck> rc_owner_;
+  RaceCheck* rc_ = nullptr;
+  uint64_t tiebreak_seed_ = 0;   // 0 => classic FIFO dispatch order
+  uint64_t tiebreak_state_ = 0;  // splitmix64 stream, advanced per draw
 };
 
 inline bool TimerHandle::cancel() {

@@ -75,10 +75,14 @@ class WaitQueue {
   bool notify_one() {
     Node* n = head_;
     if (!n) return false;
+    n->notified = true;  // before unlink, so unlink keeps the rc token
     unlink(n);
-    n->notified = true;
     n->timer.cancel();  // a timed waiter drops its deadline wakeup
-    sim_.schedule_at(sim_.now(), n->h);
+    TimerHandle t = sim_.schedule_at(sim_.now(), n->h);
+    // The woken segment continues the waiter: its pre-suspend clock rides
+    // the wake timer alongside the notifier's snapshot.
+    sim_.rc_join(n->rc_token, t);
+    n->rc_token = RaceCheck::kNoClock;
     return true;
   }
 
@@ -99,6 +103,7 @@ class WaitQueue {
     Node* next = nullptr;
     WaitQueue* q = nullptr;  // non-null while linked
     TimerHandle timer{};
+    uint32_t rc_token = RaceCheck::kNoClock;  // pre-suspend clock snapshot
     bool notified = false;
 
     Node() = default;
@@ -121,6 +126,7 @@ class WaitQueue {
     }
     tail_ = n;
     ++size_;
+    n->rc_token = sim_.rc_capture();
   }
 
   void unlink(Node* n) {
@@ -137,6 +143,10 @@ class WaitQueue {
     n->prev = n->next = nullptr;
     n->q = nullptr;
     --size_;
+    if (!n->notified) {  // timed out / destroyed: nobody consumes the token
+      sim_.rc_drop(n->rc_token);
+      n->rc_token = RaceCheck::kNoClock;
+    }
   }
 
   Simulator& sim_;
@@ -155,6 +165,8 @@ class Event {
   Task<void> wait() {
     auto core = core_;
     while (!core->set) co_await core->q.wait();
+    // Covers the no-suspend fast path (already set => no wake edge).
+    core->q.simulator().rc_sync_acquire(core.get());
   }
 
   /// Waits until set() or virtual time `deadline`, whichever comes first;
@@ -167,10 +179,12 @@ class Event {
     while (!core->set && sim.now() < deadline) {
       co_await core->q.wait_until(deadline);
     }
+    if (core->set) sim.rc_sync_acquire(core.get());
     co_return core->set;
   }
 
   void set() {
+    core_->q.simulator().rc_sync_release(core_.get());
     core_->set = true;
     core_->q.notify_all();
   }
@@ -195,15 +209,18 @@ class Semaphore {
   Task<void> acquire() {
     while (permits_ == 0) co_await q_.wait();
     --permits_;
+    q_.simulator().rc_sync_acquire(this);
   }
 
   bool try_acquire() {
     if (permits_ == 0) return false;
     --permits_;
+    q_.simulator().rc_sync_acquire(this);
     return true;
   }
 
   void release(size_t n = 1) {
+    q_.simulator().rc_sync_release(this);
     permits_ += n;
     for (size_t i = 0; i < n; ++i) {
       if (!q_.notify_one()) break;  // no waiters left — stop early
@@ -225,6 +242,7 @@ class Channel {
   explicit Channel(Simulator& sim) : q_(sim) {}
 
   void push(T v) {
+    q_.simulator().rc_sync_release(this);
     items_.push_back(std::move(v));
     q_.notify_one();
   }
@@ -236,6 +254,7 @@ class Channel {
     }
     T v = std::move(items_.front());
     items_.pop_front();
+    q_.simulator().rc_sync_acquire(this);
     co_return v;
   }
 
@@ -243,6 +262,7 @@ class Channel {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
+    q_.simulator().rc_sync_acquire(this);
     return v;
   }
 
@@ -268,11 +288,13 @@ class WaitGroup {
   void add(size_t n = 1) { count_ += n; }
 
   void done() {
+    q_.simulator().rc_sync_release(this);
     if (--count_ == 0) q_.notify_all();
   }
 
   Task<void> wait() {
     while (count_ != 0) co_await q_.wait();
+    q_.simulator().rc_sync_acquire(this);
   }
 
   size_t count() const { return count_; }
@@ -290,9 +312,11 @@ class Mutex {
   Task<void> lock() {
     while (locked_) co_await q_.wait();
     locked_ = true;
+    q_.simulator().rc_sync_acquire(this);
   }
 
   void unlock() {
+    q_.simulator().rc_sync_release(this);
     locked_ = false;
     q_.notify_one();
   }

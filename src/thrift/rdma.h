@@ -32,9 +32,15 @@ class PlanCache {
     uint64_t epoch = 0;
   };
 
+  /// Opts the cache into race checking (per-function kUpdate accesses:
+  /// publish-vs-resolve ordering is racy BY DESIGN — that is what the
+  /// epoch validation in fresh() exists for).
+  void bind_racecheck(sim::Simulator* sim) { rc_sim_ = sim; }
+
   /// Publishes `plan` for `fn`. Idempotent: the epoch bumps only when the
   /// plan actually differs from the cached one. Returns the entry's epoch.
   uint64_t publish(const std::string& fn, const hint::Plan& plan) {
+    rc_touch(fn);
     Entry& e = map_[fn];
     if (e.epoch == 0 || !(e.plan == plan)) {
       e.plan = plan;
@@ -45,6 +51,7 @@ class PlanCache {
 
   /// Current snapshot for `fn`; nullopt when never published.
   std::optional<Snapshot> resolve(const std::string& fn) const {
+    rc_touch(fn);
     auto it = map_.find(fn);
     if (it == map_.end()) return std::nullopt;
     return Snapshot{it->second.plan, it->second.epoch};
@@ -52,6 +59,7 @@ class PlanCache {
 
   /// Epoch validation: is a snapshot stamped `epoch` still current?
   bool fresh(const std::string& fn, uint64_t epoch) const {
+    rc_touch(fn);
     auto it = map_.find(fn);
     return it != map_.end() && it->second.epoch == epoch;
   }
@@ -63,7 +71,15 @@ class PlanCache {
     hint::Plan plan;
     uint64_t epoch = 0;
   };
+
+  void rc_touch(const std::string& fn) const {
+    if (rc_sim_)
+      rc_sim_->rc_update(this, std::hash<std::string>{}(fn),
+                         "PlanCache.entry", RC_HERE);
+  }
+
   std::map<std::string, Entry> map_;  // ordered: deterministic iteration
+  sim::Simulator* rc_sim_ = nullptr;
 };
 
 /// Interface point between the Thrift layer and the RDMA engine: one
@@ -477,6 +493,7 @@ class TServerRdma {
     }
     auto ch = hint::make_adaptive_channel(client, node_, *h, cfg, prior,
                                           params, fp);
+    if (cache) cache->bind_racecheck(&node_.fabric().simulator());
     if (cache && !fn.empty()) cache->publish(fn, ch->plan());
     home->push_back(
         std::make_unique<TRdmaEndPoint>(std::move(ch), client, cfg));
@@ -591,7 +608,13 @@ class TServerRdma {
         // Primary key: the live in-flight gauge (what the shard is doing
         // NOW — a shard that absorbed a burst ranks idle again once it
         // drains). Secondary: connection count, so idle shards still fill
-        // evenly. Strict < keeps ties on the lowest shard id.
+        // evenly. Strict < keeps ties on the lowest shard id. The gauge
+        // reads are deliberately unordered against the calls mutating
+        // them (stale steering is still correct) — relaxed rc accesses.
+        sim::Simulator& rsim = node_.fabric().simulator();
+        for (uint32_t i = 0; i < n; ++i)
+          rsim.rc_update(&shards_[i].inflight, 0, "shard.inflight_gauge",
+                         RC_HERE);
         uint32_t best = 0;
         for (uint32_t i = 1; i < n; ++i) {
           const Shard& a = shards_[i];

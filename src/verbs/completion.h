@@ -109,6 +109,7 @@ class CompletionQueue {
     if (cqes_.empty()) return std::nullopt;
     Wc wc = cqes_.front();
     cqes_.pop_front();
+    rc_pop();
     ++consumed_;
     count_polled();
     return wc;
@@ -134,6 +135,7 @@ class CompletionQueue {
     for (size_t i = 0; i < take; ++i) {
       out.push_back(cqes_.front());
       cqes_.pop_front();
+      rc_pop();
       ++consumed_;
       count_polled();
     }
@@ -171,6 +173,17 @@ class CompletionQueue {
     if (shard_) shard_->add(obs::Ctr::kShardPolls);
   }
 
+  // One racecheck token per delivered CQE, kept aligned with cqes_ (a
+  // kNoClock placeholder is pushed even while the checker is off, so a
+  // mid-run mode toggle cannot desynchronize the two queues). Consuming a
+  // CQE joins the delivering segment's clock into the poller.
+  void rc_pop() {
+    if (!rc_tok_.empty()) {
+      sim_.rc_consume(rc_tok_.front());
+      rc_tok_.pop_front();
+    }
+  }
+
   Task<Wc> wait_inner(PollMode mode) {
     while (true) {
       while (cqes_.empty()) {
@@ -184,6 +197,7 @@ class CompletionQueue {
     co_await sim_.sleep(cost_.poll_cqe_cpu);
     Wc wc = cqes_.front();
     cqes_.pop_front();
+    rc_pop();
     ++consumed_;
     count_polled();
     co_return wc;
@@ -211,6 +225,7 @@ class CompletionQueue {
     for (size_t i = 0; i < take; ++i) {
       out.push_back(cqes_.front());
       cqes_.pop_front();
+      rc_pop();
       ++consumed_;
       count_polled();
     }
@@ -229,6 +244,7 @@ class CompletionQueue {
   int core_ = sim::Cpu::kAnyCore;     // pinned polling core, -1 = floating
   sim::WaitQueue avail_;
   std::deque<Wc> cqes_;
+  std::deque<uint32_t> rc_tok_;  // parallel to cqes_; see rc_pop()
   bool closed_ = false;
   uint64_t delivered_ = 0;
   uint64_t consumed_ = 0;

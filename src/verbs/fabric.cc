@@ -189,6 +189,7 @@ void Node::destroy_qp(QueuePair* qp) {
 
 void CompletionQueue::deliver(Wc wc) {
   cqes_.push_back(wc);
+  rc_tok_.push_back(sim_.rc_capture());  // kNoClock when the checker is off
   ++delivered_;
   if (check_) check_->on_cqe(wc, cqes_.size(), capacity_, node_id_);
   avail_.notify_all();

@@ -20,7 +20,12 @@ namespace hatrpc::verbs {
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, CostModel cost)
-      : sim_(sim), cost_(cost), check_(*this) {}
+      : sim_(sim), cost_(cost), check_(*this) {
+    // Mirror race/lifetime diagnostics into the fabric-wide node-0 scope
+    // (the kRaceReports counter); the checker itself lives on the sim.
+    sim_.racecheck().bind_mirror(
+        &obs_.counters.node(0).slot(obs::Ctr::kRaceReports));
+  }
   explicit Fabric(sim::Simulator& sim) : Fabric(sim, CostModel{}) {}
 
   Fabric(const Fabric&) = delete;
